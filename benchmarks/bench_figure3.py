@@ -1,0 +1,45 @@
+"""Figure 3: average bandwidth vs. network size.
+
+Regenerates the paper's Figure 3: at a fixed connection count, networks
+of growing node count (same Waxman parameters, so the edge count
+"increases rapidly with the number of nodes") give each connection more
+capacity — the average bandwidth rises toward B_max.  Both the
+simulation and the analytic curve are produced, plus the edge-count
+series the paper overlays.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import archive
+from repro.analysis.experiments import run_figure3
+from repro.analysis.report import render_table
+
+
+def test_figure3(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_figure3(
+            scale.figure3_nodes,
+            connections=scale.figure3_connections,
+            settings=scale.settings,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        ["nodes", "edges", "sim Kb/s", "model Kb/s"],
+        [[row.nodes, row.edges, row.simulated, row.analytic] for row in rows],
+        title=(
+            f"Figure 3 — avg bandwidth vs. network size "
+            f"({scale.figure3_connections} connections)"
+        ),
+    )
+    archive("figure3", table)
+
+    # Edge count grows superlinearly with node count (fixed Waxman params).
+    edges = [row.edges for row in rows]
+    assert all(b > a for a, b in zip(edges, edges[1:]))
+    first, last = rows[0], rows[-1]
+    node_ratio = last.nodes / first.nodes
+    assert last.edges / first.edges > 1.5 * node_ratio, "edges must grow superlinearly"
+    # More network for the same load: bandwidth must not decrease.
+    assert last.simulated >= first.simulated - 10.0

@@ -1,0 +1,65 @@
+"""Figure 4: average bandwidth vs. link failure rate.
+
+Regenerates the paper's Figure 4: with the chain parameters measured at
+two populations, the failure rate γ is swept across five decades in the
+9-state Markov chain ("A Markov chain with 9 states is used to evaluate
+the effect").  The paper's finding: "no effect of link failures on the
+average bandwidth since the link failure rate is too small compared to
+the DR-connection request arrival and termination rates" — the curves
+are flat, with the larger population's curve sitting lower.
+
+A simulation spot-check with real failure injection (and repairs, so the
+topology is not eroded) validates the analytic flatness at one γ.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import archive, full_scale
+from repro.analysis.experiments import run_figure4
+from repro.analysis.report import render_table
+from repro.units import PAPER_FAILURE_RATES
+
+
+def test_figure4(benchmark, scale):
+    rates = PAPER_FAILURE_RATES[:-1]  # 1e-7 .. 1e-3
+    check = (1e-5,) if not full_scale() else (1e-5, 1e-4)
+    series = benchmark.pedantic(
+        lambda: run_figure4(
+            rates,
+            populations=scale.figure4_populations,
+            nodes=scale.nodes,
+            edges=scale.edges,
+            settings=scale.settings,
+            simulate_checks=check,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    headers = ["failure rate γ"] + [f"Avg{s.population}ft Kb/s" for s in series]
+    rows = [
+        [f"{gamma:.0e}"] + [s.analytic[i] for s in series]
+        for i, gamma in enumerate(rates)
+    ]
+    table = render_table(
+        headers, rows, title="Figure 4 — avg bandwidth vs. link failure rate (model)"
+    )
+    checks = "\n".join(
+        f"sim check (pop {s.population}, γ={g:.0e}): {bw:.1f} Kb/s"
+        for s in series
+        for g, bw in s.simulated_checks
+    )
+    archive("figure4", table + "\n" + checks)
+
+    lam = scale.settings.arrival_rate
+    for s in series:
+        # Flat while gamma << lambda (the paper's regime).
+        small = [bw for g, bw in zip(rates, s.analytic) if g <= lam / 100]
+        assert max(small) - min(small) < 0.02 * max(small)
+        # gamma only adds downward pressure.
+        assert all(a >= b - 1e-9 for a, b in zip(s.analytic, s.analytic[1:]))
+    if len(series) == 2:
+        lighter, heavier = series
+        # The larger population's curve sits at or below the smaller's.
+        assert all(
+            lo <= hi + 25.0 for hi, lo in zip(lighter.analytic, heavier.analytic)
+        )

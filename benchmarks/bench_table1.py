@@ -1,0 +1,53 @@
+"""Table 1: average bandwidth for different increment sizes.
+
+Regenerates the paper's Table 1: the average bandwidth measured with a
+5-state chain (Δ = 100 Kb/s) versus a 9-state chain (Δ = 50 Kb/s), on a
+"Random" (Waxman) and a "Tier" (transit-stub) network.  The paper's
+findings: (1) the two increment sizes yield essentially the same average
+bandwidth, and (2) the Tier network rejects most offered connections, so
+its average stays high while its admitted population is small.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import archive
+from repro.analysis.experiments import run_table1
+from repro.analysis.report import render_table
+
+
+def test_table1(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_table1(
+            scale.table1_counts,
+            nodes=scale.nodes,
+            edges=scale.edges,
+            settings=scale.settings,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        ["offered", "Random Δ=100 (5)", "Random Δ=50 (9)", "Tier Δ=100 (5)", "Tier Δ=50 (9)"],
+        [
+            [
+                row.offered,
+                row.random_5_states,
+                row.random_9_states,
+                row.tier_5_states,
+                row.tier_9_states,
+            ]
+            for row in rows
+        ],
+        title="Table 1 — avg bandwidth (Kb/s) for different increment sizes",
+    )
+    archive("table1", table)
+
+    for row in rows:
+        # Paper: "The table shows no difference in the average bandwidth
+        # even though they have a different number of states."
+        assert abs(row.random_5_states - row.random_9_states) <= max(
+            50.0, 0.15 * row.random_9_states
+        )
+        assert abs(row.tier_5_states - row.tier_9_states) <= max(
+            50.0, 0.15 * row.tier_9_states
+        )

@@ -1,0 +1,86 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one of the paper's exhibits (Figure 2,
+Table 1, Figure 3, Figure 4) or an ablation, prints the resulting
+rows/series, and archives them under ``benchmarks/results/`` so
+EXPERIMENTS.md can quote them.
+
+Two scales are supported:
+
+* default — laptop scale (~60-node networks, hundreds-to-thousands of
+  connections); the whole suite completes in minutes;
+* ``REPRO_FULL=1`` — the paper's exact scale (100-500 nodes, up to 5000
+  connections); expect tens of minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence
+
+import pytest
+
+from repro.analysis.experiments import RunSettings
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """Whether the paper-exact scale was requested."""
+    return os.environ.get("REPRO_FULL", "").strip() not in ("", "0")
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Scale knobs shared by the figure/table benchmarks."""
+
+    nodes: int
+    edges: int
+    figure2_counts: Sequence[int]
+    table1_counts: Sequence[int]
+    figure3_nodes: Sequence[int]
+    figure3_connections: int
+    figure4_populations: Sequence[int]
+    settings: RunSettings
+
+
+def bench_scale() -> BenchScale:
+    """The active scale (env-controlled)."""
+    if full_scale():
+        return BenchScale(
+            nodes=100,
+            edges=354,
+            figure2_counts=(500, 1000, 2000, 3000, 4000, 5000),
+            table1_counts=(1000, 2000, 3000, 4000, 5000),
+            figure3_nodes=(100, 200, 300, 400, 500),
+            figure3_connections=3000,
+            figure4_populations=(2000, 3000),
+            settings=RunSettings(warmup_events=500, measure_events=3000, seed=7),
+        )
+    return BenchScale(
+        nodes=60,
+        edges=130,
+        figure2_counts=(150, 300, 600, 1000, 1500),
+        table1_counts=(300, 800, 1500),
+        figure3_nodes=(40, 60, 80, 100),
+        figure3_connections=600,
+        figure4_populations=(400, 700),
+        settings=RunSettings(warmup_events=200, measure_events=1000, seed=7),
+    )
+
+
+def archive(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    scale_tag = "full" if full_scale() else "quick"
+    path = RESULTS_DIR / f"{name}.{scale_tag}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[archived to {path}]")
+
+
+@pytest.fixture
+def scale() -> BenchScale:
+    """Active benchmark scale."""
+    return bench_scale()

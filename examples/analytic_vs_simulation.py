@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Analytic model vs. detailed simulation — the paper's core validation.
+
+Reproduces the heart of Section 4 at laptop scale: for a sweep of
+offered loads, run the detailed simulator, estimate the Markov-chain
+parameters (Pf, Ps, A, B, T) from its event stream, solve the chain
+with each of the three steady-state methods, and compare:
+
+* the average reserved bandwidth (the paper's headline metric);
+* the whole stationary level distribution π (state-by-state);
+* the ideal-bandwidth formula of Figure 2.
+
+Run:  python examples/analytic_vs_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ElasticQoSMarkovModel,
+    ElasticQoSSimulator,
+    SimulationConfig,
+    ideal_average_bandwidth,
+    paper_connection_qos,
+    paper_random_network,
+)
+from repro.analysis import render_table
+from repro.topology import average_shortest_path_hops
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    capacity = 10_000.0
+    net = paper_random_network(capacity, rng, n=50, target_edges=110)
+    avghop = average_shortest_path_hops(net)
+    qos = paper_connection_qos()
+    print(
+        f"network: {net.num_nodes} nodes / {net.num_links} links, "
+        f"avg hops {avghop:.2f};  contract: {qos.describe()}"
+    )
+
+    rows = []
+    last_result = None
+    for offered in (100, 250, 500, 800):
+        config = SimulationConfig(
+            qos=qos,
+            offered_connections=offered,
+            warmup_events=200,
+            measure_events=1500,
+        )
+        result = ElasticQoSSimulator(net, config, seed=offered).run()
+        model = ElasticQoSMarkovModel(qos.performance, result.params)
+        solution = model.solve()
+        ideal = ideal_average_bandwidth(capacity, net.num_links, offered, avghop)
+        rows.append(
+            [
+                offered,
+                result.average_bandwidth,
+                solution.average_bandwidth,
+                ideal,
+                result.params.pf,
+                result.params.ps,
+            ]
+        )
+        last_result = (offered, result, model)
+
+    print()
+    print(
+        render_table(
+            ["offered", "sim Kb/s", "model Kb/s", "ideal Kb/s", "Pf", "Ps"],
+            rows,
+            precision=3,
+            title="average bandwidth: simulation vs. Markov model vs. ideal",
+        )
+    )
+
+    offered, result, model = last_result
+    solution = model.solve()
+    print(f"\nstationary distribution at {offered} offered connections:")
+    print(
+        render_table(
+            ["level", "bandwidth", "sim π", "model π"],
+            [
+                [
+                    i,
+                    qos.performance.level_bandwidth(i),
+                    float(result.level_occupancy[i]),
+                    float(solution.pi[i]),
+                ]
+                for i in range(qos.performance.num_levels)
+            ],
+            precision=4,
+        )
+    )
+    tv = 0.5 * float(np.abs(solution.pi - result.level_occupancy).sum())
+    print(f"total-variation distance sim vs model: {tv:.3f}")
+
+    print("\nsolver cross-check on the same chain:")
+    for method in ("direct", "lstsq", "power"):
+        print(f"  {method:7s}: {model.average_bandwidth(method=method):.4f} Kb/s")
+
+    print("\ntransient behaviour of a freshly admitted channel:")
+    for t in (0.0, 500.0, 2000.0, 10000.0, 100000.0):
+        bw = model.transient_average_bandwidth(t)
+        print(f"  t={t:>8.0f}: expected bandwidth {bw:6.1f} Kb/s")
+
+
+if __name__ == "__main__":
+    main()

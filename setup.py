@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so ``pip install -e .`` cannot build a PEP 660 editable wheel.  This
+shim lets ``python setup.py develop`` (which pip falls back to) install
+the package in editable mode; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

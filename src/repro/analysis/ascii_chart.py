@@ -1,0 +1,112 @@
+"""Terminal line charts: eyeball the paper's figures without matplotlib.
+
+The benchmarks and CLI print result *tables*; for the figures it is
+often easier to see the shape directly.  :func:`ascii_chart` renders one
+or more (x, y) series on a character grid with axis labels — enough to
+recognise "falls from B_max toward B_min" or "flat across the sweep" at
+a glance, with zero plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Glyphs assigned to series in declaration order.
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render labelled (x, y) series as an ASCII chart.
+
+    Args:
+        series: Mapping from series name to its (x, y) points.  Up to
+            eight series; each gets a marker glyph from ``*o+x#@%&``.
+        width: Plot-area width in characters (>= 10).
+        height: Plot-area height in rows (>= 4).
+        x_label: Caption under the x axis.
+        y_label: Caption above the y axis.
+
+    Returns:
+        A multi-line string: y-axis scale, grid with markers, x-axis
+        scale, and a legend mapping glyphs to series names.
+    """
+    if not series:
+        raise ReproError("nothing to chart: no series")
+    if len(series) > len(_MARKERS):
+        raise ReproError(f"at most {len(_MARKERS)} series supported")
+    if width < 10 or height < 4:
+        raise ReproError("chart needs width >= 10 and height >= 4")
+    points = [pt for pts in series.values() for pt in pts]
+    if not points:
+        raise ReproError("all series are empty")
+
+    xs = [float(p[0]) for p in points]
+    ys = [float(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (_name, pts) in zip(_MARKERS, series.items()):
+        for x, y in pts:
+            col = round((float(x) - x_lo) / x_span * (width - 1))
+            row = round((float(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{y_hi:>10.1f} |"
+        elif i == height - 1:
+            prefix = f"{y_lo:>10.1f} |"
+        else:
+            prefix = " " * 10 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + " +" + "-" * width)
+    x_axis = f"{x_lo:<12.6g}{' ' * max(0, width - 24)}{x_hi:>12.6g}"
+    lines.append(" " * 12 + x_axis)
+    if x_label:
+        lines.append(" " * 12 + x_label.center(width))
+    legend = "   ".join(
+        f"{marker} {name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def chart_rows(
+    rows: Sequence[object],
+    x_field: str,
+    y_fields: Sequence[str],
+    **kwargs,
+) -> str:
+    """Chart dataclass rows directly (e.g. Figure2Row lists).
+
+    Args:
+        rows: Sequence of objects exposing the named attributes.
+        x_field: Attribute used for x.
+        y_fields: One series per named attribute.
+    """
+    if not rows:
+        raise ReproError("nothing to chart: no rows")
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for field in y_fields:
+        try:
+            series[field] = [
+                (float(getattr(row, x_field)), float(getattr(row, field)))
+                for row in rows
+            ]
+        except AttributeError as exc:
+            raise ReproError(str(exc)) from exc
+    return ascii_chart(series, **kwargs)

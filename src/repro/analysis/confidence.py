@@ -1,0 +1,88 @@
+"""Multi-seed replication: confidence in simulated quantities.
+
+The paper reports single simulation curves; a production-quality
+reproduction should quantify run-to-run variation.  This module reruns
+an arbitrary seeded experiment across seeds and reports mean, standard
+deviation and a normal-approximation confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.errors import SimulationError
+
+#: An experiment: seed in, scalar metric out.
+SeededMetric = Callable[[int], float]
+
+#: Two-sided z values for the common confidence levels.
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass
+class ReplicationResult:
+    """Summary of one metric replicated across seeds."""
+
+    values: List[float]
+    mean: float
+    std: float
+    half_width: float
+    confidence: float
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """The confidence interval (lower, upper)."""
+        return (self.mean - self.half_width, self.mean + self.half_width)
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (0 when the mean is 0)."""
+        return self.half_width / abs(self.mean) if self.mean else 0.0
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``361.4 ± 4.2 (95% CI, n=5)``."""
+        return (
+            f"{self.mean:.1f} ± {self.half_width:.1f} "
+            f"({self.confidence:.0%} CI, n={len(self.values)})"
+        )
+
+
+def replicate(
+    metric: SeededMetric,
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> ReplicationResult:
+    """Run ``metric`` for each seed and summarise.
+
+    Args:
+        metric: Seeded experiment returning one scalar.
+        seeds: At least two distinct seeds.
+        confidence: One of 0.90 / 0.95 / 0.99.
+
+    Raises:
+        SimulationError: on fewer than two seeds, duplicate seeds, or an
+            unsupported confidence level.
+    """
+    if len(seeds) < 2:
+        raise SimulationError("need at least two seeds for a confidence interval")
+    if len(set(seeds)) != len(seeds):
+        raise SimulationError("seeds must be distinct")
+    if confidence not in _Z_VALUES:
+        raise SimulationError(
+            f"unsupported confidence {confidence}; choose from {sorted(_Z_VALUES)}"
+        )
+    values = [float(metric(seed)) for seed in seeds]
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(variance)
+    half_width = _Z_VALUES[confidence] * std / math.sqrt(n)
+    return ReplicationResult(
+        values=values,
+        mean=mean,
+        std=std,
+        half_width=half_width,
+        confidence=confidence,
+    )

@@ -1,0 +1,335 @@
+"""Experiment runners for every table and figure in the paper's §4.
+
+Each ``run_*`` function regenerates the rows/series of one exhibit:
+
+* :func:`run_figure2`  — average bandwidth vs. number of DR-connections
+  (simulation, 9-state Markov model, ideal formula);
+* :func:`run_table1`   — average bandwidth for Δ = 100 (5 states) vs.
+  Δ = 50 (9 states) on Random (Waxman) and Tier (transit-stub) networks;
+* :func:`run_figure3`  — average bandwidth and edge count vs. network
+  size at a fixed number of connections;
+* :func:`run_figure4`  — average bandwidth vs. link failure rate γ for
+  two populations.  As in the paper ("A Markov chain with 9 states is
+  used to evaluate the effect"), the sweep itself is analytic: the
+  chain parameters are measured once per population and γ is then swept
+  in the chain; optional simulation spot-checks inject real failures.
+
+The functions take explicit size parameters so the benchmarks can run a
+laptop-scale version by default and the exact paper scale under
+``REPRO_FULL=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.ideal import ideal_average_bandwidth
+from repro.markov.model import ElasticQoSMarkovModel
+from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS
+from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig, SimulationResult
+from repro.sim.workload import WorkloadConfig
+from repro.topology.graph import Network
+from repro.topology.metrics import average_shortest_path_hops
+from repro.topology.transit_stub import TransitStubParams, transit_stub_network
+from repro.topology.waxman import paper_random_network
+from repro.units import (
+    PAPER_ARRIVAL_RATE,
+    PAPER_B_MAX,
+    PAPER_B_MIN,
+    PAPER_INCREMENT_SMALL,
+    PAPER_LINK_CAPACITY,
+)
+
+
+def paper_connection_qos(
+    increment: float = PAPER_INCREMENT_SMALL,
+    b_min: float = PAPER_B_MIN,
+    b_max: float = PAPER_B_MAX,
+    utility: float = 1.0,
+    num_backups: int = 1,
+) -> ConnectionQoS:
+    """The QoS contract used throughout the paper's evaluation."""
+    return ConnectionQoS(
+        performance=ElasticQoS(b_min=b_min, b_max=b_max, increment=increment, utility=utility),
+        dependability=DependabilityQoS(num_backups=num_backups),
+    )
+
+
+@dataclass
+class RunSettings:
+    """Shared knobs of all experiment runners."""
+
+    capacity: float = PAPER_LINK_CAPACITY
+    arrival_rate: float = PAPER_ARRIVAL_RATE
+    warmup_events: int = 300
+    measure_events: int = 1500
+    sample_interval: int = 10
+    seed: int = 7
+    routing: str = "dijkstra"
+
+
+def simulate_point(
+    net: Network,
+    offered: int,
+    qos: ConnectionQoS,
+    settings: RunSettings,
+    link_failure_rate: float = 0.0,
+    repair_rate: float = 0.0,
+    seed_offset: int = 0,
+) -> Tuple[SimulationResult, ElasticQoSMarkovModel]:
+    """Run one simulation and build the matching Markov model."""
+    config = SimulationConfig(
+        qos=qos,
+        offered_connections=offered,
+        workload=WorkloadConfig(
+            arrival_rate=settings.arrival_rate,
+            termination_rate=settings.arrival_rate,
+            link_failure_rate=link_failure_rate,
+            repair_rate=repair_rate,
+        ),
+        warmup_events=settings.warmup_events,
+        measure_events=settings.measure_events,
+        sample_interval=settings.sample_interval,
+        routing=settings.routing,
+    )
+    sim = ElasticQoSSimulator(net, config, seed=settings.seed + seed_offset)
+    result = sim.run()
+    model = ElasticQoSMarkovModel(qos.performance, result.params)
+    return result, model
+
+
+# ----------------------------------------------------------------------
+# Figure 2
+# ----------------------------------------------------------------------
+@dataclass
+class Figure2Row:
+    """One x-position of Figure 2."""
+
+    offered: int
+    population: float
+    simulated: float
+    analytic: float
+    ideal: float
+
+
+@dataclass
+class Figure2Result:
+    """All series of Figure 2 plus the topology facts the caption quotes."""
+
+    rows: List[Figure2Row]
+    nodes: int
+    edges: int
+    average_degree: float
+    average_hops: float
+
+
+def run_figure2(
+    connection_counts: Sequence[int],
+    nodes: int = 100,
+    edges: int = 354,
+    increment: float = PAPER_INCREMENT_SMALL,
+    settings: Optional[RunSettings] = None,
+) -> Figure2Result:
+    """Average bandwidth vs. number of DR-connections (Figure 2)."""
+    settings = settings or RunSettings()
+    rng = np.random.default_rng(settings.seed)
+    net = paper_random_network(settings.capacity, rng, n=nodes, target_edges=edges)
+    avghop = average_shortest_path_hops(net)
+    qos = paper_connection_qos(increment=increment)
+    rows: List[Figure2Row] = []
+    for index, offered in enumerate(connection_counts):
+        result, model = simulate_point(net, offered, qos, settings, seed_offset=index)
+        rows.append(
+            Figure2Row(
+                offered=offered,
+                population=result.measurement.average_population,
+                simulated=result.average_bandwidth,
+                analytic=model.average_bandwidth(),
+                ideal=ideal_average_bandwidth(
+                    settings.capacity, net.num_links, max(1, offered), avghop
+                ),
+            )
+        )
+    return Figure2Result(
+        rows=rows,
+        nodes=net.num_nodes,
+        edges=net.num_links,
+        average_degree=2.0 * net.num_links / net.num_nodes,
+        average_hops=avghop,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+@dataclass
+class Table1Row:
+    """One row of Table 1: offered connections x 4 scheme columns."""
+
+    offered: int
+    random_5_states: float
+    random_9_states: float
+    tier_5_states: float
+    tier_9_states: float
+
+
+def run_table1(
+    connection_counts: Sequence[int],
+    nodes: int = 100,
+    edges: int = 354,
+    tier_params: Optional[TransitStubParams] = None,
+    settings: Optional[RunSettings] = None,
+) -> List[Table1Row]:
+    """Average bandwidth for different increment sizes (Table 1).
+
+    The "Tier" network admits far fewer connections than offered (the
+    paper: "most DR-connections are rejected due to the shortage of
+    bandwidths in the transit-stub network"); the offered count is the
+    row label, as in the paper.
+    """
+    settings = settings or RunSettings()
+    rng = np.random.default_rng(settings.seed)
+    random_net = paper_random_network(settings.capacity, rng, n=nodes, target_edges=edges)
+    tier_net = transit_stub_network(
+        tier_params or TransitStubParams(), settings.capacity, rng
+    )
+    span = PAPER_B_MAX - PAPER_B_MIN
+    qos_small = paper_connection_qos(increment=span / 8)  # 9 states
+    qos_large = paper_connection_qos(increment=span / 4)  # 5 states
+    rows: List[Table1Row] = []
+    for index, offered in enumerate(connection_counts):
+        cells = {}
+        for name, net, qos in (
+            ("random_5", random_net, qos_large),
+            ("random_9", random_net, qos_small),
+            ("tier_5", tier_net, qos_large),
+            ("tier_9", tier_net, qos_small),
+        ):
+            result, _model = simulate_point(
+                net, offered, qos, settings, seed_offset=100 * index
+            )
+            cells[name] = result.average_bandwidth
+        rows.append(
+            Table1Row(
+                offered=offered,
+                random_5_states=cells["random_5"],
+                random_9_states=cells["random_9"],
+                tier_5_states=cells["tier_5"],
+                tier_9_states=cells["tier_9"],
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 3
+# ----------------------------------------------------------------------
+@dataclass
+class Figure3Row:
+    """One x-position of Figure 3."""
+
+    nodes: int
+    edges: int
+    simulated: float
+    analytic: float
+
+
+def run_figure3(
+    node_counts: Sequence[int],
+    connections: int = 3000,
+    settings: Optional[RunSettings] = None,
+    increment: float = PAPER_INCREMENT_SMALL,
+) -> List[Figure3Row]:
+    """Average bandwidth vs. network size (Figure 3).
+
+    Waxman parameters are held as the paper holds them, so the edge
+    count "increases rapidly with the number of nodes" (density is
+    preserved, edges grow ~quadratically).
+    """
+    settings = settings or RunSettings()
+    qos = paper_connection_qos(increment=increment)
+    rows: List[Figure3Row] = []
+    for index, n in enumerate(node_counts):
+        rng = np.random.default_rng(settings.seed + index)
+        net = paper_random_network(settings.capacity, rng, n=n)
+        result, model = simulate_point(
+            net, connections, qos, settings, seed_offset=index
+        )
+        rows.append(
+            Figure3Row(
+                nodes=n,
+                edges=net.num_links,
+                simulated=result.average_bandwidth,
+                analytic=model.average_bandwidth(),
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 4
+# ----------------------------------------------------------------------
+@dataclass
+class Figure4Series:
+    """One population's bandwidth-vs-γ curve."""
+
+    population: int
+    failure_rates: List[float]
+    analytic: List[float]
+    simulated_checks: List[Tuple[float, float]] = field(default_factory=list)
+
+
+def run_figure4(
+    failure_rates: Sequence[float],
+    populations: Sequence[int] = (2000, 3000),
+    nodes: int = 100,
+    edges: int = 354,
+    settings: Optional[RunSettings] = None,
+    simulate_checks: Sequence[float] = (),
+) -> List[Figure4Series]:
+    """Average bandwidth vs. link failure rate (Figure 4).
+
+    As in the paper, the γ sweep is evaluated on the 9-state Markov
+    chain: the chain's parameters are measured once per population and
+    the failure rate is then varied in the generator.  ``simulate_checks``
+    optionally lists γ values to validate with real failure injection
+    (repairs enabled so the topology is not eroded; see DESIGN.md).
+    """
+    settings = settings or RunSettings()
+    rng = np.random.default_rng(settings.seed)
+    net = paper_random_network(settings.capacity, rng, n=nodes, target_edges=edges)
+    qos = paper_connection_qos()
+    series: List[Figure4Series] = []
+    for index, population in enumerate(populations):
+        result, _model = simulate_point(
+            net, population, qos, settings, seed_offset=index
+        )
+        analytic: List[float] = []
+        for gamma in failure_rates:
+            params = result.params.with_failure_rate(gamma)
+            model = ElasticQoSMarkovModel(qos.performance, params)
+            analytic.append(model.average_bandwidth())
+        checks: List[Tuple[float, float]] = []
+        for gamma in simulate_checks:
+            check_result, _ = simulate_point(
+                net,
+                population,
+                qos,
+                settings,
+                link_failure_rate=gamma / max(1, net.num_links),
+                repair_rate=1.0,
+                seed_offset=1000 + index,
+            )
+            checks.append((gamma, check_result.average_bandwidth))
+        series.append(
+            Figure4Series(
+                population=population,
+                failure_rates=list(failure_rates),
+                analytic=analytic,
+                simulated_checks=checks,
+            )
+        )
+    return series

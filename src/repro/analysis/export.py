@@ -1,0 +1,90 @@
+"""Exporting experiment results to CSV / JSON for external tooling.
+
+The experiment runners return dataclass rows; these helpers flatten any
+sequence of (identically shaped) dataclasses or mappings to CSV and
+JSON, so plots can be made with whatever the user prefers without this
+library depending on a plotting stack.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from pathlib import Path
+from typing import Any, Iterable, List, Mapping, Sequence, Union
+
+from repro.errors import ReproError
+
+Row = Union[Mapping[str, Any], Any]  # mapping or dataclass instance
+
+
+def _row_dict(row: Row) -> dict:
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        return dataclasses.asdict(row)
+    if isinstance(row, Mapping):
+        return dict(row)
+    raise ReproError(
+        f"cannot export row of type {type(row).__name__}; need a dataclass or mapping"
+    )
+
+
+def rows_to_dicts(rows: Sequence[Row]) -> List[dict]:
+    """Normalise rows to dictionaries, checking they share a schema."""
+    if not rows:
+        raise ReproError("nothing to export: no rows")
+    dicts = [_row_dict(row) for row in rows]
+    keys = list(dicts[0].keys())
+    for index, d in enumerate(dicts[1:], start=1):
+        if list(d.keys()) != keys:
+            raise ReproError(
+                f"row {index} has fields {list(d.keys())}, expected {keys}"
+            )
+    return dicts
+
+
+def to_csv(rows: Sequence[Row]) -> str:
+    """Render rows as a CSV string (header + one line per row).
+
+    Non-scalar cell values (lists, dicts) are JSON-encoded so the CSV
+    stays loadable by standard tools.
+    """
+    dicts = rows_to_dicts(rows)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(dicts[0].keys()))
+    writer.writeheader()
+    for d in dicts:
+        writer.writerow(
+            {
+                key: json.dumps(value) if isinstance(value, (list, dict, tuple)) else value
+                for key, value in d.items()
+            }
+        )
+    return buffer.getvalue()
+
+
+def to_json(rows: Sequence[Row], indent: int = 2) -> str:
+    """Render rows as a JSON array of objects."""
+    return json.dumps(rows_to_dicts(rows), indent=indent, default=_json_default)
+
+
+def _json_default(value: Any) -> Any:
+    # numpy scalars/arrays sneak into results; make them JSON-friendly.
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")
+
+
+def write_csv(rows: Sequence[Row], path: Union[str, Path]) -> Path:
+    """Write rows to a CSV file; returns the path."""
+    path = Path(path)
+    path.write_text(to_csv(rows))
+    return path
+
+
+def write_json(rows: Sequence[Row], path: Union[str, Path]) -> Path:
+    """Write rows to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(to_json(rows))
+    return path

@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benchmarks print the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and legible
+in terminal logs and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_cell(value: object, precision: int = 1) -> str:
+    """Render one table cell (floats get fixed precision)."""
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 1,
+    title: str | None = None,
+) -> str:
+    """Monospace table with a header rule, column-aligned."""
+    str_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], precision: int = 1
+) -> str:
+    """One labelled (x, y) series as ``name: (x -> y), ...`` lines."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} x-values vs {len(ys)} y-values")
+    pairs = ", ".join(
+        f"{format_cell(x, precision)}→{format_cell(y, precision)}"
+        for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference| (0 when both are 0)."""
+    if reference == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - reference) / abs(reference)

@@ -1,0 +1,118 @@
+"""Quantitative validation of the Markov model against simulation.
+
+The paper validates its model by eyeballing curve agreement; this module
+makes the comparison a first-class, testable object: given a
+:class:`~repro.sim.simulator.SimulationResult`, it solves the chain on
+the measured parameters and reports per-state and aggregate discrepancy
+metrics (used by the integration tests, the validation example, and
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.errors import MarkovModelError
+from repro.markov.model import ElasticQoSMarkovModel
+from repro.qos.spec import ElasticQoS
+from repro.sim.simulator import SimulationResult
+
+
+@dataclass
+class ValidationReport:
+    """Agreement between one simulation run and the solved chain."""
+
+    simulated_bandwidth: float
+    analytic_bandwidth: float
+    simulated_pi: np.ndarray
+    analytic_pi: np.ndarray
+    level_bandwidths: np.ndarray
+
+    @property
+    def bandwidth_error(self) -> float:
+        """Relative error of the analytic average bandwidth."""
+        if self.simulated_bandwidth == 0:
+            return 0.0 if self.analytic_bandwidth == 0 else float("inf")
+        return (
+            abs(self.analytic_bandwidth - self.simulated_bandwidth)
+            / self.simulated_bandwidth
+        )
+
+    @property
+    def total_variation(self) -> float:
+        """TV distance between empirical and analytic level distributions."""
+        return 0.5 * float(np.abs(self.simulated_pi - self.analytic_pi).sum())
+
+    @property
+    def kl_divergence(self) -> float:
+        """KL(sim ‖ model) with additive smoothing (nats).
+
+        Both distributions are smoothed by 1e-9 so empty states do not
+        produce infinities; the result is a diagnostic, not a test
+        statistic.
+        """
+        p = self.simulated_pi + 1e-9
+        q = self.analytic_pi + 1e-9
+        p = p / p.sum()
+        q = q / q.sum()
+        return float((p * np.log(p / q)).sum())
+
+    def per_state_rows(self) -> List[List[float]]:
+        """Rows ``[level, bandwidth, sim pi, model pi, abs diff]``."""
+        rows = []
+        for i in range(len(self.level_bandwidths)):
+            rows.append(
+                [
+                    i,
+                    float(self.level_bandwidths[i]),
+                    float(self.simulated_pi[i]),
+                    float(self.analytic_pi[i]),
+                    float(abs(self.simulated_pi[i] - self.analytic_pi[i])),
+                ]
+            )
+        return rows
+
+    def render(self) -> str:
+        """Human-readable validation block."""
+        head = (
+            f"average bandwidth: sim {self.simulated_bandwidth:.1f} Kb/s, "
+            f"model {self.analytic_bandwidth:.1f} Kb/s "
+            f"(error {self.bandwidth_error:.1%})\n"
+            f"level distribution: TV distance {self.total_variation:.4f}, "
+            f"KL {self.kl_divergence:.4f}"
+        )
+        table = render_table(
+            ["level", "Kb/s", "sim π", "model π", "|diff|"],
+            self.per_state_rows(),
+            precision=4,
+        )
+        return head + "\n" + table
+
+
+def validate_against_model(
+    result: SimulationResult, qos: ElasticQoS
+) -> ValidationReport:
+    """Solve the chain on the run's measured parameters and compare.
+
+    Raises:
+        MarkovModelError: when the QoS shape does not match the
+            parameters measured by the run.
+    """
+    if qos.num_levels != result.params.num_levels:
+        raise MarkovModelError(
+            f"QoS has {qos.num_levels} levels but the run measured "
+            f"{result.params.num_levels}"
+        )
+    model = ElasticQoSMarkovModel(qos, result.params)
+    solution = model.solve()
+    return ValidationReport(
+        simulated_bandwidth=result.average_bandwidth,
+        analytic_bandwidth=solution.average_bandwidth,
+        simulated_pi=np.asarray(result.level_occupancy, dtype=float),
+        analytic_pi=solution.pi,
+        level_bandwidths=solution.level_bandwidths,
+    )

@@ -1,0 +1,12 @@
+"""Baseline schemes (single-value QoS, no backup) and comparison tools."""
+
+from repro.baselines.compare import SchemeOutcome, compare_schemes, multiplexing_savings
+from repro.baselines.contracts import no_backup_contract, single_value_contract
+
+__all__ = [
+    "SchemeOutcome",
+    "compare_schemes",
+    "multiplexing_savings",
+    "no_backup_contract",
+    "single_value_contract",
+]

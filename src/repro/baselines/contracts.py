@@ -1,0 +1,42 @@
+"""Baseline QoS contracts the paper compares (implicitly) against.
+
+The elastic scheme's value proposition is relative to two older models:
+
+* the **single-value** QoS model (Han & Shin's original backup-channel
+  scheme): each connection reserves exactly one bandwidth value
+  forever.  Requesting only the minimum wastes the idle backup
+  capacity ("bare-bone service even when there are plenty of resources
+  available"); requesting the maximum causes rejections.
+* **no fault tolerance**: plain real-time channels without backups —
+  cheapest, but a single link failure kills the connection.
+
+Both are expressed through the same machinery (a degenerate elastic
+range / a zero-backup dependability QoS) so every comparison exercises
+identical code paths.
+"""
+
+from __future__ import annotations
+
+from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS, single_value_qos
+
+
+def single_value_contract(
+    bandwidth: float, utility: float = 1.0, num_backups: int = 1
+) -> ConnectionQoS:
+    """A DR-connection that reserves exactly ``bandwidth``, no elasticity."""
+    return ConnectionQoS(
+        performance=single_value_qos(bandwidth, utility=utility),
+        dependability=DependabilityQoS(num_backups=num_backups),
+    )
+
+
+def no_backup_contract(
+    b_min: float, b_max: float, increment: float, utility: float = 1.0
+) -> ConnectionQoS:
+    """An elastic real-time connection without any backup channel."""
+    return ConnectionQoS(
+        performance=ElasticQoS(
+            b_min=b_min, b_max=b_max, increment=increment, utility=utility
+        ),
+        dependability=DependabilityQoS(num_backups=0),
+    )

@@ -1,0 +1,20 @@
+"""DR-connection records and the central network manager."""
+
+from repro.channels.manager import ROUTING_ENGINES, NetworkManager
+from repro.channels.records import (
+    ConnectionState,
+    DRConnection,
+    EventImpact,
+    EventKind,
+    ManagerStats,
+)
+
+__all__ = [
+    "ROUTING_ENGINES",
+    "NetworkManager",
+    "ConnectionState",
+    "DRConnection",
+    "EventImpact",
+    "EventKind",
+    "ManagerStats",
+]

@@ -1,0 +1,547 @@
+"""The network manager: DR-connection establishment, teardown, recovery.
+
+This is the centralized network manager of §2.1.1: it selects routes,
+performs admission tests, reserves resources for primary and backup
+channels, reclaims and redistributes elastic extras, and reacts to link
+failures by activating backup channels.  Every public operation returns
+an :class:`~repro.channels.records.EventImpact` describing the level
+transitions it caused in pre-existing channels — the raw observations
+behind the Markov model's parameters.
+
+The operational rules implemented here are exactly those of §3.1:
+
+* arrivals reserve the *minimum* bandwidth, reclaiming the extras of
+  every directly-chained channel first, then redistribute;
+* backups are reserved link-disjointly (maximally disjoint as fallback)
+  and multiplexed against single link failures;
+* terminations free min + extras (and the backup reservation) and let
+  sharing channels rise;
+* a link failure activates the backups of the primaries it broke; all
+  primaries sharing links with an activated backup retreat to their
+  minimum before the remaining extras are redistributed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.channels.records import (
+    ConnectionState,
+    DRConnection,
+    EventImpact,
+    EventKind,
+    ManagerStats,
+)
+from repro.elastic.policies import AdaptationPolicy, EqualShare
+from repro.elastic.redistribute import candidate_ids, drop_to_minimum, redistribute
+from repro.errors import ReservationError, SimulationError
+from repro.network.state import NetworkState
+from repro.qos.spec import ConnectionQoS
+from repro.routing.disjoint import disjoint_path
+from repro.routing.flooding import flooding_route_pair
+from repro.routing.shortest import shortest_path
+from repro.topology.graph import Link, LinkId, Network
+
+#: Route-selection engines the manager supports.
+ROUTING_ENGINES = ("dijkstra", "flooding")
+
+#: Sentinel conflict set used when backup multiplexing is disabled: all
+#: backups "conflict" on this pseudo failure link, so their reservations
+#: add up instead of sharing (see NetworkManager.multiplex_backups).
+_UNIVERSAL_CONFLICT: FrozenSet[LinkId] = frozenset({(-1, -1)})
+
+
+class NetworkManager:
+    """Central manager of DR-connections with elastic QoS over one topology."""
+
+    def __init__(
+        self,
+        topology: Network,
+        policy: Optional[AdaptationPolicy] = None,
+        routing: str = "dijkstra",
+        flood_hop_bound: int = 16,
+        multiplex_backups: bool = True,
+        reestablish_backups: bool = False,
+    ) -> None:
+        if routing not in ROUTING_ENGINES:
+            raise SimulationError(
+                f"unknown routing engine {routing!r}; choose from {ROUTING_ENGINES}"
+            )
+        self.topology = topology
+        self.state = NetworkState(topology)
+        self.policy = policy if policy is not None else EqualShare()
+        self.routing = routing
+        self.flood_hop_bound = flood_hop_bound
+        #: With multiplexing off (ablation A2), every backup is treated
+        #: as conflicting with every other, so reservations add up
+        #: instead of sharing — the pre-Han-&-Shin worst case.
+        self.multiplex_backups = multiplex_backups
+        #: Extension: when a failure destroys a connection's *inactive*
+        #: backup, immediately try to route and reserve a replacement
+        #: (the paper leaves connections unprotected; off by default).
+        self.reestablish_backups = reestablish_backups
+        #: Live connections (ACTIVE or FAILED_OVER) by id.
+        self.connections: Dict[int, DRConnection] = {}
+        #: link -> ids of ACTIVE primaries traversing it.
+        self.channels_on_link: Dict[LinkId, Set[int]] = defaultdict(set)
+        #: link -> ids of connections whose *inactive* backup traverses it.
+        self.backups_on_link: Dict[LinkId, Set[int]] = defaultdict(set)
+        #: link -> ids of connections whose *activated* backup traverses it.
+        self.active_backups_on_link: Dict[LinkId, Set[int]] = defaultdict(set)
+        self.stats = ManagerStats()
+        self.now = 0.0
+        self._next_id = 0
+        #: When False, events skip the water-fill (bulk setup runs one
+        #: global redistribution at the end instead — see the simulator).
+        self.auto_redistribute = True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def connection(self, conn_id: int) -> DRConnection:
+        """The live connection ``conn_id``.
+
+        Raises:
+            ReservationError: if it is not live.
+        """
+        try:
+            return self.connections[conn_id]
+        except KeyError:
+            raise ReservationError(f"connection {conn_id} is not live") from None
+
+    def live_connection_ids(self) -> List[int]:
+        """Ids of all live connections, sorted."""
+        return sorted(self.connections)
+
+    @property
+    def num_live(self) -> int:
+        """Number of live connections."""
+        return len(self.connections)
+
+    def average_live_bandwidth(self) -> float:
+        """Mean bandwidth currently reserved per live connection.
+
+        This is the paper's performance metric ("the average bandwidth
+        reserved for each primary channel").  Returns 0.0 with no live
+        connections.
+        """
+        if not self.connections:
+            return 0.0
+        return sum(c.bandwidth for c in self.connections.values()) / len(self.connections)
+
+    def level_histogram(self, num_levels: int) -> List[int]:
+        """Count of ACTIVE elastic primaries at each level (state S_i).
+
+        Heterogeneous workloads may contain contracts with more levels
+        than ``num_levels``; such channels are clipped into the top
+        bucket (the occupancy distribution is only exact for the
+        homogeneous workloads the paper analyses).
+        """
+        hist = [0] * num_levels
+        for conn in self.connections.values():
+            if conn.state is ConnectionState.ACTIVE and not conn.on_backup:
+                hist[min(conn.level, num_levels - 1)] += 1
+        return hist
+
+    # ------------------------------------------------------------------
+    # establishment
+    # ------------------------------------------------------------------
+    def request_connection(
+        self, source: int, destination: int, qos: ConnectionQoS
+    ) -> Tuple[Optional[DRConnection], EventImpact]:
+        """Try to establish a DR-connection; returns (connection, impact).
+
+        The connection is ``None`` when the request was rejected (no
+        admissible primary route, or no backup route while the
+        dependability QoS demands one).
+        """
+        impact = EventImpact(kind=EventKind.ARRIVAL, time=self.now)
+        if qos.dependability.num_backups > 1:
+            raise SimulationError(
+                "this manager implements the paper's scheme of one backup "
+                f"channel per DR-connection; got num_backups="
+                f"{qos.dependability.num_backups}"
+            )
+        self.stats.requests += 1
+        perf = qos.performance
+        b_min = perf.b_min
+
+        primary_path, backup_path = self._select_routes(source, destination, qos)
+        if primary_path is None:
+            self.stats.rejected_no_primary += 1
+            impact.accepted = False
+            return None, impact
+        if qos.dependability.wants_backup and backup_path is None:
+            self.stats.rejected_no_backup += 1
+            impact.accepted = False
+            return None, impact
+
+        primary_links = self.topology.path_links(primary_path)
+        primary_set = self._conflict_set(frozenset(primary_links))
+        conn_id = self._next_id
+        self._next_id += 1
+        impact.conn_id = conn_id
+
+        # Reclaim: every directly-chained channel drops to its minimum.
+        affected: Set[LinkId] = set(primary_links)
+        direct_ids = candidate_ids(self.channels_on_link, primary_links)
+        for cid in sorted(direct_ids):
+            chan = self.connections[cid]
+            before, freed = drop_to_minimum(self.state, chan)
+            affected.update(freed)
+            impact.direct[cid] = (before, 0)
+
+        self.state.reserve_primary_path(conn_id, primary_links, b_min)
+
+        backup_links: Optional[List[LinkId]] = None
+        overlap = 0
+        if backup_path is not None:
+            backup_links = self.topology.path_links(backup_path)
+            overlap = sum(1 for lid in backup_links if lid in primary_set)
+            if not self.state.can_admit_backup_path(backup_links, b_min, primary_set):
+                # The primary's own reservation consumed the headroom the
+                # backup needed (only possible with overlapping routes).
+                self.state.release_primary_path(conn_id, primary_links)
+                self._redistribute(affected, impact, direct_ids)
+                self.stats.rejected_no_backup += 1
+                impact.accepted = False
+                return None, impact
+            self.state.reserve_backup_path(conn_id, backup_links, b_min, primary_set)
+
+        conn = DRConnection(
+            conn_id=conn_id,
+            source=source,
+            destination=destination,
+            qos=qos,
+            primary_path=list(primary_path),
+            primary_links=primary_links,
+            backup_path=list(backup_path) if backup_path else None,
+            backup_links=backup_links,
+            backup_overlap=overlap,
+            established_at=self.now,
+        )
+        self.connections[conn_id] = conn
+        for lid in primary_links:
+            self.channels_on_link[lid].add(conn_id)
+        if backup_links:
+            for lid in backup_links:
+                self.backups_on_link[lid].add(conn_id)
+
+        self._redistribute(affected, impact, direct_ids)
+        self.stats.accepted += 1
+        return conn, impact
+
+    def _select_routes(
+        self, source: int, destination: int, qos: ConnectionQoS
+    ) -> Tuple[Optional[List[int]], Optional[List[int]]]:
+        """Pick (primary, backup) routes with the configured engine."""
+        perf = qos.performance
+        b_min = perf.b_min
+
+        def primary_ok(link: Link) -> bool:
+            return self.state.link(link.id).can_admit_primary(b_min)
+
+        if self.routing == "flooding":
+            def allowance(link: Link) -> float:
+                ls = self.state.link(link.id)
+                return 0.0 if ls.failed else max(0.0, ls.admission_headroom)
+
+            primary, backup = flooding_route_pair(
+                self.topology,
+                source,
+                destination,
+                b_min,
+                allowance,
+                backup_allowance=allowance,
+                hop_bound=self.flood_hop_bound,
+            )
+            if primary is None:
+                return None, None
+            if qos.dependability.wants_backup and backup is None:
+                # Flooding found no disjoint copy; fall back to the
+                # centralized disjoint search so maximal disjointness is
+                # still honoured (footnote 1 of the paper).
+                backup = self._centralized_backup(primary, b_min, qos)
+            return primary, backup
+
+        primary = shortest_path(self.topology, source, destination, primary_ok)
+        if primary is None:
+            return None, None
+        backup = None
+        if qos.dependability.wants_backup:
+            backup = self._centralized_backup(primary, b_min, qos)
+        return primary, backup
+
+    def _conflict_set(self, primary_set: FrozenSet[LinkId]) -> FrozenSet[LinkId]:
+        """The failure-conflict set a backup reservation is keyed on."""
+        return primary_set if self.multiplex_backups else _UNIVERSAL_CONFLICT
+
+    def _centralized_backup(
+        self, primary: List[int], b_min: float, qos: ConnectionQoS
+    ) -> Optional[List[int]]:
+        primary_set = frozenset(self.topology.path_links(primary))
+        conflict_set = self._conflict_set(primary_set)
+
+        def backup_ok(link: Link) -> bool:
+            return self.state.link(link.id).can_admit_backup(b_min, conflict_set)
+
+        found = disjoint_path(
+            self.topology,
+            primary[0],
+            primary[-1],
+            avoid=primary_set,
+            link_filter=backup_ok,
+            allow_partial=not qos.dependability.require_link_disjoint,
+        )
+        if found is None:
+            return None
+        path, _overlap = found
+        return path
+
+    # ------------------------------------------------------------------
+    # termination
+    # ------------------------------------------------------------------
+    def terminate_connection(self, conn_id: int) -> EventImpact:
+        """Release one live connection and redistribute the freed capacity."""
+        impact = EventImpact(kind=EventKind.TERMINATION, time=self.now, conn_id=conn_id)
+        conn = self.connection(conn_id)
+        del self.connections[conn_id]
+        affected: Set[LinkId] = set()
+
+        if conn.state is ConnectionState.ACTIVE:
+            direct_ids = candidate_ids(self.channels_on_link, conn.primary_links)
+            direct_ids.discard(conn_id)
+            for cid in sorted(direct_ids):
+                level = self.connections[cid].level
+                impact.direct[cid] = (level, level)
+            for lid in conn.primary_links:
+                self.channels_on_link[lid].discard(conn_id)
+            self.state.release_primary_path(conn_id, conn.primary_links)
+            affected.update(lid for lid in conn.primary_links if not self.state.is_failed(lid))
+            if conn.has_backup:
+                assert conn.backup_links is not None
+                self.state.release_backup_path(conn_id, conn.backup_links)
+                for lid in conn.backup_links:
+                    self.backups_on_link[lid].discard(conn_id)
+        elif conn.state is ConnectionState.FAILED_OVER:
+            assert conn.backup_links is not None
+            direct_ids = candidate_ids(self.channels_on_link, conn.backup_links)
+            for cid in sorted(direct_ids):
+                level = self.connections[cid].level
+                impact.direct[cid] = (level, level)
+            self.state.release_activated_path(conn_id, conn.backup_links)
+            for lid in conn.backup_links:
+                self.active_backups_on_link[lid].discard(conn_id)
+            affected.update(lid for lid in conn.backup_links if not self.state.is_failed(lid))
+        else:  # pragma: no cover - defensive
+            raise ReservationError(f"connection {conn_id} is not live ({conn.state})")
+
+        conn.state = ConnectionState.TERMINATED
+        self._redistribute(affected, impact, direct_ids)
+        self.stats.terminated += 1
+        return impact
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def fail_link(self, lid: LinkId) -> EventImpact:
+        """Fail one link: activate backups, drop unrecoverable connections.
+
+        Follows §3.1: "all backup channels whose primaries traverse the
+        failed component must be activated.  At this time, all of the
+        existing primary channels that share links with the activated
+        backup channels should release their extra resources ...  After
+        the activation of backup channels, the extra resources that
+        still remain available are distributed to the existing primary
+        channels."
+        """
+        impact = EventImpact(kind=EventKind.FAILURE, time=self.now, failed_link=lid)
+        self.state.fail_link(lid)
+        self.stats.link_failures += 1
+        affected: Set[LinkId] = set()
+
+        primary_victims = sorted(self.channels_on_link.get(lid, ()))
+        inactive_backup_victims = sorted(
+            cid for cid in self.backups_on_link.get(lid, ()) if cid not in primary_victims
+        )
+        live_backup_victims = sorted(self.active_backups_on_link.get(lid, ()))
+
+        # Connections that only lost their (inactive) backup stay up,
+        # unprotected, at their current bandwidth.
+        for cid in inactive_backup_victims:
+            conn = self.connections[cid]
+            assert conn.backup_links is not None
+            self.state.release_backup_path(cid, conn.backup_links)
+            for blid in conn.backup_links:
+                self.backups_on_link[blid].discard(cid)
+            conn.backup_path = None
+            conn.backup_links = None
+            impact.lost_backup.append(cid)
+            self.stats.backups_lost += 1
+            if self.reestablish_backups:
+                self._try_reestablish_backup(conn)
+
+        # Connections already running on a backup have no further
+        # protection: losing the backup path drops them.
+        for cid in live_backup_victims:
+            conn = self.connections.pop(cid)
+            assert conn.backup_links is not None
+            self.state.release_activated_path(cid, conn.backup_links)
+            for blid in conn.backup_links:
+                self.active_backups_on_link[blid].discard(cid)
+            conn.state = ConnectionState.DROPPED
+            impact.dropped.append(cid)
+            self.stats.connections_dropped += 1
+            affected.update(blid for blid in conn.backup_links if not self.state.is_failed(blid))
+
+        # Primaries through the failed link: release, then try failover.
+        for cid in primary_victims:
+            conn = self.connections[cid]
+            before_level = conn.level
+            for plid in conn.primary_links:
+                self.channels_on_link[plid].discard(cid)
+            self.state.release_primary_path(cid, conn.primary_links)
+            conn.level = 0
+            affected.update(
+                plid for plid in conn.primary_links if not self.state.is_failed(plid)
+            )
+            impact.direct[cid] = (before_level, 0)
+
+            usable_backup = (
+                conn.has_backup
+                and conn.backup_links is not None
+                and self.state.path_is_alive(conn.backup_links)
+                and self.state.can_activate_backup_path(cid, conn.backup_links)
+            )
+            if usable_backup:
+                assert conn.backup_links is not None
+                # Retreat rule: primaries sharing the backup's links give
+                # up their extras before the backup goes live.
+                for blid in conn.backup_links:
+                    for other in sorted(self.channels_on_link.get(blid, ())):
+                        chan = self.connections[other]
+                        prev, freed = drop_to_minimum(self.state, chan)
+                        affected.update(freed)
+                        if other not in impact.direct:
+                            impact.direct[other] = (prev, 0)
+                self.state.activate_backup_path(cid, conn.backup_links)
+                for blid in conn.backup_links:
+                    self.backups_on_link[blid].discard(cid)
+                    self.active_backups_on_link[blid].add(cid)
+                conn.on_backup = True
+                conn.state = ConnectionState.FAILED_OVER
+                impact.activated.append(cid)
+                self.stats.backups_activated += 1
+            else:
+                if conn.backup_links is not None:
+                    self.state.release_backup_path(cid, conn.backup_links)
+                    for blid in conn.backup_links:
+                        self.backups_on_link[blid].discard(cid)
+                del self.connections[cid]
+                conn.state = ConnectionState.DROPPED
+                impact.dropped.append(cid)
+                self.stats.connections_dropped += 1
+
+        direct_ids = set(impact.direct)
+        self._redistribute(affected, impact, direct_ids)
+        return impact
+
+    def repair_link(self, lid: LinkId) -> EventImpact:
+        """Return a failed link to service.
+
+        Existing connections are not re-routed (the paper models no
+        fail-back); the repaired link simply becomes available to future
+        requests and backups.
+        """
+        impact = EventImpact(kind=EventKind.REPAIR, time=self.now, failed_link=lid)
+        self.state.repair_link(lid)
+        self.stats.link_repairs += 1
+        return impact
+
+    def _try_reestablish_backup(self, conn: DRConnection) -> bool:
+        """Route and reserve a replacement backup for ``conn`` (extension).
+
+        Returns True on success; on failure the connection simply stays
+        unprotected, as in the paper's base scheme.
+        """
+        b_min = conn.qos.performance.b_min
+        path = self._centralized_backup(conn.primary_path, b_min, conn.qos)
+        if path is None:
+            return False
+        links = self.topology.path_links(path)
+        primary_set = self._conflict_set(frozenset(conn.primary_links))
+        if not self.state.can_admit_backup_path(links, b_min, primary_set):
+            return False
+        self.state.reserve_backup_path(conn.conn_id, links, b_min, primary_set)
+        primary_link_set = set(conn.primary_links)
+        conn.backup_path = list(path)
+        conn.backup_links = links
+        conn.backup_overlap = sum(1 for lid in links if lid in primary_link_set)
+        for lid in links:
+            self.backups_on_link[lid].add(conn.conn_id)
+        self.stats.backups_reestablished += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def redistribute_all(self) -> Dict[int, int]:
+        """Global water-fill over every ACTIVE elastic primary.
+
+        Used after bulk setup (simulator) and by tests; during normal
+        operation the localized per-event redistribution suffices.
+        Returns ``conn_id -> increments granted``.
+        """
+        candidates = {
+            cid for cid, conn in self.connections.items() if conn.is_elastic_participant
+        }
+        return redistribute(self.state, self.connections, candidates, self.policy)
+
+    def _redistribute(
+        self, affected: Set[LinkId], impact: EventImpact, direct_ids: Set[int]
+    ) -> None:
+        """Water-fill the affected links and fold the result into ``impact``."""
+        if not affected or not self.auto_redistribute:
+            self._finalize_direct(impact, direct_ids)
+            return
+        cands = candidate_ids(self.channels_on_link, affected)
+        granted = redistribute(self.state, self.connections, cands, self.policy)
+        for cid, inc in granted.items():
+            if cid not in direct_ids and cid in self.connections:
+                after = self.connections[cid].level
+                impact.indirect_changed[cid] = (after - inc, after)
+        self._finalize_direct(impact, direct_ids)
+
+    def _finalize_direct(self, impact: EventImpact, direct_ids: Set[int]) -> None:
+        """Set the post-redistribution level of every direct observation."""
+        for cid in direct_ids:
+            conn = self.connections.get(cid)
+            if conn is None:
+                continue  # dropped during a failure event: censored
+            before, _ = impact.direct[cid]
+            impact.direct[cid] = (before, conn.level)
+
+    def check_invariants(self) -> None:
+        """Cross-check reservations against the index structures.
+
+        Used by integration and property tests after every event; cheap
+        enough to leave on in anger when debugging.
+        """
+        strict = not self.state.failed_links and self.stats.link_failures == 0
+        self.state.check_invariants(strict_reservation=strict)
+        for lid, ids in self.channels_on_link.items():
+            for cid in ids:
+                if not self.state.link(lid).has_primary(cid):
+                    raise ReservationError(
+                        f"index says connection {cid} is on {lid} but link state disagrees"
+                    )
+        for conn in self.connections.values():
+            if conn.state is ConnectionState.ACTIVE:
+                bw = self.state.primary_level_bandwidth(conn.conn_id, conn.primary_links)
+                expected = conn.qos.performance.level_bandwidth(conn.level)
+                if abs(bw - expected) > 1e-6:
+                    raise ReservationError(
+                        f"connection {conn.conn_id}: reserved {bw} but level "
+                        f"{conn.level} implies {expected}"
+                    )

@@ -1,0 +1,384 @@
+"""Command-line interface: regenerate the paper's exhibits from a shell.
+
+``python -m repro <command>`` exposes the experiment runners without
+writing any Python:
+
+* ``figure2`` / ``table1`` / ``figure3`` / ``figure4`` — regenerate one
+  exhibit and print its rows/series;
+* ``validate`` — run one simulation and print the full sim-vs-model
+  validation report (average bandwidth, per-state π, TV distance);
+* ``topology`` — generate a Waxman or transit-stub network and print
+  its structural metrics.
+
+All commands accept ``--seed`` and size options; ``--full`` switches to
+the paper's exact scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.ascii_chart import chart_rows
+from repro.analysis.experiments import (
+    RunSettings,
+    paper_connection_qos,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_table1,
+    simulate_point,
+)
+from repro.analysis.report import render_table
+from repro.analysis.chaining import expected_arrival_chaining, snapshot_chaining
+from repro.analysis.validation import validate_against_model
+from repro.topology.metrics import (
+    average_degree,
+    average_shortest_path_hops,
+    diameter,
+    is_connected,
+    leaf_nodes,
+)
+from repro.topology.transit_stub import TransitStubParams, transit_stub_network
+from repro.topology.waxman import paper_random_network
+from repro.units import PAPER_FAILURE_RATES, PAPER_LINK_CAPACITY
+
+
+def _int_list(text: str) -> List[int]:
+    """Parse a comma-separated integer list ('500,1000,2000')."""
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not an integer list: {text!r}") from exc
+
+
+def _settings(args: argparse.Namespace) -> RunSettings:
+    if args.full:
+        return RunSettings(warmup_events=500, measure_events=3000, seed=args.seed)
+    return RunSettings(warmup_events=200, measure_events=1000, seed=args.seed)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="RNG seed (default 7)")
+    parser.add_argument(
+        "--full", action="store_true", help="paper-exact scale (slower)"
+    )
+    parser.add_argument("--nodes", type=int, default=None, help="network size")
+    parser.add_argument("--edges", type=int, default=None, help="target edge count")
+    parser.add_argument(
+        "--chart", action="store_true", help="also render an ASCII chart"
+    )
+
+
+def _network_shape(args: argparse.Namespace) -> tuple[int, int]:
+    nodes = args.nodes if args.nodes is not None else (100 if args.full else 60)
+    edges = args.edges if args.edges is not None else (354 if args.full else 130)
+    return nodes, edges
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_figure2(args: argparse.Namespace) -> int:
+    nodes, edges = _network_shape(args)
+    counts = args.connections or ([500, 1000, 2000, 3000, 4000, 5000] if args.full
+                                  else [150, 300, 600, 1000, 1500])
+    result = run_figure2(counts, nodes=nodes, edges=edges, settings=_settings(args))
+    print(
+        render_table(
+            ["offered", "population", "sim Kb/s", "model Kb/s", "ideal Kb/s"],
+            [
+                [r.offered, r.population, r.simulated, r.analytic, r.ideal]
+                for r in result.rows
+            ],
+            title=(
+                f"Figure 2 ({result.nodes} nodes, {result.edges} edges, "
+                f"avg hops {result.average_hops:.2f})"
+            ),
+        )
+    )
+    if args.chart:
+        print()
+        print(chart_rows(result.rows, "offered", ["simulated", "analytic"],
+                         x_label="offered connections", y_label="avg bandwidth Kb/s"))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    nodes, edges = _network_shape(args)
+    counts = args.connections or ([1000, 2000, 3000, 4000, 5000] if args.full
+                                  else [300, 800, 1500])
+    rows = run_table1(counts, nodes=nodes, edges=edges, settings=_settings(args))
+    print(
+        render_table(
+            ["offered", "Random Δ=100", "Random Δ=50", "Tier Δ=100", "Tier Δ=50"],
+            [
+                [r.offered, r.random_5_states, r.random_9_states,
+                 r.tier_5_states, r.tier_9_states]
+                for r in rows
+            ],
+            title="Table 1 — avg bandwidth (Kb/s) per increment size",
+        )
+    )
+    return 0
+
+
+def cmd_figure3(args: argparse.Namespace) -> int:
+    node_counts = args.node_counts or ([100, 200, 300, 400, 500] if args.full
+                                       else [40, 60, 80, 100])
+    connections = args.connections_fixed or (3000 if args.full else 600)
+    rows = run_figure3(node_counts, connections=connections, settings=_settings(args))
+    print(
+        render_table(
+            ["nodes", "edges", "sim Kb/s", "model Kb/s"],
+            [[r.nodes, r.edges, r.simulated, r.analytic] for r in rows],
+            title=f"Figure 3 — avg bandwidth vs. network size ({connections} connections)",
+        )
+    )
+    if args.chart:
+        print()
+        print(chart_rows(rows, "nodes", ["simulated", "analytic"],
+                         x_label="network size (nodes)", y_label="avg bandwidth Kb/s"))
+    return 0
+
+
+def cmd_figure4(args: argparse.Namespace) -> int:
+    nodes, edges = _network_shape(args)
+    populations = args.populations or ([2000, 3000] if args.full else [400, 700])
+    rates = list(PAPER_FAILURE_RATES)
+    series = run_figure4(
+        rates,
+        populations=populations,
+        nodes=nodes,
+        edges=edges,
+        settings=_settings(args),
+    )
+    print(
+        render_table(
+            ["failure rate γ"] + [f"Avg{s.population}ft" for s in series],
+            [
+                [f"{gamma:.0e}"] + [s.analytic[i] for s in series]
+                for i, gamma in enumerate(rates)
+            ],
+            title="Figure 4 — avg bandwidth (Kb/s) vs. link failure rate",
+        )
+    )
+    if args.chart:
+        import math
+
+        chart_series = {
+            f"pop {s.population}": [
+                (math.log10(g), bw) for g, bw in zip(rates, s.analytic)
+            ]
+            for s in series
+        }
+        print()
+        from repro.analysis.ascii_chart import ascii_chart
+
+        print(ascii_chart(chart_series, x_label="log10(failure rate)",
+                          y_label="avg bandwidth Kb/s"))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    nodes, edges = _network_shape(args)
+    rng = np.random.default_rng(args.seed)
+    net = paper_random_network(PAPER_LINK_CAPACITY, rng, n=nodes, target_edges=edges)
+    qos = paper_connection_qos()
+    result, _model = simulate_point(net, args.load, qos, _settings(args))
+    report = validate_against_model(result, qos.performance)
+    print(
+        f"validation at {args.load} offered connections "
+        f"({nodes} nodes / {net.num_links} links):"
+    )
+    print(report.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate every exhibit and write one markdown report."""
+    nodes, edges = _network_shape(args)
+    settings = _settings(args)
+    lines: List[str] = ["# Reproduction report", ""]
+    lines.append(f"Scale: {'paper-exact' if args.full else 'quick'}; seed {args.seed}; "
+                 f"{nodes}-node / ~{edges}-edge Waxman network.")
+    lines.append("")
+
+    counts = [500, 1000, 2000, 3000, 4000, 5000] if args.full else [150, 300, 600, 1000]
+    fig2 = run_figure2(counts, nodes=nodes, edges=edges, settings=settings)
+    lines.append("## Figure 2 — avg bandwidth vs. #connections")
+    lines.append("```")
+    lines.append(
+        render_table(
+            ["offered", "sim", "model", "ideal"],
+            [[r.offered, r.simulated, r.analytic, r.ideal] for r in fig2.rows],
+        )
+    )
+    lines.append("```")
+
+    t1_counts = [1000, 3000, 5000] if args.full else [300, 800]
+    table1 = run_table1(t1_counts, nodes=nodes, edges=edges, settings=settings)
+    lines.append("## Table 1 — increment sizes")
+    lines.append("```")
+    lines.append(
+        render_table(
+            ["offered", "Random Δ=100", "Random Δ=50", "Tier Δ=100", "Tier Δ=50"],
+            [[r.offered, r.random_5_states, r.random_9_states,
+              r.tier_5_states, r.tier_9_states] for r in table1],
+        )
+    )
+    lines.append("```")
+
+    f3_nodes = [100, 300, 500] if args.full else [40, 70, 100]
+    f3_conns = 3000 if args.full else 400
+    fig3 = run_figure3(f3_nodes, connections=f3_conns, settings=settings)
+    lines.append(f"## Figure 3 — network size ({f3_conns} connections)")
+    lines.append("```")
+    lines.append(
+        render_table(
+            ["nodes", "edges", "sim", "model"],
+            [[r.nodes, r.edges, r.simulated, r.analytic] for r in fig3],
+        )
+    )
+    lines.append("```")
+
+    pops = [2000, 3000] if args.full else [300, 500]
+    fig4 = run_figure4(list(PAPER_FAILURE_RATES), populations=pops,
+                       nodes=nodes, edges=edges, settings=settings)
+    lines.append("## Figure 4 — failure-rate sweep (model)")
+    lines.append("```")
+    lines.append(
+        render_table(
+            ["γ"] + [f"pop {s.population}" for s in fig4],
+            [[f"{g:.0e}"] + [s.analytic[i] for s in fig4]
+             for i, g in enumerate(PAPER_FAILURE_RATES)],
+        )
+    )
+    lines.append("```")
+
+    text = "\n".join(lines)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_chaining(args: argparse.Namespace) -> int:
+    nodes, edges = _network_shape(args)
+    rng = np.random.default_rng(args.seed)
+    net = paper_random_network(PAPER_LINK_CAPACITY, rng, n=nodes, target_edges=edges)
+    qos = paper_connection_qos()
+    from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig
+
+    config = SimulationConfig(
+        qos=qos,
+        offered_connections=args.load,
+        warmup_events=0,
+        measure_events=1,
+    )
+    sim = ElasticQoSSimulator(net, config, seed=args.seed)
+    sim.establish_initial_population()
+    snap = snapshot_chaining(sim.manager)
+    mc_pf, mc_ps = expected_arrival_chaining(
+        sim.manager, num_samples=args.samples, rng=np.random.default_rng(args.seed + 1)
+    )
+    print(f"chaining at {snap.num_channels} live channels "
+          f"({nodes} nodes / {net.num_links} links):")
+    print(f"  population pairwise:  Pf={snap.pf:.4f}  Ps={snap.ps:.4f}")
+    print(f"  random-arrival view:  Pf={mc_pf:.4f}  Ps={mc_ps:.4f} "
+          f"({args.samples} sampled routes)")
+    print(f"  mean directly-chained peers per channel: "
+          f"{snap.mean_direct_degree:.1f}")
+    return 0
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.kind == "waxman":
+        nodes, edges = _network_shape(args)
+        net = paper_random_network(PAPER_LINK_CAPACITY, rng, n=nodes, target_edges=edges)
+    else:
+        net = transit_stub_network(TransitStubParams(), PAPER_LINK_CAPACITY, rng)
+    print(f"{args.kind} network: {net.num_nodes} nodes, {net.num_links} links")
+    print(f"  connected:      {is_connected(net)}")
+    print(f"  average degree: {average_degree(net):.2f}")
+    print(f"  diameter:       {diameter(net)}")
+    print(f"  avg hops:       {average_shortest_path_hops(net):.2f}")
+    print(f"  leaf nodes:     {len(leaf_nodes(net))}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Kim & Shin (DSN 2001): dependable real-time "
+        "communication with elastic QoS.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure2", help="avg bandwidth vs. #connections")
+    _add_common(p)
+    p.add_argument("--connections", type=_int_list, default=None,
+                   help="comma-separated offered counts")
+    p.set_defaults(func=cmd_figure2)
+
+    p = sub.add_parser("table1", help="avg bandwidth per increment size")
+    _add_common(p)
+    p.add_argument("--connections", type=_int_list, default=None)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("figure3", help="avg bandwidth vs. network size")
+    _add_common(p)
+    p.add_argument("--node-counts", type=_int_list, default=None)
+    p.add_argument("--connections-fixed", type=int, default=None)
+    p.set_defaults(func=cmd_figure3)
+
+    p = sub.add_parser("figure4", help="avg bandwidth vs. failure rate")
+    _add_common(p)
+    p.add_argument("--populations", type=_int_list, default=None)
+    p.set_defaults(func=cmd_figure4)
+
+    p = sub.add_parser("validate", help="sim-vs-model validation report")
+    _add_common(p)
+    p.add_argument("--load", type=int, default=600, help="offered connections")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("report", help="regenerate all exhibits into one report")
+    _add_common(p)
+    p.add_argument("--output", default=None, help="write markdown to this file")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("chaining", help="static Pf/Ps chaining analysis")
+    _add_common(p)
+    p.add_argument("--load", type=int, default=400, help="connections to establish")
+    p.add_argument("--samples", type=int, default=100, help="Monte-Carlo routes")
+    p.set_defaults(func=cmd_chaining)
+
+    p = sub.add_parser("topology", help="generate and describe a topology")
+    _add_common(p)
+    p.add_argument("--kind", choices=("waxman", "transit-stub"), default="waxman")
+    p.set_defaults(func=cmd_topology)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

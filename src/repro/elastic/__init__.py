@@ -1,0 +1,29 @@
+"""Elastic QoS run-time: adaptation policies and redistribution engine."""
+
+from repro.elastic.policies import (
+    AdaptationPolicy,
+    EqualShare,
+    MaxUtility,
+    UtilityProportional,
+    policy_by_name,
+)
+from repro.elastic.redistribute import (
+    ElasticParticipant,
+    candidate_ids,
+    drop_to_minimum,
+    is_maximal,
+    redistribute,
+)
+
+__all__ = [
+    "AdaptationPolicy",
+    "EqualShare",
+    "MaxUtility",
+    "UtilityProportional",
+    "policy_by_name",
+    "ElasticParticipant",
+    "candidate_ids",
+    "drop_to_minimum",
+    "is_maximal",
+    "redistribute",
+]

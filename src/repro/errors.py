@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topology construction or queries.
+
+    Examples: adding a duplicate link, querying a node that does not
+    exist, or asking a generator for an impossible configuration
+    (e.g. more edges than node pairs).
+    """
+
+
+class QoSSpecError(ReproError):
+    """Raised for invalid QoS specifications.
+
+    Examples: ``b_min > b_max``, a non-positive increment, or a range
+    that is not an integral multiple of the increment size.
+    """
+
+
+class RoutingError(ReproError):
+    """Raised when route selection fails structurally.
+
+    Note that *admission* failures (no route with enough bandwidth) are
+    reported via return values, not exceptions, because they are an
+    expected outcome of a loaded network.  ``RoutingError`` signals
+    misuse, such as routing between unknown nodes.
+    """
+
+
+class AdmissionError(ReproError):
+    """Raised when a reservation would violate a capacity invariant.
+
+    The admission-control layer checks capacity before reserving; if a
+    reservation call would overcommit a link, that is a programming
+    error in the caller and is surfaced as ``AdmissionError``.
+    """
+
+
+class ReservationError(ReproError):
+    """Raised for inconsistent reservation bookkeeping.
+
+    Examples: releasing a reservation that does not exist, or
+    registering the same channel twice on one link.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised for invalid simulator configuration or scheduling misuse.
+
+    Examples: scheduling an event in the past, or running a simulator
+    whose workload references nodes outside the topology.
+    """
+
+
+class MarkovModelError(ReproError):
+    """Raised for malformed Markov-model inputs.
+
+    Examples: non-square generator matrices, rows that do not sum to
+    zero, probability matrices that are not row-stochastic, or a chain
+    whose steady state does not exist (reducible chain).
+    """
+
+
+class EstimationError(ReproError):
+    """Raised when parameter estimation from simulation traces fails.
+
+    Example: asking for transition-probability estimates before any
+    events were observed.
+    """

@@ -1,0 +1,119 @@
+"""First-passage and reward analysis on the elastic-QoS chain.
+
+Extensions of the paper's steady-state analysis that fall out of the
+same generator matrix and answer operator questions the steady state
+cannot:
+
+* :func:`mean_first_passage_times` — expected time for a channel to
+  first reach a given level set (e.g. "how long until a maximal channel
+  is squeezed back to its minimum?");
+* :func:`expected_time_above` — stationary fraction of time a channel
+  holds at least a given level ("what fraction of the session is at HD
+  quality?");
+* :func:`reward_rate` — steady-state reward per unit time for an
+  arbitrary per-state reward vector (e.g. utility × extra increments,
+  the client's revenue model of §1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MarkovModelError
+from repro.markov.ctmc import steady_state, validate_generator
+
+
+def mean_first_passage_times(q: np.ndarray, targets: Sequence[int]) -> np.ndarray:
+    """Expected hitting time of the target set from every state.
+
+    Solves the standard linear system: for non-target states ``i``,
+    ``sum_j Q[i, j] * h[j] = -1`` with ``h`` fixed to zero on targets.
+
+    Args:
+        q: CTMC generator.
+        targets: Non-empty set of absorbing-target state indices.
+
+    Returns:
+        Vector ``h`` with ``h[i]`` = expected time to first reach any
+        target from state ``i`` (0 on targets).  States that cannot
+        reach the target set yield ``inf``.
+    """
+    validate_generator(q)
+    q = np.asarray(q, dtype=float)
+    n = q.shape[0]
+    target_set = set(int(t) for t in targets)
+    if not target_set:
+        raise MarkovModelError("need at least one target state")
+    if any(not 0 <= t < n for t in target_set):
+        raise MarkovModelError(f"target state out of range for a {n}-state chain")
+    others = [i for i in range(n) if i not in target_set]
+    h = np.zeros(n)
+    if not others:
+        return h
+    sub = q[np.ix_(others, others)]
+    rhs = -np.ones(len(others))
+    try:
+        sol = np.linalg.solve(sub, rhs)
+    except np.linalg.LinAlgError:
+        # Singular: some states cannot reach the target set at all.
+        sol, *_ = np.linalg.lstsq(sub, rhs, rcond=None)
+        reach = _can_reach(q, target_set)
+        for idx, state in enumerate(others):
+            if not reach[state]:
+                sol[idx] = np.inf
+    if (sol < -1e-9).any():
+        raise MarkovModelError("negative first-passage time; generator is malformed")
+    h[others] = sol
+    return h
+
+
+def _can_reach(q: np.ndarray, targets: set[int]) -> np.ndarray:
+    """Boolean reachability of the target set (reverse BFS)."""
+    n = q.shape[0]
+    reach = np.zeros(n, dtype=bool)
+    frontier = list(targets)
+    for t in targets:
+        reach[t] = True
+    while frontier:
+        node = frontier.pop()
+        for i in range(n):
+            if not reach[i] and q[i, node] > 1e-15:
+                reach[i] = True
+                frontier.append(i)
+    return reach
+
+
+def expected_time_above(q: np.ndarray, threshold_state: int) -> float:
+    """Stationary probability of being at or above ``threshold_state``."""
+    pi = steady_state(q)
+    n = len(pi)
+    if not 0 <= threshold_state < n:
+        raise MarkovModelError(f"state {threshold_state} out of range for {n} states")
+    return float(pi[threshold_state:].sum())
+
+
+def reward_rate(q: np.ndarray, rewards: Sequence[float]) -> float:
+    """Steady-state reward accumulated per unit time, ``sum pi_i r_i``."""
+    pi = steady_state(q)
+    rewards = np.asarray(rewards, dtype=float)
+    if rewards.shape != pi.shape:
+        raise MarkovModelError(
+            f"reward vector shape {rewards.shape} does not match chain size {pi.shape}"
+        )
+    return float(pi @ rewards)
+
+
+def degradation_time(q: np.ndarray, from_state: int | None = None) -> float:
+    """Expected time until a channel first drops to the minimum level.
+
+    Args:
+        q: Generator of the elastic-QoS chain (state 0 = minimum).
+        from_state: Starting level; defaults to the top level.
+    """
+    n = q.shape[0]
+    start = n - 1 if from_state is None else from_state
+    if not 0 <= start < n:
+        raise MarkovModelError(f"state {start} out of range for {n} states")
+    return float(mean_first_passage_times(q, targets=[0])[start])

@@ -1,0 +1,124 @@
+"""Sensitivity analysis of the elastic-QoS Markov model.
+
+The paper's parameters (Pf, Ps, rates) are *measured* quantities with
+sampling error; a model is only useful for planning if its output is
+well-behaved under parameter perturbation.  This module provides:
+
+* :func:`sweep_parameter` — average bandwidth as one scalar parameter is
+  scaled over a range (used by Figure 4-style sweeps and the planning
+  example);
+* :func:`local_sensitivities` — normalised elasticities
+  ``(dBW / BW) / (dθ / θ)`` of the average bandwidth with respect to
+  each scalar parameter, by central finite differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import MarkovModelError
+from repro.markov.model import ElasticQoSMarkovModel
+from repro.markov.parameters import MarkovParameters
+from repro.qos.spec import ElasticQoS
+
+#: Scalar parameters that can be swept / differentiated.
+SCALAR_PARAMETERS = ("pf", "ps", "arrival_rate", "termination_rate", "failure_rate")
+
+
+def _with_scalar(params: MarkovParameters, name: str, value: float) -> MarkovParameters:
+    """Copy of ``params`` with one scalar replaced (validated)."""
+    if name not in SCALAR_PARAMETERS:
+        raise MarkovModelError(
+            f"unknown scalar parameter {name!r}; choose from {SCALAR_PARAMETERS}"
+        )
+    return MarkovParameters(
+        num_levels=params.num_levels,
+        pf=value if name == "pf" else params.pf,
+        ps=value if name == "ps" else params.ps,
+        a=params.a.copy(),
+        b=params.b.copy(),
+        t=params.t.copy(),
+        arrival_rate=value if name == "arrival_rate" else params.arrival_rate,
+        termination_rate=value if name == "termination_rate" else params.termination_rate,
+        failure_rate=value if name == "failure_rate" else params.failure_rate,
+        f=None if params.f is None else params.f.copy(),
+        observations=dict(params.observations),
+    )
+
+
+def sweep_parameter(
+    qos: ElasticQoS,
+    params: MarkovParameters,
+    name: str,
+    values: Sequence[float],
+) -> List[Tuple[float, float]]:
+    """Average bandwidth for each value of one scalar parameter.
+
+    Returns ``[(value, average_bandwidth), ...]`` in input order.
+    Values that make the parameters invalid (e.g. ``pf + ps > 1``)
+    raise :class:`MarkovModelError` rather than being skipped, so a
+    caller cannot silently plot a truncated sweep.
+    """
+    out: List[Tuple[float, float]] = []
+    for value in values:
+        swept = _with_scalar(params, name, float(value))
+        model = ElasticQoSMarkovModel(qos, swept)
+        out.append((float(value), model.average_bandwidth()))
+    return out
+
+
+@dataclass
+class Sensitivity:
+    """Local sensitivity of the average bandwidth to one parameter."""
+
+    parameter: str
+    base_value: float
+    elasticity: float
+    #: Raw derivative d(avg bandwidth)/d(parameter) (Kb/s per unit).
+    derivative: float
+
+
+def local_sensitivities(
+    qos: ElasticQoS,
+    params: MarkovParameters,
+    relative_step: float = 0.01,
+) -> Dict[str, Sensitivity]:
+    """Central-difference elasticities of the average bandwidth.
+
+    Parameters whose base value is zero are differentiated one-sidedly
+    with an absolute step (their elasticity is reported as the raw
+    derivative times zero, i.e. 0 — but the derivative field still
+    carries the slope).
+    """
+    if not 0 < relative_step < 0.5:
+        raise MarkovModelError(f"relative step must be in (0, 0.5), got {relative_step}")
+    base_bw = ElasticQoSMarkovModel(qos, params).average_bandwidth()
+    out: Dict[str, Sensitivity] = {}
+    for name in SCALAR_PARAMETERS:
+        base = float(getattr(params, name))
+        if base > 0:
+            lo, hi = base * (1 - relative_step), base * (1 + relative_step)
+            # Keep pf + ps feasible when perturbing either probability.
+            if name in ("pf", "ps"):
+                other = params.ps if name == "pf" else params.pf
+                hi = min(hi, 1.0 - other)
+                lo = min(lo, hi)
+            bw_lo = ElasticQoSMarkovModel(qos, _with_scalar(params, name, lo)).average_bandwidth()
+            bw_hi = ElasticQoSMarkovModel(qos, _with_scalar(params, name, hi)).average_bandwidth()
+            denom = hi - lo
+            derivative = (bw_hi - bw_lo) / denom if denom > 0 else 0.0
+        else:
+            step = relative_step  # absolute step from zero
+            bw_hi = ElasticQoSMarkovModel(
+                qos, _with_scalar(params, name, step)
+            ).average_bandwidth()
+            derivative = (bw_hi - base_bw) / step
+        elasticity = derivative * base / base_bw if base_bw > 0 else 0.0
+        out[name] = Sensitivity(
+            parameter=name,
+            base_value=base,
+            elasticity=elasticity,
+            derivative=derivative,
+        )
+    return out

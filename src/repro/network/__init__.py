@@ -1,0 +1,6 @@
+"""Run-time resource accounting: per-link and network-wide reservations."""
+
+from repro.network.link_state import EPSILON, LinkState
+from repro.network.state import NetworkState
+
+__all__ = ["EPSILON", "LinkState", "NetworkState"]

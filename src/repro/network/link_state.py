@@ -1,0 +1,375 @@
+"""Per-link resource accounting for DR-connections.
+
+Each link tracks four kinds of bandwidth commitment, mirroring §2.1.2
+and §3.1 of the paper:
+
+* **primary minimum** — the guaranteed ``B_min`` of every primary
+  channel routed through the link;
+* **primary extra** — elastic bandwidth above the minimum, granted at
+  run time from spare capacity (*including* capacity that is only
+  reserved — not consumed — by inactive backups: the paper's central
+  efficiency argument);
+* **backup reservation** — capacity promised to inactive backup
+  channels.  Backups are *multiplexed* (overbooked): the reservation
+  only needs to cover the worst single link failure, i.e.
+  ``max over failure links f of Σ B_min of backups on this link whose
+  primary traverses f``;
+* **activated backups** — backups that have been turned into live
+  channels after a failure; these consume real bandwidth (at ``B_min``,
+  which "remain[s] unchanged for backups").
+
+Two invariants follow (DESIGN.md §6):
+
+1. usage:       ``primary_min + primary_extra + activated <= capacity``
+2. reservation: ``primary_min + backup_reserved + activated <= capacity``
+
+Invariant 2 is enforced at every admission; after a failure it can be
+transiently violated for *future* failures (multiplexed backups protect
+against a single failure, as the paper notes), in which case a later
+activation that no longer fits is refused and the connection is dropped
+by the manager.
+
+All aggregate quantities are maintained incrementally (O(1) reads):
+redistribution interrogates ``spare_for_extras`` and
+``admission_headroom`` millions of times per simulation, so recomputing
+sums on demand would dominate the run time.  ``check_invariants``
+recomputes everything from scratch and cross-checks the caches, so the
+test suite would catch any drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.errors import AdmissionError, ReservationError
+from repro.topology.graph import LinkId
+
+#: Numerical slack for capacity comparisons.  All paper bandwidths are
+#: exact binary floats (multiples of 50 Kb/s), so this only guards
+#: against pathological user inputs.
+EPSILON: float = 1e-6
+
+
+@dataclass
+class LinkState:
+    """Mutable reservation state of one link.
+
+    Attributes:
+        link: Canonical link identifier.
+        capacity: Total bandwidth of the link (Kb/s).
+        failed: Whether the link is currently failed.
+    """
+
+    link: LinkId
+    capacity: float
+    failed: bool = False
+
+    #: conn_id -> reserved minimum bandwidth of the primary channel.
+    primary_min: Dict[int, float] = field(default_factory=dict)
+    #: conn_id -> extra (elastic) bandwidth currently granted on top.
+    primary_extra: Dict[int, float] = field(default_factory=dict)
+    #: conn_id -> (b_min, primary links) of each inactive backup here.
+    backup_members: Dict[int, Tuple[float, FrozenSet[LinkId]]] = field(default_factory=dict)
+    #: failure link f -> total backup bandwidth activated here if f fails.
+    backup_demand: Dict[LinkId, float] = field(default_factory=dict)
+    #: conn_id -> bandwidth of an activated (live) backup channel.
+    activated: Dict[int, float] = field(default_factory=dict)
+
+    # cached aggregates (kept in sync by every mutator)
+    _min_total: float = 0.0
+    _extra_total: float = 0.0
+    _activated_total: float = 0.0
+    _backup_reserved: float = 0.0
+
+    # ------------------------------------------------------------------
+    # aggregate views (O(1))
+    # ------------------------------------------------------------------
+    @property
+    def primary_min_total(self) -> float:
+        """Sum of all primary minimum reservations."""
+        return self._min_total
+
+    @property
+    def primary_extra_total(self) -> float:
+        """Sum of all elastic extras currently granted."""
+        return self._extra_total
+
+    @property
+    def activated_total(self) -> float:
+        """Bandwidth consumed by activated backup channels."""
+        return self._activated_total
+
+    @property
+    def backup_reserved(self) -> float:
+        """Multiplexed backup reservation: worst single-failure demand."""
+        return self._backup_reserved
+
+    @property
+    def used(self) -> float:
+        """Bandwidth actually consumed right now."""
+        return self._min_total + self._extra_total + self._activated_total
+
+    @property
+    def extra_pool(self) -> float:
+        """Capacity available to elastic extras (may borrow backup reservation)."""
+        return self.capacity - self._min_total - self._activated_total
+
+    @property
+    def spare_for_extras(self) -> float:
+        """Extra-pool headroom not yet granted to any channel."""
+        return self.capacity - self._min_total - self._activated_total - self._extra_total
+
+    @property
+    def admission_headroom(self) -> float:
+        """Bandwidth a *new guaranteed commitment* (primary min or larger
+        backup reservation) may still claim without breaking invariant 2."""
+        return self.capacity - self._min_total - self._backup_reserved - self._activated_total
+
+    def channels(self) -> Iterable[int]:
+        """Connection ids of all primaries routed through this link."""
+        return self.primary_min.keys()
+
+    # ------------------------------------------------------------------
+    # primary channels
+    # ------------------------------------------------------------------
+    def can_admit_primary(self, b_min: float) -> bool:
+        """Whether a new primary with minimum ``b_min`` fits (invariant 2)."""
+        return not self.failed and b_min <= self.admission_headroom + EPSILON
+
+    def add_primary(self, conn_id: int, b_min: float) -> None:
+        """Reserve the minimum bandwidth of a new primary channel.
+
+        The caller is responsible for having cleared enough extras
+        (reclamation) and for the admission test; a violation here is a
+        programming error and raises.
+        """
+        if conn_id in self.primary_min:
+            raise ReservationError(f"connection {conn_id} already has a primary on {self.link}")
+        if b_min <= 0:
+            raise ReservationError(f"primary minimum must be positive, got {b_min}")
+        if b_min > self.admission_headroom + EPSILON:
+            raise AdmissionError(
+                f"primary of connection {conn_id} ({b_min} Kb/s) overcommits link "
+                f"{self.link}: headroom {self.admission_headroom:.3f}"
+            )
+        if self.used + b_min > self.capacity + EPSILON:
+            raise AdmissionError(
+                f"primary of connection {conn_id} would exceed usage capacity on {self.link}"
+            )
+        self.primary_min[conn_id] = b_min
+        self.primary_extra[conn_id] = 0.0
+        self._min_total += b_min
+
+    def remove_primary(self, conn_id: int) -> float:
+        """Release a primary channel; returns the bandwidth freed."""
+        if conn_id not in self.primary_min:
+            raise ReservationError(f"connection {conn_id} has no primary on {self.link}")
+        b_min = self.primary_min.pop(conn_id)
+        extra = self.primary_extra.pop(conn_id)
+        self._min_total -= b_min
+        self._extra_total -= extra
+        return b_min + extra
+
+    def has_primary(self, conn_id: int) -> bool:
+        """Whether ``conn_id``'s primary traverses this link."""
+        return conn_id in self.primary_min
+
+    def extra_of(self, conn_id: int) -> float:
+        """Extra bandwidth currently granted to ``conn_id`` here."""
+        try:
+            return self.primary_extra[conn_id]
+        except KeyError:
+            raise ReservationError(f"connection {conn_id} has no primary on {self.link}") from None
+
+    def grant_extra(self, conn_id: int, amount: float) -> None:
+        """Grant ``amount`` of additional elastic bandwidth to a primary."""
+        if conn_id not in self.primary_extra:
+            raise ReservationError(f"connection {conn_id} has no primary on {self.link}")
+        if amount <= 0:
+            raise ReservationError(f"extra grant must be positive, got {amount}")
+        if amount > self.spare_for_extras + EPSILON:
+            raise AdmissionError(
+                f"extra grant of {amount} to connection {conn_id} exceeds spare "
+                f"{self.spare_for_extras:.3f} on link {self.link}"
+            )
+        self.primary_extra[conn_id] += amount
+        self._extra_total += amount
+
+    def drop_extra(self, conn_id: int) -> float:
+        """Reclaim all extra bandwidth of one primary; returns the amount."""
+        if conn_id not in self.primary_extra:
+            raise ReservationError(f"connection {conn_id} has no primary on {self.link}")
+        freed = self.primary_extra[conn_id]
+        if freed:
+            self.primary_extra[conn_id] = 0.0
+            self._extra_total -= freed
+        return freed
+
+    def drop_all_extras(self) -> float:
+        """Reclaim every extra on this link; returns the total freed."""
+        freed = self._extra_total
+        if freed:
+            for conn_id in self.primary_extra:
+                self.primary_extra[conn_id] = 0.0
+            self._extra_total = 0.0
+        return freed
+
+    # ------------------------------------------------------------------
+    # backup channels
+    # ------------------------------------------------------------------
+    def backup_reserved_with(self, b_min: float, primary_links: FrozenSet[LinkId]) -> float:
+        """Backup reservation this link would need after adding a backup.
+
+        Multiplexing rule: the new backup only increases the reservation
+        if some single failure would now activate more backup bandwidth
+        here than the current worst case.
+        """
+        worst = self._backup_reserved
+        demand = self.backup_demand
+        for f in primary_links:
+            cand = demand.get(f, 0.0) + b_min
+            if cand > worst:
+                worst = cand
+        return worst
+
+    def can_admit_backup(self, b_min: float, primary_links: FrozenSet[LinkId]) -> bool:
+        """Whether a backup fits here, given its primary's path (invariant 2)."""
+        if self.failed:
+            return False
+        growth = self.backup_reserved_with(b_min, primary_links) - self._backup_reserved
+        return growth <= self.admission_headroom + EPSILON
+
+    def add_backup(self, conn_id: int, b_min: float, primary_links: FrozenSet[LinkId]) -> None:
+        """Reserve (multiplexed) capacity for an inactive backup channel."""
+        if conn_id in self.backup_members:
+            raise ReservationError(f"connection {conn_id} already has a backup on {self.link}")
+        if not primary_links:
+            raise ReservationError(f"backup of connection {conn_id} has an empty primary path")
+        if not self.can_admit_backup(b_min, primary_links):
+            raise AdmissionError(f"backup of connection {conn_id} overcommits link {self.link}")
+        self.backup_members[conn_id] = (b_min, primary_links)
+        worst = self._backup_reserved
+        for f in primary_links:
+            new_demand = self.backup_demand.get(f, 0.0) + b_min
+            self.backup_demand[f] = new_demand
+            if new_demand > worst:
+                worst = new_demand
+        self._backup_reserved = worst
+
+    def remove_backup(self, conn_id: int) -> None:
+        """Drop an inactive backup's reservation share."""
+        try:
+            b_min, primary_links = self.backup_members.pop(conn_id)
+        except KeyError:
+            raise ReservationError(f"connection {conn_id} has no backup on {self.link}") from None
+        recompute = False
+        for f in primary_links:
+            old = self.backup_demand[f]
+            remaining = old - b_min
+            if old >= self._backup_reserved - EPSILON:
+                recompute = True
+            if remaining <= EPSILON:
+                del self.backup_demand[f]
+            else:
+                self.backup_demand[f] = remaining
+        if recompute:
+            self._backup_reserved = max(self.backup_demand.values(), default=0.0)
+
+    def has_backup(self, conn_id: int) -> bool:
+        """Whether ``conn_id``'s inactive backup traverses this link."""
+        return conn_id in self.backup_members
+
+    def can_activate_backup(self, conn_id: int) -> bool:
+        """Whether the backup fits as live bandwidth right now.
+
+        Extras do not block activation — the manager reclaims them
+        first — so the test is against minimums plus other activations.
+        """
+        if self.failed or conn_id not in self.backup_members:
+            return False
+        b_min, _ = self.backup_members[conn_id]
+        return self._min_total + self._activated_total + b_min <= self.capacity + EPSILON
+
+    def activate_backup(self, conn_id: int) -> float:
+        """Turn an inactive backup into a live channel; returns its bandwidth.
+
+        The caller must have verified :meth:`can_activate_backup` on the
+        whole backup path and reclaimed extras as needed.
+        """
+        try:
+            b_min, primary_links = self.backup_members[conn_id]
+        except KeyError:
+            raise ReservationError(f"connection {conn_id} has no backup on {self.link}") from None
+        if self._min_total + self._activated_total + b_min > self.capacity + EPSILON:
+            raise AdmissionError(
+                f"backup of connection {conn_id} no longer fits on link {self.link}"
+            )
+        self.remove_backup(conn_id)
+        self.activated[conn_id] = b_min
+        self._activated_total += b_min
+        return b_min
+
+    def release_activated(self, conn_id: int) -> float:
+        """Release a live (previously activated) backup channel."""
+        try:
+            bw = self.activated.pop(conn_id)
+        except KeyError:
+            raise ReservationError(
+                f"connection {conn_id} has no activated backup on {self.link}"
+            ) from None
+        self._activated_total -= bw
+        return bw
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self, strict_reservation: bool = True) -> None:
+        """Verify capacity invariants and cache consistency.
+
+        Args:
+            strict_reservation: Also check invariant 2 (reservation);
+                disable after failures, where multiplexed reservations
+                are only guaranteed for the first failure.
+
+        Raises:
+            ReservationError: when an invariant or a cache is violated.
+        """
+        min_total = sum(self.primary_min.values())
+        extra_total = sum(self.primary_extra.values())
+        activated_total = sum(self.activated.values())
+        reserved = max(self.backup_demand.values(), default=0.0)
+        for name, cached, actual in (
+            ("min", self._min_total, min_total),
+            ("extra", self._extra_total, extra_total),
+            ("activated", self._activated_total, activated_total),
+            ("backup_reserved", self._backup_reserved, reserved),
+        ):
+            if abs(cached - actual) > EPSILON:
+                raise ReservationError(
+                    f"link {self.link}: cached {name} total {cached} != actual {actual}"
+                )
+        demand_from_members: Dict[LinkId, float] = {}
+        for b_min, primary_links in self.backup_members.values():
+            for f in primary_links:
+                demand_from_members[f] = demand_from_members.get(f, 0.0) + b_min
+        for f, expected in demand_from_members.items():
+            if abs(self.backup_demand.get(f, 0.0) - expected) > EPSILON:
+                raise ReservationError(
+                    f"link {self.link}: backup demand for failure {f} out of sync"
+                )
+        if self.used > self.capacity + EPSILON:
+            raise ReservationError(
+                f"link {self.link}: usage {self.used:.3f} exceeds capacity {self.capacity}"
+            )
+        if any(extra < -EPSILON for extra in self.primary_extra.values()):
+            raise ReservationError(f"link {self.link}: negative extra grant")
+        if set(self.primary_extra) != set(self.primary_min):
+            raise ReservationError(f"link {self.link}: extra/min bookkeeping out of sync")
+        if strict_reservation:
+            committed = min_total + reserved + activated_total
+            if committed > self.capacity + EPSILON:
+                raise ReservationError(
+                    f"link {self.link}: commitments {committed:.3f} exceed capacity "
+                    f"{self.capacity}"
+                )

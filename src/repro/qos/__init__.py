@@ -1,0 +1,29 @@
+"""QoS contracts: traffic specs, elastic performance QoS, dependability QoS."""
+
+from repro.qos.interval import (
+    IntervalQoS,
+    IntervalRegulator,
+    RegulatorStats,
+    SkipOverRegulator,
+)
+from repro.qos.spec import (
+    ConnectionQoS,
+    DependabilityQoS,
+    ElasticQoS,
+    TrafficSpec,
+    levels_between,
+    single_value_qos,
+)
+
+__all__ = [
+    "IntervalQoS",
+    "IntervalRegulator",
+    "RegulatorStats",
+    "SkipOverRegulator",
+    "ConnectionQoS",
+    "DependabilityQoS",
+    "ElasticQoS",
+    "TrafficSpec",
+    "levels_between",
+    "single_value_qos",
+]

@@ -1,0 +1,177 @@
+"""Interval QoS: run-time k-out-of-M packet management (paper §2.2).
+
+Besides the min-max *range* model used for channel establishment, the
+paper describes a second elastic-QoS flavour for run-time channel
+management: "QoS is expressed in the form of k-out-of-M within a fixed
+time interval, meaning that at least k but less than or equal to M
+packets should arrive within a fixed time interval.  The link manager
+can selectively ignore a packet as long as it can satisfy the minimum
+k-out-of-M requirement."
+
+This module implements that link-manager logic:
+
+* :class:`IntervalQoS` — the (k, M) contract;
+* :class:`IntervalRegulator` — a tumbling-window regulator that grants
+  drop requests (e.g. under congestion) only while the window can still
+  meet its k-of-M floor, and *forces* forwarding otherwise;
+* :class:`SkipOverRegulator` — the skip-over model of Koren & Shasha
+  [12] cited by the paper: after ``s - 1`` consecutively forwarded
+  packets, one packet may be skipped.
+
+Both regulators expose counters so tests and examples can verify the
+guarantee held over every completed window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import QoSSpecError
+
+
+@dataclass(frozen=True)
+class IntervalQoS:
+    """A k-out-of-M interval contract.
+
+    Attributes:
+        k: Minimum packets that must be forwarded per window.
+        m: Window length in packets.
+    """
+
+    k: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise QoSSpecError(f"window length must be >= 1, got {self.m}")
+        if not 0 <= self.k <= self.m:
+            raise QoSSpecError(f"need 0 <= k <= M, got k={self.k}, M={self.m}")
+
+    @property
+    def min_forward_ratio(self) -> float:
+        """Guaranteed long-run fraction of forwarded packets, k / M."""
+        return self.k / self.m
+
+
+@dataclass
+class RegulatorStats:
+    """Forward/drop counters of a regulator."""
+
+    offered: int = 0
+    forwarded: int = 0
+    dropped: int = 0
+    forced_forwards: int = 0
+    windows_completed: int = 0
+    #: Forwarded count of each completed window (guarantee audit trail).
+    window_history: List[int] = field(default_factory=list)
+
+    @property
+    def drop_ratio(self) -> float:
+        """Dropped fraction of offered packets (0 with none offered)."""
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+class IntervalRegulator:
+    """Tumbling-window k-of-M packet regulator.
+
+    Usage: for each packet call :meth:`offer` with ``drop_requested=True``
+    when the link would like to shed it (congestion) — the return value
+    says whether the packet was actually forwarded.  The regulator never
+    lets a completed window fall below ``k`` forwarded packets: once
+    dropping one more packet would make ``k`` unreachable, forwarding is
+    forced regardless of the request.
+    """
+
+    def __init__(self, qos: IntervalQoS) -> None:
+        self.qos = qos
+        self.stats = RegulatorStats()
+        self._position = 0      # packets seen in the current window
+        self._forwarded = 0     # packets forwarded in the current window
+
+    def must_forward(self) -> bool:
+        """Whether the next packet cannot be dropped.
+
+        With ``r`` packets left in the window (including the next one),
+        dropping the next packet caps the achievable forwards at
+        ``forwarded + r - 1``; if that is below ``k``, forwarding is
+        mandatory.
+        """
+        remaining = self.qos.m - self._position
+        return self._forwarded + (remaining - 1) < self.qos.k
+
+    def offer(self, drop_requested: bool = False) -> bool:
+        """Process one packet; returns True when it was forwarded."""
+        self.stats.offered += 1
+        if drop_requested and not self.must_forward():
+            forwarded = False
+            self.stats.dropped += 1
+        else:
+            forwarded = True
+            self.stats.forwarded += 1
+            if drop_requested:
+                self.stats.forced_forwards += 1
+            self._forwarded += 1
+        self._position += 1
+        if self._position == self.qos.m:
+            self.stats.windows_completed += 1
+            self.stats.window_history.append(self._forwarded)
+            self._position = 0
+            self._forwarded = 0
+        return forwarded
+
+    def drop_budget(self) -> int:
+        """Packets that may still be dropped in the current window."""
+        remaining = self.qos.m - self._position
+        return max(0, self._forwarded + remaining - self.qos.k)
+
+    def verify_guarantee(self) -> None:
+        """Assert every completed window met its floor.
+
+        Raises:
+            QoSSpecError: if any completed window forwarded fewer than
+                ``k`` packets (would indicate a regulator bug).
+        """
+        for index, count in enumerate(self.stats.window_history):
+            if count < self.qos.k:
+                raise QoSSpecError(
+                    f"window {index} forwarded {count} < k={self.qos.k}"
+                )
+
+
+class SkipOverRegulator:
+    """Skip-over regulation: one skippable packet every ``s`` packets.
+
+    The skips model of [12] (cited in §2.2): packets are "red" (must
+    forward) except that after ``s - 1`` consecutively forwarded
+    packets the next packet is "blue" and may be skipped.  ``s = 1``
+    would allow skipping everything and is rejected.
+    """
+
+    def __init__(self, skip_factor: int) -> None:
+        if skip_factor < 2:
+            raise QoSSpecError(f"skip factor must be >= 2, got {skip_factor}")
+        self.skip_factor = skip_factor
+        self.stats = RegulatorStats()
+        self._since_skip = 0  # forwarded packets since the last skip
+
+    def can_skip(self) -> bool:
+        """Whether the next packet is currently skippable ("blue")."""
+        return self._since_skip >= self.skip_factor - 1
+
+    def offer(self, drop_requested: bool = False) -> bool:
+        """Process one packet; returns True when it was forwarded."""
+        self.stats.offered += 1
+        if drop_requested and self.can_skip():
+            self.stats.dropped += 1
+            self._since_skip = 0
+            return False
+        self.stats.forwarded += 1
+        if drop_requested:
+            self.stats.forced_forwards += 1
+        self._since_skip += 1
+        return True
+
+    def equivalent_interval_qos(self) -> IntervalQoS:
+        """The (k, M) contract skip-over guarantees: (s-1)-out-of-s."""
+        return IntervalQoS(k=self.skip_factor - 1, m=self.skip_factor)

@@ -1,0 +1,205 @@
+"""QoS and traffic specifications for DR-connection requests.
+
+Following Section 2.2 and 3.1 of the paper, a client's request carries:
+
+* a *traffic specification* describing its generation behaviour (we keep
+  the classic (peak, average, burst) linear-bounded-arrival form and map
+  it to an equivalent bandwidth, since the paper "assume[s] that the
+  performance-QoS requirement is given in the form of bandwidth");
+* an *elastic performance QoS*: the min-max range model — minimum
+  bandwidth ``b_min``, maximum ``b_max``, the increment size Δ in which
+  reservations may change, and the utility/reward per extra increment;
+* a *dependability QoS*: a single-value requirement that the connection
+  be protected by backup channels (one in the paper) that are
+  link-disjoint from the primary whenever possible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import QoSSpecError
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Linear-bounded traffic description of a client's source.
+
+    Attributes:
+        peak_rate: Maximum instantaneous generation rate (Kb/s).
+        average_rate: Long-term average rate (Kb/s).
+        max_burst: Maximum burst size (Kb).  Zero means perfectly smooth.
+    """
+
+    peak_rate: float
+    average_rate: float
+    max_burst: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_rate <= 0:
+            raise QoSSpecError(f"peak rate must be positive, got {self.peak_rate}")
+        if self.average_rate <= 0:
+            raise QoSSpecError(f"average rate must be positive, got {self.average_rate}")
+        if self.average_rate > self.peak_rate:
+            raise QoSSpecError(
+                f"average rate {self.average_rate} exceeds peak rate {self.peak_rate}"
+            )
+        if self.max_burst < 0:
+            raise QoSSpecError(f"max burst must be non-negative, got {self.max_burst}")
+
+    def equivalent_bandwidth(self, delay_budget: float | None = None) -> float:
+        """Bandwidth that must be reserved to honour this traffic.
+
+        Without a delay budget the average rate suffices (fluid model).
+        With a budget ``D`` (seconds), a burst of ``max_burst`` must
+        drain within ``D``, so the reservation is
+        ``max(average_rate, max_burst / D)`` capped at the peak rate —
+        the standard equivalent-bandwidth bound for a linear-bounded
+        source behind a rate server.
+        """
+        if delay_budget is None:
+            return self.average_rate
+        if delay_budget <= 0:
+            raise QoSSpecError(f"delay budget must be positive, got {delay_budget}")
+        needed = max(self.average_rate, self.max_burst / delay_budget)
+        return min(needed, self.peak_rate)
+
+
+@dataclass(frozen=True)
+class ElasticQoS:
+    """Min-max range performance QoS (the paper's elastic model).
+
+    The bandwidth reserved for a primary channel is always one of the
+    quantised *levels* ``b_min + i * increment`` for
+    ``i in 0 .. num_levels - 1``; the paper requires the range to be an
+    integral multiple of the increment size.
+
+    Attributes:
+        b_min: Minimum acceptable bandwidth (request rejected below it).
+        b_max: Bandwidth giving the best performance QoS.
+        increment: Granularity Δ of reservation changes.
+        utility: Reward per extra increment; drives the adaptation
+            policy's distribution of spare resources.
+    """
+
+    b_min: float
+    b_max: float
+    increment: float
+    utility: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.b_min <= 0:
+            raise QoSSpecError(f"b_min must be positive, got {self.b_min}")
+        if self.b_max < self.b_min:
+            raise QoSSpecError(f"b_max {self.b_max} is below b_min {self.b_min}")
+        if self.increment <= 0:
+            raise QoSSpecError(f"increment must be positive, got {self.increment}")
+        if self.utility < 0:
+            raise QoSSpecError(f"utility must be non-negative, got {self.utility}")
+        span = self.b_max - self.b_min
+        steps = span / self.increment
+        if abs(steps - round(steps)) > 1e-9:
+            raise QoSSpecError(
+                f"range [{self.b_min}, {self.b_max}] is not an integral "
+                f"multiple of the increment {self.increment}"
+            )
+
+    @property
+    def num_levels(self) -> int:
+        """Number of distinct reservation levels, N = 1 + (b_max - b_min)/Δ."""
+        return 1 + round((self.b_max - self.b_min) / self.increment)
+
+    @property
+    def max_level(self) -> int:
+        """Index of the highest level, N - 1."""
+        return self.num_levels - 1
+
+    def level_bandwidth(self, level: int) -> float:
+        """Bandwidth of level ``level`` (``b_min + level * Δ``)."""
+        if not 0 <= level < self.num_levels:
+            raise QoSSpecError(f"level {level} outside [0, {self.num_levels - 1}]")
+        return self.b_min + level * self.increment
+
+    def level_of(self, bandwidth: float) -> int:
+        """Level index whose bandwidth equals ``bandwidth``.
+
+        Raises:
+            QoSSpecError: when ``bandwidth`` is not exactly on a level.
+        """
+        raw = (bandwidth - self.b_min) / self.increment
+        level = round(raw)
+        if abs(raw - level) > 1e-9 or not 0 <= level < self.num_levels:
+            raise QoSSpecError(f"bandwidth {bandwidth} is not a valid level of {self}")
+        return level
+
+    def clamp_level(self, level: int) -> int:
+        """Clamp an arbitrary integer to the valid level range."""
+        return max(0, min(self.max_level, level))
+
+    def is_elastic(self) -> bool:
+        """True when the range actually allows more than one level."""
+        return self.num_levels > 1
+
+
+def single_value_qos(bandwidth: float, utility: float = 1.0) -> ElasticQoS:
+    """The classic single-value QoS model as a degenerate elastic range.
+
+    The baseline scheme of Han & Shin reserves exactly one bandwidth
+    value; modelling it as ``b_min == b_max`` lets the baseline share
+    every code path of the elastic manager.
+    """
+    return ElasticQoS(b_min=bandwidth, b_max=bandwidth, increment=bandwidth, utility=utility)
+
+
+@dataclass(frozen=True)
+class DependabilityQoS:
+    """Single-value dependability requirement.
+
+    Attributes:
+        num_backups: Backup channels to establish (the paper analyses
+            one backup per DR-connection).
+        require_link_disjoint: Insist on a fully link-disjoint backup;
+            when False, a maximally-disjoint backup is accepted if no
+            disjoint path exists (the paper's footnote 1).
+    """
+
+    num_backups: int = 1
+    require_link_disjoint: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_backups < 0:
+            raise QoSSpecError(f"num_backups must be non-negative, got {self.num_backups}")
+
+    @property
+    def wants_backup(self) -> bool:
+        """Whether any backup channel is required at all."""
+        return self.num_backups > 0
+
+
+@dataclass(frozen=True)
+class ConnectionQoS:
+    """Complete QoS contract of one DR-connection request."""
+
+    performance: ElasticQoS
+    dependability: DependabilityQoS = field(default_factory=DependabilityQoS)
+
+    def describe(self) -> str:
+        """One-line human-readable rendering used in logs and examples."""
+        perf = self.performance
+        dep = self.dependability
+        shape = (
+            f"{perf.b_min:g}..{perf.b_max:g} Kb/s (Δ={perf.increment:g}, "
+            f"N={perf.num_levels}, utility={perf.utility:g})"
+        )
+        backup = f"{dep.num_backups} backup(s)" if dep.wants_backup else "no backup"
+        return f"{shape}, {backup}"
+
+
+def levels_between(qos: ElasticQoS, low_bw: float, high_bw: float) -> list[int]:
+    """All level indices whose bandwidth lies within ``[low_bw, high_bw]``."""
+    if low_bw > high_bw:
+        raise QoSSpecError(f"empty bandwidth window [{low_bw}, {high_bw}]")
+    lo = max(0, math.ceil((low_bw - qos.b_min) / qos.increment - 1e-9))
+    hi = min(qos.max_level, math.floor((high_bw - qos.b_min) / qos.increment + 1e-9))
+    return list(range(lo, hi + 1))

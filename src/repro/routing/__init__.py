@@ -1,0 +1,36 @@
+"""Route selection: shortest-path, k-shortest, disjoint backup, flooding."""
+
+from repro.routing.disjoint import disjoint_path, paths_link_disjoint, shared_links
+from repro.routing.flooding import (
+    AllowanceFn,
+    FloodingResult,
+    FloodRoute,
+    bounded_flood,
+    flooding_route_pair,
+)
+from repro.routing.ksp import k_shortest_paths, sequential_route_search
+from repro.routing.shortest import (
+    LinkFilter,
+    LinkWeight,
+    path_cost,
+    path_hops,
+    shortest_path,
+)
+
+__all__ = [
+    "disjoint_path",
+    "paths_link_disjoint",
+    "shared_links",
+    "AllowanceFn",
+    "FloodingResult",
+    "FloodRoute",
+    "bounded_flood",
+    "flooding_route_pair",
+    "k_shortest_paths",
+    "sequential_route_search",
+    "LinkFilter",
+    "LinkWeight",
+    "path_cost",
+    "path_hops",
+    "shortest_path",
+]

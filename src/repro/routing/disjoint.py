@@ -1,0 +1,85 @@
+"""Backup-route selection: link-disjoint, with maximally-disjoint fallback.
+
+The dependability QoS of a DR-connection demands a backup channel "which
+may be totally link-disjoint or maximally link-disjoint from its
+corresponding primary channel, if there does not exist any link-disjoint
+backup path" (paper §1, footnote 1).  :func:`disjoint_path` implements
+exactly that contract:
+
+1. try a shortest admissible path that avoids every primary link;
+2. if none exists and ``allow_partial`` is set, find the admissible
+   path that overlaps the primary in as few links as possible (among
+   those, the shortest), by Dijkstra with a large additive penalty per
+   shared link.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.routing.shortest import LinkFilter, shortest_path
+from repro.topology.graph import Link, LinkId, Network
+
+#: Penalty that dominates any hop-count difference: a path overlapping
+#: the primary in one link is always worse than any overlap-free path.
+_SHARED_LINK_PENALTY: float = 1e6
+
+
+def disjoint_path(
+    net: Network,
+    source: int,
+    destination: int,
+    avoid: FrozenSet[LinkId],
+    link_filter: Optional[LinkFilter] = None,
+    allow_partial: bool = True,
+) -> Optional[Tuple[List[int], int]]:
+    """Find a backup path avoiding ``avoid`` (the primary's links).
+
+    Returns ``(path, overlap)`` where ``overlap`` counts the links the
+    path shares with ``avoid`` (0 when fully disjoint), or ``None`` when
+    no admissible path exists at all.
+
+    Args:
+        net: Topology.
+        source: Origin node.
+        destination: Target node.
+        avoid: Link ids of the primary channel.
+        link_filter: Admission predicate applied on top of disjointness
+            (e.g. backup multiplexing headroom, link liveness).
+        allow_partial: Permit a maximally-disjoint path when no fully
+            disjoint one exists.
+    """
+
+    def disjoint_filter(link: Link) -> bool:
+        if link.id in avoid:
+            return False
+        return link_filter is None or link_filter(link)
+
+    path = shortest_path(net, source, destination, disjoint_filter)
+    if path is not None:
+        return path, 0
+    if not allow_partial:
+        return None
+
+    def penalised_weight(link: Link) -> float:
+        return _SHARED_LINK_PENALTY + 1.0 if link.id in avoid else 1.0
+
+    path = shortest_path(net, source, destination, link_filter, weight=penalised_weight)
+    if path is None:
+        return None
+    overlap = sum(1 for a, b in zip(path, path[1:]) if net.get_link(a, b).id in avoid)
+    return path, overlap
+
+
+def paths_link_disjoint(net: Network, path_a: Sequence[int], path_b: Sequence[int]) -> bool:
+    """Whether two node paths share no link."""
+    links_a = set(net.path_links(path_a))
+    links_b = set(net.path_links(path_b))
+    return not (links_a & links_b)
+
+
+def shared_links(net: Network, path_a: Sequence[int], path_b: Sequence[int]) -> List[LinkId]:
+    """The links two node paths have in common, sorted."""
+    links_a = set(net.path_links(path_a))
+    links_b = set(net.path_links(path_b))
+    return sorted(links_a & links_b)

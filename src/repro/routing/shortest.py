@@ -1,0 +1,158 @@
+"""Admission-aware shortest-path route selection.
+
+The paper's network manager "selects a route between the source and
+destination of the channel along which sufficient resources can be
+reserved" and notes that the request that arrives first at the
+destination "is likely to have traversed the shortest path".  This
+module provides the centralized equivalent: hop-count (or
+length-weighted) Dijkstra restricted to links that pass a caller-
+supplied admission predicate.  The distributed equivalent (bounded
+flooding) lives in :mod:`repro.routing.flooding` and finds the same
+routes at higher message cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import RoutingError
+from repro.topology.graph import Link, LinkId, Network
+
+#: Predicate deciding whether a link may carry the new channel.
+LinkFilter = Callable[[Link], bool]
+
+#: Per-link cost function for weighted routing.
+LinkWeight = Callable[[Link], float]
+
+
+def _check_endpoints(net: Network, source: int, destination: int) -> None:
+    if not net.has_node(source):
+        raise RoutingError(f"unknown source node {source}")
+    if not net.has_node(destination):
+        raise RoutingError(f"unknown destination node {destination}")
+    if source == destination:
+        raise RoutingError(f"source and destination coincide ({source})")
+
+
+def shortest_path(
+    net: Network,
+    source: int,
+    destination: int,
+    link_filter: Optional[LinkFilter] = None,
+    weight: Optional[LinkWeight] = None,
+) -> Optional[List[int]]:
+    """Shortest admissible path as a node list, or ``None`` if cut off.
+
+    Args:
+        net: Topology to route over.
+        source: Origin node.
+        destination: Target node.
+        link_filter: Links failing this predicate are invisible
+            (defaults to all links usable).
+        weight: Per-link cost; ``None`` means hop count, which uses a
+            plain BFS fast path.
+
+    Ties are broken deterministically toward lower node numbers so that
+    identical inputs always yield identical routes (reproducibility).
+    """
+    _check_endpoints(net, source, destination)
+    if weight is None:
+        return _bfs_path(net, source, destination, link_filter)
+    return _dijkstra_path(net, source, destination, link_filter, weight)
+
+
+def _bfs_path(
+    net: Network, source: int, destination: int, link_filter: Optional[LinkFilter]
+) -> Optional[List[int]]:
+    parent: Dict[int, int] = {source: source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        if node == destination:
+            break
+        for nbr in net.neighbors(node):
+            if nbr in parent:
+                continue
+            link = net.get_link(node, nbr)
+            if link_filter is not None and not link_filter(link):
+                continue
+            parent[nbr] = node
+            queue.append(nbr)
+    if destination not in parent:
+        return None
+    return _walk_back(parent, source, destination)
+
+
+def _dijkstra_path(
+    net: Network,
+    source: int,
+    destination: int,
+    link_filter: Optional[LinkFilter],
+    weight: LinkWeight,
+) -> Optional[List[int]]:
+    dist: Dict[int, float] = {source: 0.0}
+    parent: Dict[int, int] = {source: source}
+    heap: List[tuple[float, int]] = [(0.0, source)]
+    settled: set[int] = set()
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if node == destination:
+            break
+        for nbr in net.neighbors(node):
+            if nbr in settled:
+                continue
+            link = net.get_link(node, nbr)
+            if link_filter is not None and not link_filter(link):
+                continue
+            w = weight(link)
+            if w < 0:
+                raise RoutingError(f"negative link weight {w} on {link.id}")
+            cand = d + w
+            if cand < dist.get(nbr, float("inf")) - 1e-15:
+                dist[nbr] = cand
+                parent[nbr] = node
+                heapq.heappush(heap, (cand, nbr))
+    if destination not in parent:
+        return None
+    return _walk_back(parent, source, destination)
+
+
+def _walk_back(parent: Dict[int, int], source: int, destination: int) -> List[int]:
+    path = [destination]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def path_hops(path: Sequence[int]) -> int:
+    """Number of links in a node path."""
+    if len(path) < 2:
+        raise RoutingError(f"path {list(path)} has no links")
+    return len(path) - 1
+
+
+def path_cost(net: Network, path: Sequence[int], weight: Optional[LinkWeight] = None) -> float:
+    """Total cost of a node path under ``weight`` (hop count by default)."""
+    links = [net.get_link(a, b) for a, b in zip(path, path[1:])]
+    if weight is None:
+        return float(len(links))
+    return sum(weight(link) for link in links)
+
+
+def reachable_filterless(net: Network, source: int) -> set[int]:
+    """All nodes reachable from ``source`` ignoring filters (diagnostics)."""
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nbr in net.neighbors(node):
+            if nbr not in seen:
+                seen.add(nbr)
+                queue.append(nbr)
+    return seen

@@ -1,0 +1,27 @@
+"""Run-time message scheduling substrate (paper §2.1, second phase).
+
+The establishment layer (:mod:`repro.channels`) reserves bandwidth;
+this package shows the reservation being *delivered*: weighted-fair
+packet scheduling per link, traffic sources, and a single-link
+simulation tying in the interval-QoS regulators.
+"""
+
+from repro.runtime.link_sim import LinkSimulation, LinkSimulationReport
+from repro.runtime.path_sim import PathSimulation, PathSimulationReport
+from repro.runtime.packets import ChannelDeliveryStats, Delivery, Packet
+from repro.runtime.scheduler import FairLinkScheduler
+from repro.runtime.sources import CbrSource, OnOffSource, merge_streams
+
+__all__ = [
+    "LinkSimulation",
+    "LinkSimulationReport",
+    "PathSimulation",
+    "PathSimulationReport",
+    "ChannelDeliveryStats",
+    "Delivery",
+    "Packet",
+    "FairLinkScheduler",
+    "CbrSource",
+    "OnOffSource",
+    "merge_streams",
+]

@@ -1,0 +1,105 @@
+"""Packet-level primitives for the run-time scheduling substrate.
+
+The realization of a real-time channel "consists of two phases: off-line
+channel establishment and run-time message scheduling" (paper §2.1.1).
+The rest of this library implements the first phase; the
+:mod:`repro.runtime` package implements the second: "each link resource
+manager schedules messages belonging to different real-time channels to
+satisfy their respective timeliness requirements."
+
+This module holds the shared data types: packets and per-channel
+delivery statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One fixed-size message belonging to a real-time channel.
+
+    Attributes:
+        channel_id: The owning channel.
+        size: Packet size in kilobits (so that size / rate-in-Kb/s is a
+            time in the library's time unit, seconds).
+        created_at: Generation timestamp at the source.
+        sequence: Per-channel sequence number (0-based).
+    """
+
+    channel_id: int
+    size: float
+    created_at: float
+    sequence: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise SimulationError(f"packet size must be positive, got {self.size}")
+        if self.created_at < 0:
+            raise SimulationError("packet creation time cannot be negative")
+
+
+@dataclass
+class Delivery:
+    """Delivery record of one packet."""
+
+    packet: Packet
+    departed_at: float
+
+    @property
+    def delay(self) -> float:
+        """Queueing + transmission delay experienced by the packet."""
+        return self.departed_at - self.packet.created_at
+
+
+@dataclass
+class ChannelDeliveryStats:
+    """Per-channel delivery statistics collected by the link simulator."""
+
+    channel_id: int
+    offered_packets: int = 0
+    delivered_packets: int = 0
+    dropped_packets: int = 0
+    offered_bits: float = 0.0
+    delivered_bits: float = 0.0
+    delays: List[float] = field(default_factory=list)
+
+    def record_offered(self, packet: Packet) -> None:
+        """Account a packet arriving at the link."""
+        self.offered_packets += 1
+        self.offered_bits += packet.size
+
+    def record_delivery(self, delivery: Delivery) -> None:
+        """Account a packet leaving the link."""
+        self.delivered_packets += 1
+        self.delivered_bits += delivery.packet.size
+        self.delays.append(delivery.delay)
+
+    def record_drop(self) -> None:
+        """Account a packet dropped by a regulator."""
+        self.dropped_packets += 1
+
+    def throughput(self, duration: float) -> float:
+        """Delivered rate in Kb/s over ``duration`` seconds."""
+        if duration <= 0:
+            raise SimulationError(f"duration must be positive, got {duration}")
+        return self.delivered_bits / duration
+
+    @property
+    def mean_delay(self) -> Optional[float]:
+        """Mean delivery delay, or ``None`` with no deliveries."""
+        return sum(self.delays) / len(self.delays) if self.delays else None
+
+    @property
+    def max_delay(self) -> Optional[float]:
+        """Worst delivery delay, or ``None`` with no deliveries."""
+        return max(self.delays) if self.delays else None
+
+    @property
+    def loss_ratio(self) -> float:
+        """Dropped fraction of offered packets."""
+        return self.dropped_packets / self.offered_packets if self.offered_packets else 0.0

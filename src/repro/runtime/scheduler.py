@@ -1,0 +1,135 @@
+"""Weighted-fair link scheduler honouring per-channel reservations.
+
+The run-time message scheduler of a link must deliver to each real-time
+channel (at least) its reserved bandwidth regardless of what the other
+channels do.  This module implements the classic *virtual-clock /
+weighted fair queueing* discipline:
+
+* each registered channel has a reserved rate ``r_i`` (Kb/s) — exactly
+  the quantised elastic level the establishment layer granted;
+* an arriving packet of size ``L`` is stamped with a virtual finish
+  time ``F = max(now_virtual, F_prev(channel)) + L / r_i``;
+* the transmitter always sends the pending packet with the smallest
+  stamp (ties broken by channel id, then sequence — deterministic).
+
+Rates may be updated while packets are queued (elastic level changes at
+run time); stamps already issued keep their old rate, which matches how
+a real pacer drains its backlog.
+
+The scheduler is work-conserving: spare capacity is shared in stamp
+order, so under-loaded channels never throttle the link.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.runtime.packets import Delivery, Packet
+
+
+@dataclass
+class _ChannelState:
+    rate: float
+    last_finish: float = 0.0
+    queued: int = 0
+
+
+class FairLinkScheduler:
+    """Virtual-clock scheduler for one link of known capacity."""
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"link capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._channels: Dict[int, _ChannelState] = {}
+        #: (finish stamp, channel id, sequence, packet)
+        self._queue: List[Tuple[float, int, int, Packet]] = []
+        self._busy_until = 0.0
+
+    # ------------------------------------------------------------------
+    # channel management
+    # ------------------------------------------------------------------
+    def register_channel(self, channel_id: int, rate: float) -> None:
+        """Register a channel with its reserved rate (Kb/s)."""
+        if channel_id in self._channels:
+            raise SimulationError(f"channel {channel_id} already registered")
+        if rate <= 0:
+            raise SimulationError(f"rate must be positive, got {rate}")
+        self._channels[channel_id] = _ChannelState(rate=rate)
+
+    def update_rate(self, channel_id: int, rate: float) -> None:
+        """Change a channel's reserved rate (elastic level change)."""
+        if rate <= 0:
+            raise SimulationError(f"rate must be positive, got {rate}")
+        self._state(channel_id).rate = rate
+
+    def unregister_channel(self, channel_id: int) -> None:
+        """Remove a channel; its queue must be empty."""
+        state = self._state(channel_id)
+        if state.queued:
+            raise SimulationError(
+                f"channel {channel_id} still has {state.queued} queued packets"
+            )
+        del self._channels[channel_id]
+
+    def rate_of(self, channel_id: int) -> float:
+        """The channel's current reserved rate."""
+        return self._state(channel_id).rate
+
+    def total_reserved(self) -> float:
+        """Sum of registered rates (should not exceed the capacity for
+        guarantees to hold; the scheduler itself stays work-conserving
+        either way)."""
+        return sum(state.rate for state in self._channels.values())
+
+    def _state(self, channel_id: int) -> _ChannelState:
+        try:
+            return self._channels[channel_id]
+        except KeyError:
+            raise SimulationError(f"unknown channel {channel_id}") from None
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet, now: float) -> None:
+        """Accept a packet at time ``now`` and stamp it."""
+        state = self._state(packet.channel_id)
+        start = max(now, state.last_finish)
+        finish = start + packet.size / state.rate
+        state.last_finish = finish
+        state.queued += 1
+        heapq.heappush(self._queue, (finish, packet.channel_id, packet.sequence, packet))
+
+    @property
+    def backlog(self) -> int:
+        """Packets currently queued."""
+        return len(self._queue)
+
+    def next_departure(self, now: float) -> Optional[Delivery]:
+        """Transmit the next packet; returns its delivery record.
+
+        The departure time accounts for the transmitter being busy with
+        the previous packet and for the actual wire time
+        ``size / capacity``.  Returns ``None`` when idle.
+        """
+        if not self._queue:
+            return None
+        _, _, _, packet = heapq.heappop(self._queue)
+        self._channels[packet.channel_id].queued -= 1
+        start = max(now, self._busy_until, packet.created_at)
+        departed = start + packet.size / self.capacity
+        self._busy_until = departed
+        return Delivery(packet=packet, departed_at=departed)
+
+    def drain(self, now: float) -> List[Delivery]:
+        """Transmit everything queued, in stamp order."""
+        out: List[Delivery] = []
+        while self._queue:
+            delivery = self.next_departure(now)
+            assert delivery is not None
+            out.append(delivery)
+            now = delivery.departed_at
+        return out

@@ -1,0 +1,134 @@
+"""Traffic sources generating packet streams from traffic specs.
+
+The client side of the run-time phase: sources emit the packet streams
+that the link scheduler must carry.  Two classic models:
+
+* :class:`CbrSource` — constant bit rate (the smooth video stream of
+  the paper's example);
+* :class:`OnOffSource` — exponential on/off bursts, the standard model
+  for bursty sources bounded by a :class:`~repro.qos.spec.TrafficSpec`.
+
+Sources are deterministic given their RNG, and emit
+:class:`~repro.runtime.packets.Packet` objects with increasing
+timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.runtime.packets import Packet
+
+
+class CbrSource:
+    """Constant-bit-rate source: equally spaced packets at ``rate`` Kb/s."""
+
+    def __init__(self, channel_id: int, rate: float, packet_size: float = 10.0) -> None:
+        if rate <= 0:
+            raise SimulationError(f"rate must be positive, got {rate}")
+        if packet_size <= 0:
+            raise SimulationError(f"packet size must be positive, got {packet_size}")
+        self.channel_id = channel_id
+        self.rate = rate
+        self.packet_size = packet_size
+
+    def packets_until(self, horizon: float) -> List[Packet]:
+        """All packets generated in ``[0, horizon)``."""
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
+        interval = self.packet_size / self.rate
+        out: List[Packet] = []
+        t = 0.0
+        seq = 0
+        while t < horizon:
+            out.append(
+                Packet(
+                    channel_id=self.channel_id,
+                    size=self.packet_size,
+                    created_at=t,
+                    sequence=seq,
+                )
+            )
+            seq += 1
+            t += interval
+        return out
+
+
+class OnOffSource:
+    """Exponential on/off source: peak-rate bursts, silent gaps.
+
+    During an "on" period (mean ``mean_on`` seconds) packets are emitted
+    back-to-back at ``peak_rate``; "off" periods (mean ``mean_off``) are
+    silent.  The long-run average rate is
+    ``peak_rate * mean_on / (mean_on + mean_off)``.
+    """
+
+    def __init__(
+        self,
+        channel_id: int,
+        peak_rate: float,
+        mean_on: float,
+        mean_off: float,
+        rng: np.random.Generator,
+        packet_size: float = 10.0,
+    ) -> None:
+        if peak_rate <= 0:
+            raise SimulationError(f"peak rate must be positive, got {peak_rate}")
+        if mean_on <= 0 or mean_off < 0:
+            raise SimulationError("mean_on must be positive, mean_off non-negative")
+        if packet_size <= 0:
+            raise SimulationError(f"packet size must be positive, got {packet_size}")
+        self.channel_id = channel_id
+        self.peak_rate = peak_rate
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self.rng = rng
+        self.packet_size = packet_size
+
+    @property
+    def average_rate(self) -> float:
+        """Long-run average emission rate (Kb/s)."""
+        cycle = self.mean_on + self.mean_off
+        return self.peak_rate * self.mean_on / cycle if cycle > 0 else self.peak_rate
+
+    def packets_until(self, horizon: float) -> List[Packet]:
+        """All packets generated in ``[0, horizon)``."""
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
+        interval = self.packet_size / self.peak_rate
+        out: List[Packet] = []
+        t = 0.0
+        seq = 0
+        while t < horizon:
+            on_len = float(self.rng.exponential(self.mean_on))
+            burst_end = min(horizon, t + on_len)
+            while t < burst_end:
+                out.append(
+                    Packet(
+                        channel_id=self.channel_id,
+                        size=self.packet_size,
+                        created_at=t,
+                        sequence=seq,
+                    )
+                )
+                seq += 1
+                t += interval
+            if self.mean_off > 0:
+                t = max(t, burst_end) + float(self.rng.exponential(self.mean_off))
+            else:
+                t = max(t, burst_end)
+        return out
+
+
+def merge_streams(streams: List[List[Packet]]) -> Iterator[Packet]:
+    """Merge per-source packet lists into one time-ordered stream.
+
+    Ties are broken by (channel id, sequence) so merging is
+    deterministic.
+    """
+    tagged = [pkt for stream in streams for pkt in stream]
+    tagged.sort(key=lambda p: (p.created_at, p.channel_id, p.sequence))
+    return iter(tagged)

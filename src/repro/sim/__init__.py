@@ -1,0 +1,36 @@
+"""Discrete-event simulation of DR-connections with elastic QoS."""
+
+from repro.sim.engine import EventScheduler
+from repro.sim.estimation import TransitionEstimator
+from repro.sim.simulator import (
+    SETUP_MODES,
+    ElasticQoSSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.sim.scenarios import bandwidth_tiers, utility_classes, video_mix
+from repro.sim.stats import Measurement, MeasurementResult
+from repro.sim.trace import TraceRecord, TraceRecorder, TraceSummary, verify_trace
+from repro.sim.workload import QoSFactory, Workload, WorkloadConfig, constant_qos
+
+__all__ = [
+    "EventScheduler",
+    "TransitionEstimator",
+    "SETUP_MODES",
+    "ElasticQoSSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "bandwidth_tiers",
+    "utility_classes",
+    "video_mix",
+    "Measurement",
+    "MeasurementResult",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceSummary",
+    "verify_trace",
+    "QoSFactory",
+    "Workload",
+    "WorkloadConfig",
+    "constant_qos",
+]

@@ -1,0 +1,113 @@
+"""A small deterministic discrete-event scheduling engine.
+
+The paper's evaluation relies on "detailed simulations"; this engine is
+the substrate those simulations run on (simpy is not available offline —
+DESIGN.md substitution 4).  It is a classic binary-heap event loop:
+
+* events are ``(time, sequence, action)`` triples; the monotonically
+  increasing sequence number makes simultaneous events fire in
+  scheduling order, so runs are bit-for-bit reproducible;
+* cancellation is lazy (a tombstone set) — O(1) cancel, amortised cost
+  paid at pop time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+
+#: An event action: a zero-argument callable (usually a closure).
+Action = Callable[[], None]
+
+
+class EventScheduler:
+    """Deterministic event loop with virtual time."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, int, Action]] = []
+        self._seq: int = 0
+        self._cancelled: Set[int] = set()
+        self._events_run: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, action: Action) -> int:
+        """Schedule ``action`` at absolute ``time``; returns a handle.
+
+        Raises:
+            SimulationError: if ``time`` lies in the past.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}; current time is {self.now}"
+            )
+        handle = self._seq
+        self._seq += 1
+        heapq.heappush(self._heap, (time, handle, handle, action))
+        return handle
+
+    def schedule_after(self, delay: float, action: Action) -> int:
+        """Schedule ``action`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.now + delay, action)
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a scheduled event (idempotent; firing is skipped)."""
+        self._cancelled.add(handle)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of pending (possibly cancelled) events."""
+        return len(self._heap)
+
+    @property
+    def events_run(self) -> int:
+        """How many events have fired so far."""
+        return self._events_run
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` when empty."""
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, handle, _, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(handle)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when nothing is pending."""
+        while self._heap:
+            time, handle, _, action = heapq.heappop(self._heap)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            self.now = time
+            self._events_run += 1
+            action()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None, until: Optional[float] = None) -> int:
+        """Run events until exhaustion, ``max_events``, or time ``until``.
+
+        Returns the number of events fired by this call.  ``until`` is
+        inclusive: an event exactly at ``until`` still fires, and
+        ``self.now`` is advanced to ``until`` when the queue outlives it.
+        """
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                return fired
+            next_time = self.peek_time()
+            if next_time is None:
+                return fired
+            if until is not None and next_time > until:
+                self.now = until
+                return fired
+            self.step()
+            fired += 1

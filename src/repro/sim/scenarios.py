@@ -1,0 +1,114 @@
+"""Canned workload scenarios: realistic QoS mixes for examples and tests.
+
+The paper's experiments use one homogeneous contract; real deployments
+mix traffic classes.  These factories build
+:data:`~repro.sim.workload.QoSFactory` callables for common mixes so
+examples, tests and user code can say *what* workload they want instead
+of hand-rolling per-request logic:
+
+* :func:`video_mix` — the paper's video service with standard and
+  premium tiers plus a telemetry fraction;
+* :func:`utility_classes` — k utility classes with given weights;
+* :func:`bandwidth_tiers` — distinct elastic ranges per tier (audio /
+  SD video / HD video).
+
+All factories are deterministic in the request index, so two runs over
+the same indices get identical contracts (reproducibility without
+threading an RNG through).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import QoSSpecError
+from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS, single_value_qos
+from repro.sim.workload import QoSFactory
+
+
+def video_mix(
+    premium_every: int = 3,
+    telemetry_every: int = 13,
+    premium_utility: float = 4.0,
+) -> QoSFactory:
+    """The video-service mix of the paper's motivation section.
+
+    Every ``telemetry_every``-th request is a fixed-rate 50 Kb/s
+    telemetry channel; of the rest, every ``premium_every``-th is a
+    premium (high-utility) video client; all others are standard video
+    clients with the paper's 100..500 Kb/s range.
+    """
+    if premium_every < 1 or telemetry_every < 1:
+        raise QoSSpecError("mix periods must be >= 1")
+
+    def factory(index: int) -> ConnectionQoS:
+        if index % telemetry_every == 0:
+            return ConnectionQoS(
+                performance=single_value_qos(50.0),
+                dependability=DependabilityQoS(num_backups=1),
+            )
+        utility = premium_utility if index % premium_every == 0 else 1.0
+        return ConnectionQoS(
+            performance=ElasticQoS(
+                b_min=100.0, b_max=500.0, increment=50.0, utility=utility
+            ),
+            dependability=DependabilityQoS(num_backups=1),
+        )
+
+    return factory
+
+
+def utility_classes(
+    utilities: Sequence[float],
+    b_min: float = 100.0,
+    b_max: float = 500.0,
+    increment: float = 50.0,
+    num_backups: int = 1,
+) -> QoSFactory:
+    """Round-robin over utility classes with a shared bandwidth range."""
+    if not utilities:
+        raise QoSSpecError("need at least one utility class")
+    contracts = [
+        ConnectionQoS(
+            performance=ElasticQoS(
+                b_min=b_min, b_max=b_max, increment=increment, utility=u
+            ),
+            dependability=DependabilityQoS(num_backups=num_backups),
+        )
+        for u in utilities
+    ]
+
+    def factory(index: int) -> ConnectionQoS:
+        return contracts[index % len(contracts)]
+
+    return factory
+
+
+def bandwidth_tiers(
+    tiers: Sequence[Tuple[float, float, float]],
+    num_backups: int = 1,
+) -> QoSFactory:
+    """Round-robin over ``(b_min, b_max, increment)`` tiers.
+
+    Example: ``bandwidth_tiers([(50, 50, 50), (100, 500, 50),
+    (500, 2000, 250)])`` models audio, SD video and HD video classes.
+    """
+    if not tiers:
+        raise QoSSpecError("need at least one bandwidth tier")
+    contracts: List[ConnectionQoS] = []
+    for b_min, b_max, increment in tiers:
+        if b_min == b_max:
+            perf = single_value_qos(b_min)
+        else:
+            perf = ElasticQoS(b_min=b_min, b_max=b_max, increment=increment)
+        contracts.append(
+            ConnectionQoS(
+                performance=perf,
+                dependability=DependabilityQoS(num_backups=num_backups),
+            )
+        )
+
+    def factory(index: int) -> ConnectionQoS:
+        return contracts[index % len(contracts)]
+
+    return factory

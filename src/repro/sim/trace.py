@@ -1,0 +1,217 @@
+"""Structured event traces: record, export, summarise, replay-check.
+
+A :class:`TraceRecorder` turns the simulator's event stream into a
+compact, serialisable trace — one :class:`TraceRecord` per event with
+the per-channel level transitions it caused.  Traces serve three
+purposes:
+
+* **debugging** — inspect exactly what a run did, event by event;
+* **reproducibility** — export to JSON, attach to experiment reports;
+* **validation** — :func:`verify_trace` replays the arithmetic of a
+  trace (population accounting, level bounds, time monotonicity)
+  independently of the simulator that produced it, so a bookkeeping bug
+  in either shows up as a disagreement.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.channels.records import EventImpact, EventKind
+from repro.errors import SimulationError
+
+
+@dataclass
+class TraceRecord:
+    """One event, as it affected the channel population.
+
+    Attributes:
+        time: Simulation timestamp.
+        kind: Event kind value (``arrival``/``termination``/...).
+        conn_id: The event's own connection (None for failures/repairs).
+        accepted: For arrivals, whether the request was admitted.
+        failed_link: For failures/repairs, the link involved.
+        direct: ``conn_id -> (level before, level after)`` transitions of
+            directly-chained channels.
+        indirect: Same for indirectly-chained channels that moved.
+        activated: Connections whose backup went live.
+        dropped: Connections lost to the failure.
+        lost_backup: Connections left unprotected.
+        population: Live connections *after* the event.
+        average_bandwidth: Mean live bandwidth *after* the event (Kb/s).
+    """
+
+    time: float
+    kind: str
+    conn_id: Optional[int]
+    accepted: bool
+    failed_link: Optional[Tuple[int, int]]
+    direct: Dict[int, Tuple[int, int]]
+    indirect: Dict[int, Tuple[int, int]]
+    activated: List[int]
+    dropped: List[int]
+    lost_backup: List[int]
+    population: int
+    average_bandwidth: float
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of a trace."""
+
+    events: int = 0
+    arrivals: int = 0
+    accepted_arrivals: int = 0
+    terminations: int = 0
+    failures: int = 0
+    repairs: int = 0
+    level_increases: int = 0
+    level_decreases: int = 0
+    duration: float = 0.0
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Accepted fraction of arrival events (1.0 with none)."""
+        return self.accepted_arrivals / self.arrivals if self.arrivals else 1.0
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceRecord` entries from event impacts."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def record(
+        self, impact: EventImpact, population: int, average_bandwidth: float
+    ) -> None:
+        """Append one event's record (call after the event was applied)."""
+        self.records.append(
+            TraceRecord(
+                time=impact.time,
+                kind=impact.kind.value,
+                conn_id=impact.conn_id,
+                accepted=impact.accepted,
+                failed_link=impact.failed_link,
+                direct=dict(impact.direct),
+                indirect=dict(impact.indirect_changed),
+                activated=list(impact.activated),
+                dropped=list(impact.dropped),
+                lost_backup=list(impact.lost_backup),
+                population=population,
+                average_bandwidth=average_bandwidth,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def summary(self) -> TraceSummary:
+        """Aggregate counters over the whole trace."""
+        out = TraceSummary(events=len(self.records))
+        for rec in self.records:
+            if rec.kind == EventKind.ARRIVAL.value:
+                out.arrivals += 1
+                out.accepted_arrivals += int(rec.accepted)
+            elif rec.kind == EventKind.TERMINATION.value:
+                out.terminations += 1
+            elif rec.kind == EventKind.FAILURE.value:
+                out.failures += 1
+            elif rec.kind == EventKind.REPAIR.value:
+                out.repairs += 1
+            for before, after in list(rec.direct.values()) + list(rec.indirect.values()):
+                if after > before:
+                    out.level_increases += 1
+                elif after < before:
+                    out.level_decreases += 1
+        if self.records:
+            out.duration = self.records[-1].time - self.records[0].time
+        return out
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise the trace to a JSON string."""
+        payload = []
+        for rec in self.records:
+            d = asdict(rec)
+            # JSON keys must be strings; tuples must become lists.
+            d["direct"] = {str(k): list(v) for k, v in rec.direct.items()}
+            d["indirect"] = {str(k): list(v) for k, v in rec.indirect.items()}
+            d["failed_link"] = list(rec.failed_link) if rec.failed_link else None
+            payload.append(d)
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceRecorder":
+        """Reconstruct a trace from :meth:`to_json` output."""
+        recorder = cls()
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SimulationError(f"malformed trace JSON: {exc}") from exc
+        for d in payload:
+            recorder.records.append(
+                TraceRecord(
+                    time=float(d["time"]),
+                    kind=str(d["kind"]),
+                    conn_id=d["conn_id"],
+                    accepted=bool(d["accepted"]),
+                    failed_link=tuple(d["failed_link"]) if d["failed_link"] else None,
+                    direct={int(k): tuple(v) for k, v in d["direct"].items()},
+                    indirect={int(k): tuple(v) for k, v in d["indirect"].items()},
+                    activated=list(d["activated"]),
+                    dropped=list(d["dropped"]),
+                    lost_backup=list(d["lost_backup"]),
+                    population=int(d["population"]),
+                    average_bandwidth=float(d["average_bandwidth"]),
+                )
+            )
+        return recorder
+
+
+def verify_trace(recorder: TraceRecorder, num_levels: int) -> None:
+    """Independent consistency check of a recorded trace.
+
+    Verifies, without consulting the simulator:
+
+    * timestamps are non-decreasing;
+    * every level transition stays within ``[0, num_levels)``;
+    * the population counter moves consistently with the event kinds
+      (+1 on accepted arrival, -1 per termination/drop, else 0).
+
+    Raises:
+        SimulationError: on the first inconsistency found.
+    """
+    prev_time = float("-inf")
+    prev_population: Optional[int] = None
+    for index, rec in enumerate(recorder.records):
+        if rec.time < prev_time - 1e-12:
+            raise SimulationError(f"record {index}: time went backwards")
+        prev_time = rec.time
+        for cid, (before, after) in list(rec.direct.items()) + list(
+            rec.indirect.items()
+        ):
+            for level in (before, after):
+                if not 0 <= level < num_levels:
+                    raise SimulationError(
+                        f"record {index}: channel {cid} level {level} out of range"
+                    )
+        if prev_population is not None:
+            delta = 0
+            if rec.kind == EventKind.ARRIVAL.value and rec.accepted:
+                delta += 1
+            if rec.kind == EventKind.TERMINATION.value:
+                delta -= 1
+            delta -= len(rec.dropped)
+            if rec.population != prev_population + delta:
+                raise SimulationError(
+                    f"record {index}: population {rec.population} inconsistent "
+                    f"with previous {prev_population} and event {rec.kind}"
+                )
+        prev_population = rec.population

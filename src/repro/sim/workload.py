@@ -1,0 +1,153 @@
+"""Workload generation: who requests what, when, and what fails.
+
+Implements the paper's experimental workload (§4): DR-connection
+requests between uniformly random node pairs, exponential inter-arrival
+and holding behaviour with λ = μ ("we only analyze the steady-state
+behavior"), uniformly random victim selection for terminations, and
+Poisson link failures.  The paper keeps the number of connections
+"close to the initial number" during measurement; ``balanced`` mode
+enforces this by alternating accepted arrivals and terminations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.qos.spec import ConnectionQoS
+from repro.topology.graph import LinkId, Network
+
+#: Factory for per-request QoS contracts; receives the request index so
+#: heterogeneous workloads (e.g. mixed utilities) can be generated.
+QoSFactory = Callable[[int], ConnectionQoS]
+
+
+def constant_qos(qos: ConnectionQoS) -> QoSFactory:
+    """A factory that hands every request the same contract (the paper)."""
+
+    def factory(_index: int) -> ConnectionQoS:
+        return qos
+
+    return factory
+
+
+@dataclass
+class WorkloadConfig:
+    """Stochastic workload parameters.
+
+    Attributes:
+        arrival_rate: λ — network-wide DR-connection request rate.
+        termination_rate: μ — network-wide termination rate (the paper
+            sets μ = λ).
+        link_failure_rate: γ — per-link failure rate; the total failure
+            rate is γ times the number of alive links.
+        repair_rate: per-failed-link repair rate; 0 means links stay
+            failed (the paper models no repair, but long high-γ runs
+            need repairs to avoid eroding the topology — see DESIGN.md).
+        balanced: alternate accepted arrivals and terminations so the
+            population stays pinned near its initial value.
+    """
+
+    arrival_rate: float = 0.001
+    termination_rate: float = 0.001
+    link_failure_rate: float = 0.0
+    repair_rate: float = 0.0
+    balanced: bool = True
+
+    def __post_init__(self) -> None:
+        for rate, name in (
+            (self.arrival_rate, "arrival_rate"),
+            (self.termination_rate, "termination_rate"),
+            (self.link_failure_rate, "link_failure_rate"),
+            (self.repair_rate, "repair_rate"),
+        ):
+            if rate < 0:
+                raise SimulationError(f"{name} must be non-negative, got {rate}")
+        if self.arrival_rate == 0 and self.termination_rate == 0 and self.link_failure_rate == 0:
+            raise SimulationError("workload has no events at all")
+
+
+class Workload:
+    """Random decision source for one simulation run."""
+
+    def __init__(
+        self,
+        topology: Network,
+        qos_factory: QoSFactory,
+        config: WorkloadConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        if topology.num_nodes < 2:
+            raise SimulationError("workload needs a topology with at least two nodes")
+        self.topology = topology
+        self.qos_factory = qos_factory
+        self.config = config
+        self.rng = rng
+        self._nodes = np.array(topology.nodes())
+        self._links: List[LinkId] = topology.link_ids()
+        self._request_index = 0
+
+    # ------------------------------------------------------------------
+    # request generation
+    # ------------------------------------------------------------------
+    def next_request(self) -> Tuple[int, int, ConnectionQoS]:
+        """A fresh request: random distinct (source, destination) + QoS."""
+        src, dst = self.rng.choice(self._nodes, size=2, replace=False)
+        qos = self.qos_factory(self._request_index)
+        self._request_index += 1
+        return int(src), int(dst), qos
+
+    def pick_termination(self, live_ids: Sequence[int]) -> int:
+        """Uniformly random live connection to terminate."""
+        if not live_ids:
+            raise SimulationError("no live connections to terminate")
+        return int(live_ids[int(self.rng.integers(len(live_ids)))])
+
+    def pick_failure(self, alive_links: Sequence[LinkId]) -> LinkId:
+        """Uniformly random alive link to fail."""
+        if not alive_links:
+            raise SimulationError("no alive links to fail")
+        return alive_links[int(self.rng.integers(len(alive_links)))]
+
+    def pick_repair(self, failed_links: Sequence[LinkId]) -> LinkId:
+        """Uniformly random failed link to repair."""
+        if not failed_links:
+            raise SimulationError("no failed links to repair")
+        return failed_links[int(self.rng.integers(len(failed_links)))]
+
+    # ------------------------------------------------------------------
+    # event timing (competing exponentials / Gillespie)
+    # ------------------------------------------------------------------
+    def event_rates(self, num_alive_links: int, num_failed_links: int, num_live: int) -> dict:
+        """Current rate of each event category."""
+        cfg = self.config
+        return {
+            "churn": cfg.arrival_rate + (cfg.termination_rate if num_live > 0 else 0.0),
+            "failure": cfg.link_failure_rate * num_alive_links,
+            "repair": cfg.repair_rate * num_failed_links,
+        }
+
+    def draw_event(
+        self, num_alive_links: int, num_failed_links: int, num_live: int
+    ) -> Tuple[float, str]:
+        """Sample (delay, category) from the competing exponentials.
+
+        Categories are ``churn`` (arrival/termination — the caller
+        resolves which, honouring balanced mode), ``failure`` and
+        ``repair``.
+        """
+        rates = self.event_rates(num_alive_links, num_failed_links, num_live)
+        total = sum(rates.values())
+        if total <= 0:
+            raise SimulationError("total event rate vanished")
+        delay = float(self.rng.exponential(1.0 / total))
+        draw = float(self.rng.random()) * total
+        acc = 0.0
+        for category, rate in rates.items():
+            acc += rate
+            if draw <= acc:
+                return delay, category
+        return delay, "churn"  # numerical edge: fall back to the bulk category

@@ -1,0 +1,85 @@
+"""Network topology substrate: graph type, generators and metrics.
+
+This package replaces the paper's use of the GT-ITM topology package:
+:func:`waxman_network` / :func:`paper_random_network` generate the
+"Random" graphs and :func:`transit_stub_network` the "Tier" graphs of
+Table 1.  See DESIGN.md substitution 1 for the beta-calibration story.
+"""
+
+from repro.topology.graph import Link, LinkId, Network, link_id, network_from_edges
+from repro.topology.metrics import (
+    average_degree,
+    average_shortest_path_hops,
+    bfs_distances,
+    connected_components,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    is_connected,
+    leaf_nodes,
+)
+from repro.topology.random_flat import (
+    pure_random_network,
+    pure_random_with_edge_target,
+)
+from repro.topology.regular import (
+    complete_network,
+    dumbbell_network,
+    grid_network,
+    line_network,
+    ring_network,
+)
+from repro.topology.transit_stub import (
+    TransitStubParams,
+    stub_node_ids,
+    transit_node_ids,
+    transit_stub_network,
+)
+from repro.topology.waxman import (
+    PAPER_WAXMAN_ALPHA,
+    PAPER_WAXMAN_EDGES,
+    PAPER_WAXMAN_NODES,
+    WaxmanParams,
+    calibrate_beta,
+    expected_edges,
+    paper_random_network,
+    waxman_edge_probability,
+    waxman_network,
+)
+
+__all__ = [
+    "Link",
+    "LinkId",
+    "Network",
+    "link_id",
+    "network_from_edges",
+    "average_degree",
+    "average_shortest_path_hops",
+    "bfs_distances",
+    "connected_components",
+    "degree_histogram",
+    "diameter",
+    "eccentricity",
+    "is_connected",
+    "leaf_nodes",
+    "pure_random_network",
+    "pure_random_with_edge_target",
+    "complete_network",
+    "dumbbell_network",
+    "grid_network",
+    "line_network",
+    "ring_network",
+    "TransitStubParams",
+    "stub_node_ids",
+    "transit_node_ids",
+    "transit_stub_network",
+    "PAPER_WAXMAN_ALPHA",
+    "PAPER_WAXMAN_EDGES",
+    "PAPER_WAXMAN_NODES",
+    "WaxmanParams",
+    "calibrate_beta",
+    "expected_edges",
+    "paper_random_network",
+    "waxman_edge_probability",
+    "waxman_network",
+]

@@ -1,0 +1,284 @@
+"""Immutable-ish network topology substrate.
+
+A :class:`Network` is an undirected multigraph-free graph of numbered
+nodes connected by capacity-labelled links.  Topology objects hold only
+*structure* (who is connected to whom, with what raw capacity and what
+geometric length); all run-time resource state (reservations, failures)
+lives in :mod:`repro.network`, keyed by :data:`LinkId`.  This separation
+lets one topology be shared by many simulations.
+
+Links are undirected: the paper models a link's bandwidth as a single
+pool shared by the channels traversing it in either direction, and all
+its experiments quote one capacity per link.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+
+#: Canonical identifier of an undirected link: ``(min(u, v), max(u, v))``.
+LinkId = Tuple[int, int]
+
+
+def link_id(u: int, v: int) -> LinkId:
+    """Return the canonical identifier for the undirected link ``{u, v}``."""
+    if u == v:
+        raise TopologyError(f"self-loop {u}-{v} is not a valid link")
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass(frozen=True)
+class Link:
+    """A single undirected link.
+
+    Attributes:
+        u: Lower-numbered endpoint.
+        v: Higher-numbered endpoint.
+        capacity: Raw bandwidth capacity (Kb/s).
+        length: Geometric length (used by distance-aware generators and
+            as an optional routing weight); defaults to 1.0.
+    """
+
+    u: int
+    v: int
+    capacity: float
+    length: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.u >= self.v:
+            raise TopologyError(f"link endpoints must satisfy u < v, got ({self.u}, {self.v})")
+        if self.capacity <= 0:
+            raise TopologyError(
+                f"link ({self.u}, {self.v}) has non-positive capacity {self.capacity}"
+            )
+        if self.length <= 0:
+            raise TopologyError(f"link ({self.u}, {self.v}) has non-positive length {self.length}")
+
+    @property
+    def id(self) -> LinkId:
+        """Canonical identifier of this link."""
+        return (self.u, self.v)
+
+    def other(self, node: int) -> int:
+        """Return the endpoint of this link that is not ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise TopologyError(f"node {node} is not an endpoint of link {self.id}")
+
+
+@dataclass
+class Network:
+    """An undirected network of nodes and capacity-labelled links.
+
+    Nodes are integers.  Optional 2-D positions support the geometric
+    generators (Waxman) and are carried along for reproducibility, but
+    nothing else in the library depends on them.
+    """
+
+    _adj: Dict[int, Dict[int, Link]] = field(default_factory=dict)
+    _links: Dict[LinkId, Link] = field(default_factory=dict)
+    _positions: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: int, position: Optional[Tuple[float, float]] = None) -> None:
+        """Add ``node``; re-adding an existing node only updates its position."""
+        if node not in self._adj:
+            self._adj[node] = {}
+        if position is not None:
+            self._positions[node] = (float(position[0]), float(position[1]))
+
+    def add_link(self, u: int, v: int, capacity: float, length: Optional[float] = None) -> Link:
+        """Create the undirected link ``{u, v}`` and return it.
+
+        Endpoints are added implicitly.  ``length`` defaults to the
+        Euclidean distance between the endpoint positions when both are
+        known, else 1.0.
+
+        Raises:
+            TopologyError: if the link already exists or is a self-loop.
+        """
+        lid = link_id(u, v)
+        if lid in self._links:
+            raise TopologyError(f"link {lid} already exists")
+        self.add_node(u)
+        self.add_node(v)
+        if length is None:
+            length = self.distance(u, v) if (u in self._positions and v in self._positions) else 1.0
+            if length <= 0.0:
+                length = 1e-9  # coincident points: keep a valid positive length
+        link = Link(lid[0], lid[1], float(capacity), float(length))
+        self._links[lid] = link
+        self._adj[u][v] = link
+        self._adj[v][u] = link
+        return link
+
+    def remove_link(self, u: int, v: int) -> None:
+        """Remove the undirected link ``{u, v}``.
+
+        Raises:
+            TopologyError: if the link does not exist.
+        """
+        lid = link_id(u, v)
+        if lid not in self._links:
+            raise TopologyError(f"link {lid} does not exist")
+        del self._links[lid]
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    @property
+    def num_links(self) -> int:
+        """Number of undirected links."""
+        return len(self._links)
+
+    def nodes(self) -> List[int]:
+        """All node identifiers, sorted."""
+        return sorted(self._adj)
+
+    def links(self) -> List[Link]:
+        """All links, sorted by canonical identifier."""
+        return [self._links[lid] for lid in sorted(self._links)]
+
+    def link_ids(self) -> List[LinkId]:
+        """All canonical link identifiers, sorted."""
+        return sorted(self._links)
+
+    def has_node(self, node: int) -> bool:
+        """Whether ``node`` exists."""
+        return node in self._adj
+
+    def has_link(self, u: int, v: int) -> bool:
+        """Whether the undirected link ``{u, v}`` exists."""
+        return link_id(u, v) in self._links
+
+    def get_link(self, u: int, v: int) -> Link:
+        """Return the link ``{u, v}``.
+
+        Raises:
+            TopologyError: if it does not exist.
+        """
+        lid = link_id(u, v)
+        try:
+            return self._links[lid]
+        except KeyError:
+            raise TopologyError(f"link {lid} does not exist") from None
+
+    def neighbors(self, node: int) -> List[int]:
+        """Neighbours of ``node``, sorted.
+
+        Raises:
+            TopologyError: if ``node`` does not exist.
+        """
+        try:
+            return sorted(self._adj[node])
+        except KeyError:
+            raise TopologyError(f"node {node} does not exist") from None
+
+    def incident_links(self, node: int) -> List[Link]:
+        """Links incident to ``node``, sorted by the opposite endpoint."""
+        if node not in self._adj:
+            raise TopologyError(f"node {node} does not exist")
+        return [self._adj[node][nbr] for nbr in sorted(self._adj[node])]
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        if node not in self._adj:
+            raise TopologyError(f"node {node} does not exist")
+        return len(self._adj[node])
+
+    def position(self, node: int) -> Optional[Tuple[float, float]]:
+        """Position of ``node`` or ``None`` when the topology is non-geometric."""
+        return self._positions.get(node)
+
+    def distance(self, u: int, v: int) -> float:
+        """Euclidean distance between two positioned nodes.
+
+        Raises:
+            TopologyError: if either node has no position.
+        """
+        try:
+            xu, yu = self._positions[u]
+            xv, yv = self._positions[v]
+        except KeyError as exc:
+            raise TopologyError(f"node {exc.args[0]} has no position") from None
+        return math.hypot(xu - xv, yu - yv)
+
+    # ------------------------------------------------------------------
+    # path helpers
+    # ------------------------------------------------------------------
+    def path_links(self, path: Sequence[int]) -> List[LinkId]:
+        """Translate a node path into its canonical link identifiers.
+
+        Raises:
+            TopologyError: if any hop is not an existing link.
+        """
+        out: List[LinkId] = []
+        for a, b in zip(path, path[1:]):
+            lid = link_id(a, b)
+            if lid not in self._links:
+                raise TopologyError(f"path uses non-existent link {lid}")
+            out.append(lid)
+        return out
+
+    def is_path(self, path: Sequence[int]) -> bool:
+        """Whether ``path`` is a valid simple node path in this network."""
+        if len(path) < 2 or len(set(path)) != len(path):
+            return False
+        try:
+            self.path_links(path)
+        except TopologyError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "Network":
+        """Structural copy sharing the (immutable) :class:`Link` objects."""
+        other = Network()
+        other._adj = {n: dict(nbrs) for n, nbrs in self._adj.items()}
+        other._links = dict(self._links)
+        other._positions = dict(self._positions)
+        return other
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Network(nodes={self.num_nodes}, links={self.num_links})"
+
+
+def network_from_edges(
+    edges: Iterable[Tuple[int, int]],
+    capacity: float,
+    positions: Optional[Dict[int, Tuple[float, float]]] = None,
+) -> Network:
+    """Build a uniform-capacity :class:`Network` from an edge list."""
+    net = Network()
+    if positions:
+        for node, pos in positions.items():
+            net.add_node(node, pos)
+    for u, v in edges:
+        net.add_link(u, v, capacity)
+    return net
+
+
+def iter_adjacent(net: Network, node: int) -> Iterator[Tuple[int, Link]]:
+    """Iterate ``(neighbor, link)`` pairs of ``node`` in sorted order."""
+    for nbr in net.neighbors(node):
+        yield nbr, net.get_link(node, nbr)

@@ -1,0 +1,125 @@
+"""Structural metrics over :class:`~repro.topology.graph.Network`.
+
+These are the quantities the paper reports about its generated
+topologies — node/edge counts, average degree ("average degree of
+connection 3.48"), and diameter ("average diameter 8") — plus the
+connectivity predicates the generators need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.errors import TopologyError
+from repro.topology.graph import Network
+
+
+def bfs_distances(net: Network, source: int) -> Dict[int, int]:
+    """Hop distances from ``source`` to every reachable node (BFS)."""
+    if not net.has_node(source):
+        raise TopologyError(f"node {source} does not exist")
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nbr in net.neighbors(node):
+            if nbr not in dist:
+                dist[nbr] = dist[node] + 1
+                queue.append(nbr)
+    return dist
+
+
+def connected_components(net: Network) -> List[List[int]]:
+    """Connected components, each sorted, ordered by smallest member."""
+    seen: set[int] = set()
+    components: List[List[int]] = []
+    for node in net.nodes():
+        if node in seen:
+            continue
+        comp = sorted(bfs_distances(net, node))
+        seen.update(comp)
+        components.append(comp)
+    components.sort(key=lambda c: c[0])
+    return components
+
+
+def is_connected(net: Network) -> bool:
+    """Whether the network is connected (vacuously true when empty)."""
+    if net.num_nodes == 0:
+        return True
+    any_node = net.nodes()[0]
+    return len(bfs_distances(net, any_node)) == net.num_nodes
+
+
+def average_degree(net: Network) -> float:
+    """Mean node degree, ``2·|E| / |V|``."""
+    if net.num_nodes == 0:
+        raise TopologyError("average degree of an empty network is undefined")
+    return 2.0 * net.num_links / net.num_nodes
+
+
+def eccentricity(net: Network, node: int) -> int:
+    """Greatest hop distance from ``node`` to any other node.
+
+    Raises:
+        TopologyError: if the network is disconnected (eccentricity is
+            infinite) or ``node`` is unknown.
+    """
+    dist = bfs_distances(net, node)
+    if len(dist) != net.num_nodes:
+        raise TopologyError("eccentricity is undefined on a disconnected network")
+    return max(dist.values())
+
+
+def diameter(net: Network, sample: Optional[int] = None) -> int:
+    """Hop diameter of a connected network.
+
+    Args:
+        net: Network to measure.
+        sample: When given, estimate the diameter from this many evenly
+            spaced source nodes instead of all of them (a lower bound,
+            adequate for progress reporting on large graphs).
+    """
+    nodes = net.nodes()
+    if not nodes:
+        raise TopologyError("diameter of an empty network is undefined")
+    if sample is not None and sample < len(nodes):
+        step = max(1, len(nodes) // sample)
+        nodes = nodes[::step]
+    return max(eccentricity(net, n) for n in nodes)
+
+
+def average_shortest_path_hops(net: Network) -> float:
+    """Mean hop distance over all ordered reachable node pairs."""
+    nodes = net.nodes()
+    if len(nodes) < 2:
+        raise TopologyError("average path length needs at least two nodes")
+    total = 0
+    pairs = 0
+    for node in nodes:
+        dist = bfs_distances(net, node)
+        total += sum(d for other, d in dist.items() if other != node)
+        pairs += len(dist) - 1
+    if pairs == 0:
+        raise TopologyError("network has no connected pairs")
+    return total / pairs
+
+
+def degree_histogram(net: Network) -> Dict[int, int]:
+    """Map ``degree -> number of nodes with that degree``."""
+    hist: Dict[int, int] = {}
+    for node in net.nodes():
+        d = net.degree(node)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def leaf_nodes(net: Network) -> List[int]:
+    """Nodes of degree one.
+
+    The paper attributes its small model-vs-simulation discrepancy to
+    leaf nodes behaving differently from interior nodes, so the
+    experiment runners report this count alongside the results.
+    """
+    return [n for n in net.nodes() if net.degree(n) == 1]

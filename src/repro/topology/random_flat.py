@@ -1,0 +1,80 @@
+"""Flat (Erdős–Rényi-style) random topologies — GT-ITM's "pure random" flavour.
+
+GT-ITM's flat random models [14] include, besides the Waxman method the
+paper uses, a *pure random* method where every node pair is connected
+with a fixed probability ``p`` independent of distance.  It is included
+here for completeness of the GT-ITM substitution and as a structural
+counterpoint in experiments: at equal edge counts, pure-random graphs
+lack Waxman's geometric locality, which shifts chaining probabilities
+(Pf, Ps) and therefore the Markov chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.graph import Network
+from repro.topology.metrics import connected_components
+
+
+def pure_random_network(
+    n: int,
+    edge_probability: float,
+    capacity: float,
+    rng: np.random.Generator,
+    ensure_connected: bool = True,
+) -> Network:
+    """G(n, p) random network with uniform link capacity.
+
+    Args:
+        n: Number of nodes.
+        edge_probability: Independent probability of each node pair.
+        capacity: Uniform link capacity (Kb/s).
+        rng: Randomness source.
+        ensure_connected: Join components with random bridging edges (a
+            non-geometric analogue of the Waxman generator's repair).
+    """
+    if n < 2:
+        raise TopologyError(f"need at least 2 nodes, got {n}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise TopologyError(f"edge probability must be in [0, 1], got {edge_probability}")
+    net = Network()
+    for node in range(n):
+        net.add_node(node)
+    draws = rng.random((n, n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draws[u, v] < edge_probability:
+                net.add_link(u, v, capacity)
+    if ensure_connected:
+        _bridge_components(net, capacity, rng)
+    return net
+
+
+def pure_random_with_edge_target(
+    n: int,
+    target_edges: int,
+    capacity: float,
+    rng: np.random.Generator,
+) -> Network:
+    """G(n, p) with ``p`` chosen so the expected edge count hits a target."""
+    pairs = n * (n - 1) / 2.0
+    if not 0 < target_edges <= pairs:
+        raise TopologyError(
+            f"target edges {target_edges} outside (0, {pairs:.0f}] for n={n}"
+        )
+    return pure_random_network(n, target_edges / pairs, capacity, rng)
+
+
+def _bridge_components(net: Network, capacity: float, rng: np.random.Generator) -> None:
+    """Connect components with uniformly random absent bridging edges."""
+    while True:
+        comps = connected_components(net)
+        if len(comps) <= 1:
+            return
+        body, other = comps[0], comps[1]
+        u = int(rng.choice(body))
+        v = int(rng.choice(other))
+        if not net.has_link(u, v):
+            net.add_link(u, v, capacity)

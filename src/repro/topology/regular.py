@@ -1,0 +1,86 @@
+"""Small regular topologies used by tests and examples.
+
+None of these appear in the paper's evaluation (it deliberately targets
+irregular Internet-like graphs), but rings, lines, grids and complete
+graphs make the behaviour of routing, multiplexing and redistribution
+easy to reason about in unit tests and tutorials.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.graph import Network
+
+
+def line_network(n: int, capacity: float) -> Network:
+    """A path of ``n`` nodes: 0 - 1 - ... - (n-1)."""
+    if n < 2:
+        raise TopologyError(f"line network needs at least 2 nodes, got {n}")
+    net = Network()
+    for u in range(n - 1):
+        net.add_link(u, u + 1, capacity)
+    return net
+
+
+def ring_network(n: int, capacity: float) -> Network:
+    """A cycle of ``n`` nodes.
+
+    Handy for backup-channel tests: between any two ring nodes the
+    clockwise and counter-clockwise arcs are link-disjoint.
+    """
+    if n < 3:
+        raise TopologyError(f"ring network needs at least 3 nodes, got {n}")
+    net = line_network(n, capacity)
+    net.add_link(0, n - 1, capacity)
+    return net
+
+
+def complete_network(n: int, capacity: float) -> Network:
+    """The complete graph on ``n`` nodes."""
+    if n < 2:
+        raise TopologyError(f"complete network needs at least 2 nodes, got {n}")
+    net = Network()
+    for u in range(n):
+        for v in range(u + 1, n):
+            net.add_link(u, v, capacity)
+    return net
+
+
+def grid_network(rows: int, cols: int, capacity: float) -> Network:
+    """A ``rows x cols`` 4-neighbour mesh; node id is ``r * cols + c``."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise TopologyError(f"grid needs at least 2 nodes, got {rows}x{cols}")
+    net = Network()
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            net.add_node(node, (float(c), float(r)))
+            if c + 1 < cols:
+                net.add_link(node, node + 1, capacity)
+            if r + 1 < rows:
+                net.add_link(node, node + cols, capacity)
+    return net
+
+
+def dumbbell_network(
+    side: int, capacity: float, bottleneck_capacity: float | None = None
+) -> Network:
+    """Two stars joined by one bottleneck link.
+
+    Nodes ``1..side`` hang off hub 0; nodes ``side+2..2*side+1`` hang off
+    hub ``side+1``; the hubs share the single bottleneck link.  This is
+    the canonical shape for exercising reclamation: every cross-traffic
+    channel is forced through one shared link.
+    """
+    if side < 1:
+        raise TopologyError(f"dumbbell side must be >= 1, got {side}")
+    if bottleneck_capacity is None:
+        bottleneck_capacity = capacity
+    net = Network()
+    hub_a, hub_b = 0, side + 1
+    for leaf in range(1, side + 1):
+        net.add_link(hub_a, leaf, capacity)
+    for leaf in range(side + 2, 2 * side + 2):
+        net.add_link(hub_b, leaf, capacity)
+    net.add_link(hub_a, hub_b, bottleneck_capacity)
+    return net

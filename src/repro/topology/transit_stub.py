@@ -1,0 +1,169 @@
+"""Transit-stub hierarchical topology generator (GT-ITM "Tier" model).
+
+Table 1 of the paper compares its "Random" (Waxman) networks against a
+"Tier" network: a GT-ITM transit-stub graph [14].  A transit-stub
+topology has a small core of *transit domains* (wide-area backbones)
+whose nodes each attach several *stub domains* (campus/edge networks).
+Traffic between stubs must cross the transit core, so the core links
+saturate quickly — which is exactly why the paper observes that "most
+DR-connections are rejected due to the shortage of bandwidths in the
+transit-stub network".
+
+This module reimplements the model: transit domains are small connected
+Waxman-ish random graphs, stub domains likewise, every stub domain hangs
+off one transit node, and transit domains are joined into a connected
+core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.graph import Network
+
+
+@dataclass(frozen=True)
+class TransitStubParams:
+    """Shape parameters of a transit-stub topology.
+
+    The defaults produce roughly 100 nodes, matching the scale of the
+    paper's Table 1 "Tier" network: 2 transit domains x 4 transit nodes,
+    each transit node with 3 stub domains of 4 nodes each
+    (2*4 + 2*4*3*4 = 104 nodes).
+
+    Attributes:
+        transit_domains: Number of transit (backbone) domains.
+        transit_nodes_per_domain: Nodes in each transit domain.
+        stub_domains_per_transit_node: Stub domains attached to each
+            transit node.
+        stub_nodes_per_domain: Nodes in each stub domain.
+        intra_domain_edge_prob: Probability of each extra intra-domain
+            edge beyond the connectivity-guaranteeing ring/tree.
+    """
+
+    transit_domains: int = 2
+    transit_nodes_per_domain: int = 4
+    stub_domains_per_transit_node: int = 3
+    stub_nodes_per_domain: int = 4
+    intra_domain_edge_prob: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.transit_domains < 1:
+            raise TopologyError("need at least one transit domain")
+        if self.transit_nodes_per_domain < 1:
+            raise TopologyError("need at least one node per transit domain")
+        if self.stub_domains_per_transit_node < 0:
+            raise TopologyError("stub domain count cannot be negative")
+        if self.stub_nodes_per_domain < 1:
+            raise TopologyError("need at least one node per stub domain")
+        if not 0.0 <= self.intra_domain_edge_prob <= 1.0:
+            raise TopologyError("intra_domain_edge_prob must be a probability")
+
+    @property
+    def total_nodes(self) -> int:
+        """Total node count implied by the shape parameters."""
+        transit = self.transit_domains * self.transit_nodes_per_domain
+        stubs = transit * self.stub_domains_per_transit_node * self.stub_nodes_per_domain
+        return transit + stubs
+
+
+def _add_connected_cluster(
+    net: Network,
+    members: List[int],
+    capacity: float,
+    extra_edge_prob: float,
+    rng: np.random.Generator,
+) -> None:
+    """Wire ``members`` into a connected random cluster.
+
+    A random spanning path guarantees connectivity; each remaining pair
+    is added independently with ``extra_edge_prob``.
+    """
+    order = list(members)
+    rng.shuffle(order)
+    for a, b in zip(order, order[1:]):
+        if not net.has_link(a, b):
+            net.add_link(a, b, capacity)
+    for i, a in enumerate(members):
+        for b in members[i + 1 :]:
+            if not net.has_link(a, b) and rng.random() < extra_edge_prob:
+                net.add_link(a, b, capacity)
+
+
+def transit_stub_network(
+    params: TransitStubParams,
+    capacity: float,
+    rng: np.random.Generator,
+    transit_capacity: float | None = None,
+) -> Network:
+    """Generate a transit-stub network.
+
+    Args:
+        params: Shape parameters (domain counts and sizes).
+        capacity: Capacity of stub-domain and stub-to-transit links.
+        rng: Randomness source.
+        transit_capacity: Capacity of transit-core links; defaults to
+            ``capacity`` because the paper assumes one uniform link
+            bandwidth ("we assume that the bandwidth is the same for
+            all links in a given network").
+
+    Returns:
+        A connected :class:`Network` whose node numbering places all
+        transit nodes first, then stub nodes grouped by domain.
+    """
+    if transit_capacity is None:
+        transit_capacity = capacity
+    net = Network()
+    next_node = 0
+
+    transit_nodes_by_domain: List[List[int]] = []
+    for _ in range(params.transit_domains):
+        members = list(range(next_node, next_node + params.transit_nodes_per_domain))
+        next_node += params.transit_nodes_per_domain
+        for node in members:
+            net.add_node(node)
+        if len(members) > 1:
+            _add_connected_cluster(
+                net, members, transit_capacity, params.intra_domain_edge_prob, rng
+            )
+        transit_nodes_by_domain.append(members)
+
+    # Join transit domains into a connected core (chain of inter-domain
+    # links between random representative nodes, as GT-ITM does).
+    for dom_a, dom_b in zip(transit_nodes_by_domain, transit_nodes_by_domain[1:]):
+        a = int(rng.choice(dom_a))
+        b = int(rng.choice(dom_b))
+        if not net.has_link(a, b):
+            net.add_link(a, b, transit_capacity)
+
+    for domain in transit_nodes_by_domain:
+        for transit_node in domain:
+            for _ in range(params.stub_domains_per_transit_node):
+                members = list(range(next_node, next_node + params.stub_nodes_per_domain))
+                next_node += params.stub_nodes_per_domain
+                for node in members:
+                    net.add_node(node)
+                if len(members) > 1:
+                    _add_connected_cluster(
+                        net, members, capacity, params.intra_domain_edge_prob, rng
+                    )
+                gateway = int(rng.choice(members))
+                net.add_link(transit_node, gateway, capacity)
+
+    return net
+
+
+def transit_node_ids(params: TransitStubParams) -> List[int]:
+    """Node identifiers of the transit core under the generator's numbering."""
+    count = params.transit_domains * params.transit_nodes_per_domain
+    return list(range(count))
+
+
+def stub_node_ids(params: TransitStubParams) -> List[int]:
+    """Node identifiers of all stub-domain nodes under the generator's numbering."""
+    first = params.transit_domains * params.transit_nodes_per_domain
+    return list(range(first, params.total_nodes))

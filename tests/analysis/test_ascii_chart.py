@@ -1,0 +1,78 @@
+"""Unit tests for terminal charts."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.ascii_chart import ascii_chart, chart_rows
+from repro.errors import ReproError
+
+
+class TestAsciiChart:
+    def test_single_series_renders(self):
+        text = ascii_chart({"sim": [(0, 0.0), (5, 10.0), (10, 5.0)]})
+        assert "*" in text
+        assert "legend: * sim" in text
+        assert "10.0" in text  # y max label
+        assert "0.0" in text
+
+    def test_marker_positions_monotone_series(self):
+        text = ascii_chart(
+            {"up": [(0, 0.0), (1, 1.0), (2, 2.0)]}, width=12, height=5
+        )
+        lines = [l for l in text.splitlines() if "|" in l and "+" not in l]
+        first_star = [i for i, l in enumerate(lines) if "*" in l]
+        # Highest y appears in the topmost populated row.
+        assert first_star[0] == 0
+
+    def test_two_series_two_markers(self):
+        text = ascii_chart(
+            {"a": [(0, 1.0), (1, 2.0)], "b": [(0, 2.0), (1, 1.0)]}
+        )
+        assert "*" in text and "o" in text
+        assert "* a" in text and "o b" in text
+
+    def test_labels_included(self):
+        text = ascii_chart(
+            {"a": [(0, 1.0), (1, 2.0)]}, x_label="load", y_label="Kb/s"
+        )
+        assert text.splitlines()[0] == "Kb/s"
+        assert "load" in text
+
+    def test_flat_series_handled(self):
+        text = ascii_chart({"flat": [(0, 5.0), (1, 5.0)]})
+        assert "*" in text  # degenerate y-span must not divide by zero
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_chart({})
+        with pytest.raises(ReproError):
+            ascii_chart({"a": []})
+        with pytest.raises(ReproError):
+            ascii_chart({"a": [(0, 1.0)]}, width=3)
+        with pytest.raises(ReproError):
+            ascii_chart({str(i): [(0, 1.0)] for i in range(9)})
+
+
+@dataclass
+class FakeRow:
+    offered: int
+    simulated: float
+    analytic: float
+
+
+class TestChartRows:
+    def test_renders_fields(self):
+        rows = [FakeRow(100, 450.0, 440.0), FakeRow(200, 380.0, 360.0)]
+        text = chart_rows(rows, "offered", ["simulated", "analytic"])
+        assert "* simulated" in text
+        assert "o analytic" in text
+
+    def test_missing_field_rejected(self):
+        rows = [FakeRow(1, 2.0, 3.0)]
+        with pytest.raises(ReproError):
+            chart_rows(rows, "offered", ["nope"])
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ReproError):
+            chart_rows([], "offered", ["simulated"])

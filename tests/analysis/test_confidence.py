@@ -1,0 +1,62 @@
+"""Unit tests for multi-seed replication helpers."""
+
+import pytest
+
+from repro.analysis.confidence import replicate
+from repro.errors import SimulationError
+
+
+class TestReplicate:
+    def test_constant_metric_has_zero_width(self):
+        result = replicate(lambda seed: 42.0, seeds=[1, 2, 3])
+        assert result.mean == 42.0
+        assert result.std == 0.0
+        assert result.half_width == 0.0
+        assert result.interval == (42.0, 42.0)
+
+    def test_known_values(self):
+        result = replicate(lambda seed: float(seed), seeds=[1, 2, 3], confidence=0.95)
+        assert result.mean == pytest.approx(2.0)
+        assert result.std == pytest.approx(1.0)
+        assert result.half_width == pytest.approx(1.96 / 3**0.5, rel=1e-3)
+
+    def test_confidence_levels_order(self):
+        seeds = [1, 2, 3, 4]
+        narrow = replicate(lambda s: float(s), seeds, confidence=0.90)
+        wide = replicate(lambda s: float(s), seeds, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_describe(self):
+        text = replicate(lambda s: float(s), [1, 2, 3]).describe()
+        assert "95% CI" in text and "n=3" in text
+
+    def test_relative_half_width(self):
+        result = replicate(lambda s: float(s), [1, 2, 3])
+        assert result.relative_half_width == pytest.approx(
+            result.half_width / 2.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            replicate(lambda s: 1.0, seeds=[1])
+        with pytest.raises(SimulationError):
+            replicate(lambda s: 1.0, seeds=[1, 1])
+        with pytest.raises(SimulationError):
+            replicate(lambda s: 1.0, seeds=[1, 2], confidence=0.5)
+
+    def test_simulator_bandwidth_is_stable_across_seeds(self, contract):
+        """End-to-end: the headline metric replicates tightly."""
+        from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig
+        from repro.topology.regular import complete_network
+
+        net = complete_network(8, 2000.0)
+
+        def metric(seed: int) -> float:
+            config = SimulationConfig(
+                qos=contract, offered_connections=20,
+                warmup_events=30, measure_events=200,
+            )
+            return ElasticQoSSimulator(net, config, seed=seed).run().average_bandwidth
+
+        result = replicate(metric, seeds=[1, 2, 3])
+        assert result.relative_half_width < 0.2

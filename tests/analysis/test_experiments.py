@@ -1,0 +1,106 @@
+"""Smoke tests for the figure/table experiment runners (tiny scales).
+
+The benchmarks run these at realistic scale; here we only verify that
+each runner produces structurally correct, internally consistent output
+fast enough for the unit-test suite.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    RunSettings,
+    paper_connection_qos,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_table1,
+)
+from repro.topology.transit_stub import TransitStubParams
+
+TINY = RunSettings(warmup_events=30, measure_events=120, sample_interval=5, seed=3)
+
+
+class TestPaperQoS:
+    def test_default_shape(self):
+        qos = paper_connection_qos()
+        assert qos.performance.num_levels == 9
+        assert qos.dependability.num_backups == 1
+
+    def test_large_increment(self):
+        qos = paper_connection_qos(increment=100.0)
+        assert qos.performance.num_levels == 5
+
+
+class TestFigure2:
+    def test_rows_and_monotone_ideal(self):
+        result = run_figure2([50, 150], nodes=40, edges=90, settings=TINY)
+        assert [row.offered for row in result.rows] == [50, 150]
+        assert result.rows[0].ideal > result.rows[1].ideal
+        for row in result.rows:
+            assert 100.0 - 1e-6 <= row.simulated <= 500.0 + 1e-6
+            assert 100.0 - 1e-6 <= row.analytic <= 500.0 + 1e-6
+        assert result.nodes == 40
+        assert result.average_hops > 1.0
+
+
+class TestTable1:
+    def test_columns_present(self):
+        rows = run_table1(
+            [60],
+            nodes=30,
+            edges=60,
+            tier_params=TransitStubParams(
+                transit_domains=1,
+                transit_nodes_per_domain=2,
+                stub_domains_per_transit_node=2,
+                stub_nodes_per_domain=3,
+            ),
+            settings=TINY,
+        )
+        row = rows[0]
+        assert row.offered == 60
+        for cell in (
+            row.random_5_states,
+            row.random_9_states,
+            row.tier_5_states,
+            row.tier_9_states,
+        ):
+            assert 100.0 - 1e-6 <= cell <= 500.0 + 1e-6
+
+
+class TestFigure3:
+    def test_edges_grow_with_nodes(self):
+        rows = run_figure3([30, 60], connections=80, settings=TINY)
+        assert rows[0].nodes == 30 and rows[1].nodes == 60
+        assert rows[1].edges > rows[0].edges
+
+
+class TestFigure4:
+    def test_analytic_sweep_per_population(self):
+        series = run_figure4(
+            [1e-7, 1e-5, 1e-3],
+            populations=(40, 80),
+            nodes=30,
+            edges=60,
+            settings=TINY,
+        )
+        assert [s.population for s in series] == [40, 80]
+        for s in series:
+            assert len(s.analytic) == 3
+            # gamma only adds downward pressure: bandwidth never rises with it
+            assert s.analytic[0] + 1e-9 >= s.analytic[-1]
+
+    def test_simulated_checks(self):
+        series = run_figure4(
+            [1e-6],
+            populations=(30,),
+            nodes=30,
+            edges=60,
+            settings=TINY,
+            simulate_checks=[1e-4],
+        )
+        checks = series[0].simulated_checks
+        assert len(checks) == 1
+        gamma, bw = checks[0]
+        assert gamma == 1e-4
+        assert 100.0 - 1e-6 <= bw <= 500.0 + 1e-6

@@ -1,0 +1,88 @@
+"""Unit tests for result export helpers."""
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.export import rows_to_dicts, to_csv, to_json, write_csv, write_json
+from repro.errors import ReproError
+
+
+@dataclass
+class FakeRow:
+    offered: int
+    simulated: float
+    series: list
+
+
+ROWS = [FakeRow(100, 450.0, [1, 2]), FakeRow(200, 380.5, [3])]
+
+
+class TestNormalisation:
+    def test_dataclasses(self):
+        dicts = rows_to_dicts(ROWS)
+        assert dicts[0] == {"offered": 100, "simulated": 450.0, "series": [1, 2]}
+
+    def test_mappings(self):
+        dicts = rows_to_dicts([{"a": 1}, {"a": 2}])
+        assert dicts == [{"a": 1}, {"a": 2}]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            rows_to_dicts([])
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            rows_to_dicts([{"a": 1}, {"b": 2}])
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ReproError):
+            rows_to_dicts([42])
+
+
+class TestCsv:
+    def test_roundtrip(self):
+        text = to_csv(ROWS)
+        reader = csv.DictReader(io.StringIO(text))
+        rows = list(reader)
+        assert rows[0]["offered"] == "100"
+        assert json.loads(rows[0]["series"]) == [1, 2]
+        assert len(rows) == 2
+
+    def test_write(self, tmp_path):
+        path = write_csv(ROWS, tmp_path / "out.csv")
+        assert path.exists()
+        assert "offered" in path.read_text().splitlines()[0]
+
+
+class TestJson:
+    def test_roundtrip(self):
+        data = json.loads(to_json(ROWS))
+        assert data[1]["simulated"] == 380.5
+
+    def test_numpy_values_serialised(self):
+        import numpy as np
+
+        text = to_json([{"pi": np.array([0.5, 0.5]), "bw": np.float64(123.0)}])
+        data = json.loads(text)
+        assert data[0]["pi"] == [0.5, 0.5]
+        assert data[0]["bw"] == 123.0
+
+    def test_write(self, tmp_path):
+        path = write_json(ROWS, tmp_path / "out.json")
+        assert json.loads(path.read_text())[0]["offered"] == 100
+
+    def test_real_experiment_rows_export(self):
+        """The actual Figure-2 row type exports cleanly."""
+        from repro.analysis.experiments import Figure2Row
+
+        rows = [
+            Figure2Row(offered=10, population=10.0, simulated=1.0,
+                       analytic=1.0, ideal=2.0)
+        ]
+        data = json.loads(to_json(rows))
+        assert data[0]["offered"] == 10
+        assert "ideal" in to_csv(rows).splitlines()[0]

@@ -1,0 +1,60 @@
+"""Unit tests for plain-text report rendering."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_cell,
+    relative_error,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(3.14159, precision=2) == "3.14"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["n", "bw"], [[100, 450.0], [5000, 131.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].strip().startswith("n")
+        assert set(lines[1]) <= {"-", " "}
+        # columns right-aligned: widths consistent
+        assert len(lines[2]) == len(lines[3])
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderSeries:
+    def test_pairs(self):
+        text = render_series("sim", [1, 2], [10.0, 20.0])
+        assert text.startswith("sim:")
+        assert "1→10.0" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1], [1, 2])
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_zero_reference(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")

@@ -1,0 +1,71 @@
+"""Unit tests for the sim-vs-model validation report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import ValidationReport, validate_against_model
+from repro.errors import MarkovModelError
+from repro.qos.spec import ElasticQoS
+from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig
+from repro.topology.regular import complete_network
+
+
+def make_report(sim_pi, model_pi, sim_bw=300.0, model_bw=290.0):
+    bandwidths = np.array([100.0 + 50.0 * i for i in range(len(sim_pi))])
+    return ValidationReport(
+        simulated_bandwidth=sim_bw,
+        analytic_bandwidth=model_bw,
+        simulated_pi=np.asarray(sim_pi, dtype=float),
+        analytic_pi=np.asarray(model_pi, dtype=float),
+        level_bandwidths=bandwidths,
+    )
+
+
+class TestMetrics:
+    def test_bandwidth_error(self):
+        report = make_report([1, 0], [1, 0], sim_bw=200.0, model_bw=220.0)
+        assert report.bandwidth_error == pytest.approx(0.1)
+
+    def test_identical_distributions(self):
+        report = make_report([0.5, 0.5], [0.5, 0.5])
+        assert report.total_variation == 0.0
+        assert report.kl_divergence == pytest.approx(0.0, abs=1e-9)
+
+    def test_disjoint_distributions(self):
+        report = make_report([1.0, 0.0], [0.0, 1.0])
+        assert report.total_variation == pytest.approx(1.0)
+        assert report.kl_divergence > 1.0
+
+    def test_per_state_rows(self):
+        report = make_report([0.25, 0.75], [0.5, 0.5])
+        rows = report.per_state_rows()
+        assert len(rows) == 2
+        assert rows[0][0] == 0
+        assert rows[0][4] == pytest.approx(0.25)
+
+    def test_render_contains_metrics(self):
+        text = make_report([0.3, 0.7], [0.4, 0.6]).render()
+        assert "TV distance" in text and "average bandwidth" in text
+
+
+class TestValidateAgainstModel:
+    def test_end_to_end(self, contract):
+        net = complete_network(8, 2000.0)
+        config = SimulationConfig(
+            qos=contract, offered_connections=20, warmup_events=40, measure_events=300
+        )
+        result = ElasticQoSSimulator(net, config, seed=6).run()
+        report = validate_against_model(result, contract.performance)
+        assert 0.0 <= report.total_variation <= 1.0
+        assert report.bandwidth_error < 0.5
+        assert report.simulated_pi.shape == report.analytic_pi.shape
+
+    def test_level_mismatch_rejected(self, contract):
+        net = complete_network(6, 2000.0)
+        config = SimulationConfig(
+            qos=contract, offered_connections=5, warmup_events=5, measure_events=30
+        )
+        result = ElasticQoSSimulator(net, config, seed=6).run()
+        wrong = ElasticQoS(b_min=100.0, b_max=300.0, increment=50.0)  # 5 levels
+        with pytest.raises(MarkovModelError):
+            validate_against_model(result, wrong)

@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS
+from repro.topology.regular import (
+    complete_network,
+    dumbbell_network,
+    grid_network,
+    line_network,
+    ring_network,
+)
+
+#: Capacity used by most unit-test topologies: fits ten minimum-rate
+#: channels, or two channels at the 500 Kb/s maximum.
+TEST_CAPACITY = 1000.0
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for generator tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def line5():
+    """A 5-node path network, capacity 1000."""
+    return line_network(5, TEST_CAPACITY)
+
+
+@pytest.fixture
+def ring6():
+    """A 6-node ring network, capacity 1000."""
+    return ring_network(6, TEST_CAPACITY)
+
+
+@pytest.fixture
+def grid33():
+    """A 3x3 grid network, capacity 1000."""
+    return grid_network(3, 3, TEST_CAPACITY)
+
+
+@pytest.fixture
+def complete5():
+    """The complete graph on 5 nodes, capacity 1000."""
+    return complete_network(5, TEST_CAPACITY)
+
+
+@pytest.fixture
+def dumbbell3():
+    """A dumbbell with 3 leaves per side, capacity 1000."""
+    return dumbbell_network(3, TEST_CAPACITY)
+
+
+@pytest.fixture
+def elastic_qos() -> ElasticQoS:
+    """The paper's elastic range: 100..500 Kb/s in steps of 50 (9 levels)."""
+    return ElasticQoS(b_min=100.0, b_max=500.0, increment=50.0)
+
+
+@pytest.fixture
+def contract(elastic_qos) -> ConnectionQoS:
+    """Full DR contract with one backup."""
+    return ConnectionQoS(performance=elastic_qos, dependability=DependabilityQoS())
+
+
+@pytest.fixture
+def contract_no_backup(elastic_qos) -> ConnectionQoS:
+    """Elastic contract without fault tolerance."""
+    return ConnectionQoS(
+        performance=elastic_qos, dependability=DependabilityQoS(num_backups=0)
+    )

@@ -1,0 +1,76 @@
+"""Unit tests for adaptation policies."""
+
+import pytest
+
+from repro.elastic.policies import (
+    EqualShare,
+    MaxUtility,
+    UtilityProportional,
+    policy_by_name,
+)
+from repro.qos.spec import ElasticQoS
+
+
+def qos(utility=1.0):
+    return ElasticQoS(b_min=100.0, b_max=500.0, increment=50.0, utility=utility)
+
+
+class TestEqualShare:
+    def test_lowest_level_first(self):
+        policy = EqualShare()
+        assert policy.priority(1, 0, qos()) < policy.priority(2, 3, qos())
+
+    def test_tie_break_by_id(self):
+        policy = EqualShare()
+        assert policy.priority(1, 2, qos()) < policy.priority(2, 2, qos())
+
+    def test_utility_ignored(self):
+        policy = EqualShare()
+        assert policy.priority(1, 2, qos(utility=9.0)) < policy.priority(2, 2, qos())
+
+
+class TestUtilityProportional:
+    def test_higher_utility_served_first_at_equal_level(self):
+        policy = UtilityProportional()
+        high = policy.priority(1, 2, qos(utility=4.0))
+        low = policy.priority(2, 2, qos(utility=1.0))
+        assert high < low
+
+    def test_served_per_utility_balances(self):
+        policy = UtilityProportional()
+        # Channel with utility 2 at level 4 has the same "served per
+        # utility" as utility 1 at level 2 -> utility breaks the tie.
+        a = policy.priority(1, 4, qos(utility=2.0))
+        b = policy.priority(2, 2, qos(utility=1.0))
+        assert a < b
+
+    def test_zero_utility_never_prioritised(self):
+        policy = UtilityProportional()
+        zero = policy.priority(1, 0, qos(utility=0.0))
+        normal = policy.priority(2, 8, qos(utility=0.1))
+        assert normal < zero
+
+
+class TestMaxUtility:
+    def test_monopolises_regardless_of_level(self):
+        policy = MaxUtility()
+        rich = policy.priority(1, 8, qos(utility=5.0))
+        poor = policy.priority(2, 0, qos(utility=1.0))
+        assert rich < poor
+
+
+class TestPolicyByName:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("equal-share", EqualShare),
+            ("utility-proportional", UtilityProportional),
+            ("max-utility", MaxUtility),
+        ],
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(policy_by_name(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            policy_by_name("nope")

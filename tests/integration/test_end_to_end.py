@@ -1,0 +1,155 @@
+"""End-to-end integration tests: simulator vs. Markov model vs. paper shapes.
+
+These are the in-suite versions of the benchmark checks: moderate sizes,
+seeded, asserting the qualitative properties the paper reports rather
+than absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ideal import ideal_for_network
+from repro.markov.model import ElasticQoSMarkovModel
+from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS
+from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig
+from repro.sim.workload import WorkloadConfig
+from repro.topology.waxman import paper_random_network
+
+CAPACITY = 10_000.0
+
+
+@pytest.fixture(scope="module")
+def network():
+    rng = np.random.default_rng(42)
+    return paper_random_network(CAPACITY, rng, n=60, target_edges=130)
+
+
+def paper_contract():
+    return ConnectionQoS(
+        performance=ElasticQoS(b_min=100.0, b_max=500.0, increment=50.0),
+        dependability=DependabilityQoS(num_backups=1),
+    )
+
+
+def run(network, offered, seed=9, measure=1200, **workload_kwargs):
+    config = SimulationConfig(
+        qos=paper_contract(),
+        offered_connections=offered,
+        warmup_events=200,
+        measure_events=measure,
+        sample_interval=10,
+        workload=WorkloadConfig(**workload_kwargs) if workload_kwargs else WorkloadConfig(),
+    )
+    return ElasticQoSSimulator(network, config, seed=seed).run()
+
+
+class TestModelTracksSimulation:
+    @pytest.mark.parametrize("offered", [200, 600])
+    def test_average_bandwidth_agreement(self, network, offered):
+        result = run(network, offered)
+        model = ElasticQoSMarkovModel(paper_contract().performance, result.params)
+        analytic = model.average_bandwidth()
+        # The paper reports close sim/model agreement; we allow 15%.
+        assert analytic == pytest.approx(result.average_bandwidth, rel=0.15)
+
+    def test_occupancy_distribution_agreement(self, network):
+        result = run(network, 400, measure=2000)
+        model = ElasticQoSMarkovModel(paper_contract().performance, result.params)
+        pi = model.solve().pi
+        # Total-variation distance between empirical and analytic pi.
+        tv = 0.5 * np.abs(pi - result.level_occupancy).sum()
+        assert tv < 0.25
+
+
+class TestPaperShapes:
+    def test_bandwidth_decreases_with_load(self, network):
+        light = run(network, 100, measure=600)
+        heavy = run(network, 800, measure=600)
+        assert light.average_bandwidth > heavy.average_bandwidth
+        assert heavy.average_bandwidth >= 100.0 - 1e-6
+
+    def test_light_load_saturates_at_maximum(self, network):
+        result = run(network, 30, measure=400)
+        assert result.average_bandwidth == pytest.approx(500.0, rel=0.05)
+
+    def test_sim_between_min_and_ideal_at_overload(self, network):
+        offered = 1200
+        result = run(network, offered, measure=600)
+        ideal = ideal_for_network(network, offered)
+        # Overloaded: admitted channels keep at least b_min, which
+        # exceeds the (unclamped) ideal equal share.
+        assert result.average_bandwidth >= min(ideal, 100.0) - 1e-6
+        assert result.average_bandwidth <= 500.0 + 1e-6
+
+    def test_small_failure_rate_has_no_visible_effect(self, network):
+        """Figure 4's flatness: tiny gamma leaves the average unchanged."""
+        base = run(network, 400, measure=800)
+        gamma_net = 1e-6  # network-wide
+        with_failures = run(
+            network,
+            400,
+            measure=800,
+            link_failure_rate=gamma_net / network.num_links,
+            repair_rate=1.0,
+        )
+        assert with_failures.average_bandwidth == pytest.approx(
+            base.average_bandwidth, rel=0.1
+        )
+
+    def test_gamma_sweep_flat_in_model(self, network):
+        result = run(network, 400, measure=800)
+        perf = paper_contract().performance
+        values = []
+        for gamma in (1e-7, 1e-6, 1e-5, 1e-4):
+            model = ElasticQoSMarkovModel(
+                perf, result.params.with_failure_rate(gamma)
+            )
+            values.append(model.average_bandwidth())
+        # While gamma << lambda (=1e-3) the curve is flat within 2%...
+        flat = values[:3]
+        assert max(flat) - min(flat) < 0.02 * max(flat)
+        # ...and extra failure pressure can only push bandwidth down.
+        assert values == sorted(values, reverse=True)
+
+
+class TestEstimatedParameterShape:
+    def test_a_mass_at_or_below_diagonal(self, network):
+        """Arrivals exert downward pressure: the A matrix's observed rows
+        put (almost) all mass at or below the diagonal."""
+        result = run(network, 600, measure=1000)
+        a = result.params.a
+        n = result.params.num_levels
+        observed_rows = [
+            i for i in range(n) if not np.allclose(a[i], np.full(n, 1.0 / n))
+        ]
+        assert observed_rows, "no observed rows at all"
+        for i in observed_rows:
+            upward = a[i, i + 1 :].sum()
+            assert upward < 0.05
+
+    def test_t_mass_at_or_above_diagonal(self, network):
+        result = run(network, 600, measure=1000)
+        t = result.params.t
+        n = result.params.num_levels
+        observed_rows = [
+            i for i in range(n) if not np.allclose(t[i], np.full(n, 1.0 / n))
+        ]
+        for i in observed_rows:
+            downward = t[i, :i].sum()
+            assert downward < 1e-9  # terminations never push levels down
+
+    def test_b_strictly_upward(self, network):
+        result = run(network, 600, measure=1000)
+        b = result.params.b
+        n = result.params.num_levels
+        observed_rows = [
+            i for i in range(n) if not np.allclose(b[i], np.full(n, 1.0 / n))
+        ]
+        for i in observed_rows:
+            assert b[i, :i].sum() < 1e-9
+
+    def test_pf_ps_plausible(self, network):
+        result = run(network, 600, measure=1000)
+        assert 0.0 < result.params.pf < 0.8
+        assert 0.0 < result.params.ps <= 1.0
+        assert result.params.pf + result.params.ps <= 1.0 + 1e-9

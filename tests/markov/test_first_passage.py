@@ -1,0 +1,138 @@
+"""Unit tests for first-passage and reward analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MarkovModelError
+from repro.markov.first_passage import (
+    degradation_time,
+    expected_time_above,
+    mean_first_passage_times,
+    reward_rate,
+)
+
+
+def two_state(lam, mu):
+    """0 <-> 1 chain: up-rate lam, down-rate mu."""
+    return np.array([[-lam, lam], [mu, -mu]])
+
+
+def birth_death(n, lam, mu):
+    q = np.zeros((n, n))
+    for i in range(n):
+        if i + 1 < n:
+            q[i, i + 1] = lam
+        if i > 0:
+            q[i, i - 1] = mu
+    np.fill_diagonal(q, -q.sum(axis=1))
+    return q
+
+
+class TestFirstPassage:
+    def test_two_state_analytic(self):
+        # From state 1, time to hit 0 is Exp(mu): mean 1/mu.
+        q = two_state(lam=2.0, mu=4.0)
+        h = mean_first_passage_times(q, targets=[0])
+        assert h[0] == 0.0
+        assert h[1] == pytest.approx(0.25)
+
+    def test_pure_death_chain(self):
+        # 2 -> 1 -> 0 at rate 1: hitting 0 from 2 takes mean 2.
+        q = np.array(
+            [[0.0, 0.0, 0.0], [1.0, -1.0, 0.0], [0.0, 1.0, -1.0]]
+        )
+        h = mean_first_passage_times(q, targets=[0])
+        assert h[1] == pytest.approx(1.0)
+        assert h[2] == pytest.approx(2.0)
+
+    def test_birth_death_monotone_in_start(self):
+        q = birth_death(6, lam=1.0, mu=1.5)
+        h = mean_first_passage_times(q, targets=[0])
+        assert all(b > a for a, b in zip(h, h[1:]))
+
+    def test_multiple_targets(self):
+        q = birth_death(5, 1.0, 1.0)
+        h = mean_first_passage_times(q, targets=[0, 4])
+        assert h[0] == h[4] == 0.0
+        assert h[2] == max(h)  # the middle is farthest from both ends
+
+    def test_unreachable_target_is_infinite(self):
+        # State 1 is absorbing; it can never reach 0.
+        q = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        h = mean_first_passage_times(q, targets=[0])
+        assert np.isinf(h[1])
+
+    def test_invalid_targets(self):
+        q = two_state(1.0, 1.0)
+        with pytest.raises(MarkovModelError):
+            mean_first_passage_times(q, targets=[])
+        with pytest.raises(MarkovModelError):
+            mean_first_passage_times(q, targets=[5])
+
+    def test_all_states_targets(self):
+        q = two_state(1.0, 1.0)
+        assert np.allclose(mean_first_passage_times(q, targets=[0, 1]), 0.0)
+
+
+class TestTimeAbove:
+    def test_two_state(self):
+        q = two_state(lam=3.0, mu=1.0)  # pi = (1/4, 3/4)
+        assert expected_time_above(q, 1) == pytest.approx(0.75)
+        assert expected_time_above(q, 0) == pytest.approx(1.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(MarkovModelError):
+            expected_time_above(two_state(1.0, 1.0), 5)
+
+
+class TestRewardRate:
+    def test_weighted_by_pi(self):
+        q = two_state(lam=1.0, mu=1.0)  # pi = (1/2, 1/2)
+        assert reward_rate(q, [0.0, 10.0]) == pytest.approx(5.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MarkovModelError):
+            reward_rate(two_state(1.0, 1.0), [1.0, 2.0, 3.0])
+
+
+class TestDegradationTime:
+    def test_defaults_to_top_state(self):
+        q = birth_death(4, 1.0, 2.0)
+        assert degradation_time(q) == pytest.approx(
+            mean_first_passage_times(q, [0])[3]
+        )
+
+    def test_explicit_start(self):
+        q = birth_death(4, 1.0, 2.0)
+        assert degradation_time(q, from_state=1) < degradation_time(q, from_state=3)
+
+    def test_invalid_start(self):
+        with pytest.raises(MarkovModelError):
+            degradation_time(birth_death(3, 1.0, 1.0), from_state=7)
+
+    def test_on_elastic_chain(self):
+        """More downward pressure shortens the degradation time."""
+        from repro.markov.model import ElasticQoSMarkovModel
+        from repro.markov.parameters import (
+            MarkovParameters,
+            uniform_downward_matrix,
+            uniform_upward_matrix,
+        )
+        from repro.qos.spec import ElasticQoS
+
+        qos = ElasticQoS(b_min=100.0, b_max=300.0, increment=50.0)
+
+        def chain(pf):
+            params = MarkovParameters(
+                num_levels=5,
+                pf=pf,
+                ps=0.2,
+                a=uniform_downward_matrix(5),
+                b=uniform_upward_matrix(5),
+                t=uniform_upward_matrix(5),
+                arrival_rate=0.001,
+                termination_rate=0.001,
+            )
+            return ElasticQoSMarkovModel(qos, params).generator()
+
+        assert degradation_time(chain(0.6)) < degradation_time(chain(0.2))

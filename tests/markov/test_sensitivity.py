@@ -1,0 +1,88 @@
+"""Unit tests for Markov-model sensitivity analysis."""
+
+import pytest
+
+from repro.errors import MarkovModelError
+from repro.markov.parameters import (
+    MarkovParameters,
+    uniform_downward_matrix,
+    uniform_upward_matrix,
+)
+from repro.markov.sensitivity import (
+    SCALAR_PARAMETERS,
+    local_sensitivities,
+    sweep_parameter,
+)
+from repro.qos.spec import ElasticQoS
+
+
+def qos():
+    return ElasticQoS(b_min=100.0, b_max=500.0, increment=50.0)
+
+
+def params(**overrides):
+    base = dict(
+        num_levels=9,
+        pf=0.3,
+        ps=0.3,
+        a=uniform_downward_matrix(9),
+        b=uniform_upward_matrix(9),
+        t=uniform_upward_matrix(9),
+        arrival_rate=0.001,
+        termination_rate=0.001,
+        failure_rate=1e-5,
+    )
+    base.update(overrides)
+    return MarkovParameters(**base)
+
+
+class TestSweep:
+    def test_failure_rate_sweep_monotone_down(self):
+        points = sweep_parameter(qos(), params(), "failure_rate",
+                                 [1e-6, 1e-4, 1e-3, 1e-2])
+        values = [bw for _, bw in points]
+        assert values == sorted(values, reverse=True)
+
+    def test_ps_sweep_monotone_up(self):
+        points = sweep_parameter(qos(), params(), "ps", [0.1, 0.3, 0.5, 0.7])
+        values = [bw for _, bw in points]
+        assert values == sorted(values)
+
+    def test_original_params_untouched(self):
+        p = params()
+        sweep_parameter(qos(), p, "pf", [0.1, 0.2])
+        assert p.pf == 0.3
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(MarkovModelError):
+            sweep_parameter(qos(), params(), "magic", [1.0])
+
+    def test_infeasible_value_raises(self):
+        with pytest.raises(MarkovModelError):
+            sweep_parameter(qos(), params(ps=0.5), "pf", [0.9])  # pf+ps > 1
+
+
+class TestLocalSensitivities:
+    def test_all_parameters_reported(self):
+        out = local_sensitivities(qos(), params())
+        assert set(out) == set(SCALAR_PARAMETERS)
+        for name, sens in out.items():
+            assert sens.parameter == name
+
+    def test_signs_match_intuition(self):
+        out = local_sensitivities(qos(), params())
+        # More terminations (upward pressure) -> more bandwidth.
+        assert out["termination_rate"].elasticity > 0
+        # More indirect chaining -> more upward transitions.
+        assert out["ps"].elasticity > 0
+        # More failures -> less bandwidth.
+        assert out["failure_rate"].elasticity < 0
+
+    def test_zero_parameter_handled(self):
+        out = local_sensitivities(qos(), params(failure_rate=0.0))
+        assert out["failure_rate"].elasticity == 0.0
+        assert out["failure_rate"].derivative <= 0.0
+
+    def test_step_validated(self):
+        with pytest.raises(MarkovModelError):
+            local_sensitivities(qos(), params(), relative_step=0.9)

@@ -1,0 +1,134 @@
+"""Property-based tests for routing and topology generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.disjoint import disjoint_path
+from repro.routing.flooding import bounded_flood
+from repro.routing.ksp import k_shortest_paths
+from repro.routing.shortest import path_hops, shortest_path
+from repro.topology.waxman import WaxmanParams, expected_edges, waxman_network
+
+ROUTING_SETTINGS = settings(max_examples=30, deadline=None)
+
+
+def random_connected_network(seed: int, n: int = 12):
+    rng = np.random.default_rng(seed)
+    return waxman_network(n, WaxmanParams(alpha=0.5, beta=0.4), 100.0, rng)
+
+
+def brute_force_shortest_hops(net, src, dst, max_len=6):
+    """Exhaustive shortest-hop search on a small graph (test oracle)."""
+    best = None
+    frontier = [[src]]
+    for _length in range(max_len):
+        next_frontier = []
+        for path in frontier:
+            if path[-1] == dst:
+                return len(path) - 1
+            for nbr in net.neighbors(path[-1]):
+                if nbr not in path:
+                    next_frontier.append(path + [nbr])
+        frontier = next_frontier
+    return best
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    src=st.integers(min_value=0, max_value=11),
+    dst=st.integers(min_value=0, max_value=11),
+)
+@ROUTING_SETTINGS
+def test_shortest_path_is_optimal(seed, src, dst):
+    if src == dst:
+        return
+    net = random_connected_network(seed)
+    path = shortest_path(net, src, dst)
+    oracle = brute_force_shortest_hops(net, src, dst)
+    if oracle is None:
+        # Path longer than the oracle's depth bound: just check validity.
+        assert path is None or net.is_path(path)
+        return
+    assert path is not None
+    assert net.is_path(path)
+    assert path_hops(path) == oracle
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    src=st.integers(min_value=0, max_value=11),
+    dst=st.integers(min_value=0, max_value=11),
+)
+@ROUTING_SETTINGS
+def test_flooding_first_route_matches_shortest_hops(seed, src, dst):
+    """The first flood copy to arrive used a shortest (hop) route."""
+    if src == dst:
+        return
+    net = random_connected_network(seed)
+    result = bounded_flood(net, src, dst, b_min=1.0, allowance=lambda l: 1e9, hop_bound=11)
+    best = shortest_path(net, src, dst)
+    assert result.found and best is not None
+    assert result.routes[0].hops == path_hops(best)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    src=st.integers(min_value=0, max_value=11),
+    dst=st.integers(min_value=0, max_value=11),
+    k=st.integers(min_value=1, max_value=5),
+)
+@ROUTING_SETTINGS
+def test_k_shortest_paths_sorted_unique_loopless(seed, src, dst, k):
+    if src == dst:
+        return
+    net = random_connected_network(seed)
+    paths = k_shortest_paths(net, src, dst, k)
+    hops = [path_hops(p) for p in paths]
+    assert hops == sorted(hops)
+    assert len({tuple(p) for p in paths}) == len(paths)
+    for p in paths:
+        assert net.is_path(p)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    src=st.integers(min_value=0, max_value=11),
+    dst=st.integers(min_value=0, max_value=11),
+)
+@ROUTING_SETTINGS
+def test_disjoint_path_overlap_is_minimal_possible(seed, src, dst):
+    """Whenever disjoint_path reports overlap 0, the paths truly share
+    nothing; whenever it reports overlap > 0, no fully disjoint path
+    exists in the residual graph."""
+    if src == dst:
+        return
+    net = random_connected_network(seed)
+    primary = shortest_path(net, src, dst)
+    assert primary is not None
+    avoid = frozenset(net.path_links(primary))
+    result = disjoint_path(net, src, dst, avoid)
+    assert result is not None  # the topology is connected with no filter
+    backup, overlap = result
+    shared = sum(1 for a, b in zip(backup, backup[1:]) if net.get_link(a, b).id in avoid)
+    assert shared == overlap
+    if overlap > 0:
+        strict = disjoint_path(net, src, dst, avoid, allow_partial=False)
+        assert strict is None
+
+
+@given(
+    alpha_lo=st.floats(min_value=0.05, max_value=0.4),
+    bump=st.floats(min_value=0.1, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=30, deadline=None)
+def test_waxman_expected_edges_monotone_in_alpha(alpha_lo, bump, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.random((30, 2))
+    lo = expected_edges(points, WaxmanParams(alpha_lo, 0.3))
+    hi = expected_edges(points, WaxmanParams(min(1.0, alpha_lo + bump), 0.3))
+    assert hi >= lo

@@ -1,0 +1,96 @@
+"""Property-based tests for the run-time scheduling substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qos.interval import IntervalQoS, IntervalRegulator, SkipOverRegulator
+from repro.runtime.link_sim import LinkSimulation
+from repro.runtime.sources import CbrSource
+
+RUNTIME_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# Interval regulators
+# ----------------------------------------------------------------------
+@given(
+    k=st.integers(min_value=0, max_value=10),
+    extra=st.integers(min_value=0, max_value=10),
+    pattern=st.lists(st.booleans(), min_size=1, max_size=400),
+)
+@RUNTIME_SETTINGS
+def test_interval_regulator_never_breaks_the_floor(k, extra, pattern):
+    """Whatever the drop-request pattern, every completed window
+    forwards at least k packets, and forwarded + dropped == offered."""
+    qos = IntervalQoS(k=k, m=k + extra + 1)
+    reg = IntervalRegulator(qos)
+    for wants_drop in pattern:
+        reg.offer(drop_requested=wants_drop)
+    reg.verify_guarantee()
+    stats = reg.stats
+    assert stats.forwarded + stats.dropped == stats.offered == len(pattern)
+    assert all(count >= k for count in stats.window_history)
+
+
+@given(
+    s=st.integers(min_value=2, max_value=12),
+    pattern=st.lists(st.booleans(), min_size=1, max_size=400),
+)
+@RUNTIME_SETTINGS
+def test_skip_over_never_skips_consecutively(s, pattern):
+    """Skip-over: between any two drops there are >= s-1 forwards."""
+    reg = SkipOverRegulator(s)
+    outcomes = [reg.offer(drop_requested=wants_drop) for wants_drop in pattern]
+    since_drop = s  # start "charged"
+    for forwarded in outcomes:
+        if forwarded:
+            since_drop += 1
+        else:
+            assert since_drop >= s - 1
+            since_drop = 0
+
+
+# ----------------------------------------------------------------------
+# Link simulation conservation
+# ----------------------------------------------------------------------
+@given(
+    rates=st.lists(
+        st.integers(min_value=1, max_value=40), min_size=1, max_size=5
+    ),
+    capacity_factor=st.floats(min_value=0.5, max_value=3.0),
+)
+@RUNTIME_SETTINGS
+def test_packet_conservation(rates, capacity_factor):
+    """offered == delivered + dropped + undelivered, per channel, for
+    any mix of rates and any (under/over provisioned) capacity."""
+    rates_kbps = [10.0 * r for r in rates]
+    capacity = max(10.0, capacity_factor * sum(rates_kbps))
+    sim = LinkSimulation(capacity=capacity)
+    for cid, rate in enumerate(rates_kbps):
+        sim.add_channel(cid, reserved_rate=rate, source=CbrSource(cid, rate * 1.5))
+    report = sim.run(horizon=3.0)
+    for cid in range(len(rates_kbps)):
+        stats = report.stats[cid]
+        assert (
+            stats.delivered_packets + stats.dropped_packets + report.undelivered[cid]
+            == stats.offered_packets
+        )
+        assert all(d >= 0 for d in stats.delays)
+
+
+@given(seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=20, deadline=None)
+def test_conforming_channel_throughput_under_contention(seed):
+    """A channel sending exactly its reservation gets (almost) exactly
+    its reservation, no matter what a competing channel does."""
+    rng = np.random.default_rng(seed)
+    greedy_rate = float(rng.integers(100, 900))
+    sim = LinkSimulation(capacity=1000.0)
+    sim.add_channel(1, reserved_rate=400.0, source=CbrSource(1, 400.0))
+    sim.add_channel(2, reserved_rate=100.0, source=CbrSource(2, greedy_rate))
+    report = sim.run(horizon=10.0)
+    assert report.throughput(1) == pytest.approx(400.0, rel=0.1)

@@ -1,0 +1,121 @@
+"""Unit tests for interval (k-out-of-M) QoS regulation."""
+
+import pytest
+
+from repro.errors import QoSSpecError
+from repro.qos.interval import IntervalQoS, IntervalRegulator, SkipOverRegulator
+
+
+class TestIntervalQoS:
+    def test_valid(self):
+        qos = IntervalQoS(k=3, m=5)
+        assert qos.min_forward_ratio == pytest.approx(0.6)
+
+    def test_invalid(self):
+        with pytest.raises(QoSSpecError):
+            IntervalQoS(k=6, m=5)
+        with pytest.raises(QoSSpecError):
+            IntervalQoS(k=-1, m=5)
+        with pytest.raises(QoSSpecError):
+            IntervalQoS(k=0, m=0)
+
+    def test_zero_k_allows_everything(self):
+        reg = IntervalRegulator(IntervalQoS(k=0, m=4))
+        results = [reg.offer(drop_requested=True) for _ in range(8)]
+        assert results == [False] * 8
+
+
+class TestIntervalRegulator:
+    def test_forwards_without_drop_requests(self):
+        reg = IntervalRegulator(IntervalQoS(k=3, m=5))
+        assert all(reg.offer() for _ in range(10))
+        assert reg.stats.forwarded == 10
+        assert reg.stats.dropped == 0
+
+    def test_grants_drops_up_to_budget(self):
+        reg = IntervalRegulator(IntervalQoS(k=3, m=5))
+        # All five packets ask to be dropped: only 2 may be.
+        outcomes = [reg.offer(drop_requested=True) for _ in range(5)]
+        assert outcomes.count(False) == 2
+        assert outcomes.count(True) == 3
+        reg.verify_guarantee()
+
+    def test_forces_forwarding_at_the_floor(self):
+        reg = IntervalRegulator(IntervalQoS(k=5, m=5))
+        outcomes = [reg.offer(drop_requested=True) for _ in range(5)]
+        assert outcomes == [True] * 5
+        assert reg.stats.forced_forwards == 5
+
+    def test_windows_are_independent(self):
+        reg = IntervalRegulator(IntervalQoS(k=1, m=2))
+        for _ in range(3):
+            first = reg.offer(drop_requested=True)
+            second = reg.offer(drop_requested=True)
+            assert first is False and second is True
+        assert reg.stats.windows_completed == 3
+        assert reg.stats.window_history == [1, 1, 1]
+
+    def test_guarantee_holds_over_random_pressure(self):
+        import random
+
+        rng = random.Random(5)
+        qos = IntervalQoS(k=4, m=7)
+        reg = IntervalRegulator(qos)
+        for _ in range(7 * 200):
+            reg.offer(drop_requested=rng.random() < 0.8)
+        reg.verify_guarantee()
+        assert reg.stats.windows_completed == 200
+        assert all(count >= qos.k for count in reg.stats.window_history)
+
+    def test_drop_budget_decreases(self):
+        reg = IntervalRegulator(IntervalQoS(k=3, m=5))
+        assert reg.drop_budget() == 2
+        reg.offer(drop_requested=True)   # dropped
+        assert reg.drop_budget() == 1
+        reg.offer(drop_requested=True)   # dropped
+        assert reg.drop_budget() == 0
+        assert reg.must_forward()
+
+    def test_drop_ratio(self):
+        reg = IntervalRegulator(IntervalQoS(k=1, m=2))
+        reg.offer(drop_requested=True)
+        reg.offer()
+        assert reg.stats.drop_ratio == pytest.approx(0.5)
+
+    def test_corrupted_history_detected(self):
+        reg = IntervalRegulator(IntervalQoS(k=2, m=3))
+        reg.stats.window_history.append(1)  # below k
+        with pytest.raises(QoSSpecError):
+            reg.verify_guarantee()
+
+
+class TestSkipOverRegulator:
+    def test_skip_factor_validated(self):
+        with pytest.raises(QoSSpecError):
+            SkipOverRegulator(1)
+
+    def test_one_skip_per_s_packets(self):
+        reg = SkipOverRegulator(3)
+        outcomes = [reg.offer(drop_requested=True) for _ in range(9)]
+        # pattern: forward, forward, skip, repeated
+        assert outcomes == [True, True, False] * 3
+
+    def test_no_skip_without_request(self):
+        reg = SkipOverRegulator(2)
+        assert all(reg.offer() for _ in range(6))
+        # A long run of forwards leaves the skip available.
+        assert reg.can_skip()
+
+    def test_equivalent_interval_qos(self):
+        qos = SkipOverRegulator(4).equivalent_interval_qos()
+        assert (qos.k, qos.m) == (3, 4)
+
+    def test_forward_ratio_bounded_below(self):
+        import random
+
+        rng = random.Random(1)
+        reg = SkipOverRegulator(5)
+        for _ in range(1000):
+            reg.offer(drop_requested=rng.random() < 0.9)
+        ratio = reg.stats.forwarded / reg.stats.offered
+        assert ratio >= 4 / 5 - 1e-9

@@ -1,0 +1,151 @@
+"""Unit tests for QoS specifications."""
+
+import pytest
+
+from repro.errors import QoSSpecError
+from repro.qos.spec import (
+    ConnectionQoS,
+    DependabilityQoS,
+    ElasticQoS,
+    TrafficSpec,
+    levels_between,
+    single_value_qos,
+)
+
+
+class TestTrafficSpec:
+    def test_valid(self):
+        spec = TrafficSpec(peak_rate=500.0, average_rate=100.0, max_burst=50.0)
+        assert spec.peak_rate == 500.0
+
+    def test_average_cannot_exceed_peak(self):
+        with pytest.raises(QoSSpecError):
+            TrafficSpec(peak_rate=100.0, average_rate=200.0)
+
+    def test_positive_rates(self):
+        with pytest.raises(QoSSpecError):
+            TrafficSpec(peak_rate=0.0, average_rate=0.0)
+
+    def test_negative_burst(self):
+        with pytest.raises(QoSSpecError):
+            TrafficSpec(peak_rate=10.0, average_rate=5.0, max_burst=-1.0)
+
+    def test_equivalent_bandwidth_fluid(self):
+        spec = TrafficSpec(peak_rate=500.0, average_rate=100.0, max_burst=50.0)
+        assert spec.equivalent_bandwidth() == 100.0
+
+    def test_equivalent_bandwidth_with_deadline(self):
+        spec = TrafficSpec(peak_rate=500.0, average_rate=100.0, max_burst=50.0)
+        # burst must drain in 0.25s: needs 200 Kb/s
+        assert spec.equivalent_bandwidth(delay_budget=0.25) == 200.0
+
+    def test_equivalent_bandwidth_capped_at_peak(self):
+        spec = TrafficSpec(peak_rate=150.0, average_rate=100.0, max_burst=50.0)
+        assert spec.equivalent_bandwidth(delay_budget=0.01) == 150.0
+
+    def test_delay_budget_positive(self):
+        spec = TrafficSpec(peak_rate=150.0, average_rate=100.0)
+        with pytest.raises(QoSSpecError):
+            spec.equivalent_bandwidth(delay_budget=0.0)
+
+
+class TestElasticQoS:
+    def test_paper_range_has_nine_levels(self, elastic_qos):
+        assert elastic_qos.num_levels == 9
+        assert elastic_qos.max_level == 8
+
+    def test_large_increment_has_five_levels(self):
+        qos = ElasticQoS(b_min=100.0, b_max=500.0, increment=100.0)
+        assert qos.num_levels == 5
+
+    def test_level_bandwidth(self, elastic_qos):
+        assert elastic_qos.level_bandwidth(0) == 100.0
+        assert elastic_qos.level_bandwidth(8) == 500.0
+        assert elastic_qos.level_bandwidth(3) == 250.0
+
+    def test_level_bandwidth_out_of_range(self, elastic_qos):
+        with pytest.raises(QoSSpecError):
+            elastic_qos.level_bandwidth(9)
+        with pytest.raises(QoSSpecError):
+            elastic_qos.level_bandwidth(-1)
+
+    def test_level_of_roundtrip(self, elastic_qos):
+        for level in range(elastic_qos.num_levels):
+            assert elastic_qos.level_of(elastic_qos.level_bandwidth(level)) == level
+
+    def test_level_of_off_grid(self, elastic_qos):
+        with pytest.raises(QoSSpecError):
+            elastic_qos.level_of(130.0)
+
+    def test_clamp_level(self, elastic_qos):
+        assert elastic_qos.clamp_level(-3) == 0
+        assert elastic_qos.clamp_level(99) == 8
+        assert elastic_qos.clamp_level(4) == 4
+
+    def test_range_must_be_multiple_of_increment(self):
+        with pytest.raises(QoSSpecError):
+            ElasticQoS(b_min=100.0, b_max=500.0, increment=150.0)
+
+    def test_min_must_be_positive(self):
+        with pytest.raises(QoSSpecError):
+            ElasticQoS(b_min=0.0, b_max=100.0, increment=50.0)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(QoSSpecError):
+            ElasticQoS(b_min=200.0, b_max=100.0, increment=50.0)
+
+    def test_negative_utility_rejected(self):
+        with pytest.raises(QoSSpecError):
+            ElasticQoS(b_min=100.0, b_max=200.0, increment=50.0, utility=-1.0)
+
+    def test_is_elastic(self, elastic_qos):
+        assert elastic_qos.is_elastic()
+        assert not single_value_qos(100.0).is_elastic()
+
+
+class TestSingleValueQoS:
+    def test_degenerate_range(self):
+        qos = single_value_qos(250.0)
+        assert qos.num_levels == 1
+        assert qos.level_bandwidth(0) == 250.0
+
+    def test_utility_carried(self):
+        assert single_value_qos(100.0, utility=3.0).utility == 3.0
+
+
+class TestDependabilityQoS:
+    def test_default_one_backup(self):
+        dep = DependabilityQoS()
+        assert dep.num_backups == 1
+        assert dep.wants_backup
+
+    def test_zero_backups(self):
+        assert not DependabilityQoS(num_backups=0).wants_backup
+
+    def test_negative_rejected(self):
+        with pytest.raises(QoSSpecError):
+            DependabilityQoS(num_backups=-1)
+
+
+class TestConnectionQoS:
+    def test_describe_mentions_shape(self, contract):
+        text = contract.describe()
+        assert "100" in text and "500" in text and "backup" in text
+
+    def test_describe_no_backup(self, contract_no_backup):
+        assert "no backup" in contract_no_backup.describe()
+
+
+class TestLevelsBetween:
+    def test_full_window(self, elastic_qos):
+        assert levels_between(elastic_qos, 0.0, 1000.0) == list(range(9))
+
+    def test_inner_window(self, elastic_qos):
+        assert levels_between(elastic_qos, 200.0, 300.0) == [2, 3, 4]
+
+    def test_empty_window(self, elastic_qos):
+        assert levels_between(elastic_qos, 210.0, 240.0) == []
+
+    def test_inverted_window_rejected(self, elastic_qos):
+        with pytest.raises(QoSSpecError):
+            levels_between(elastic_qos, 300.0, 200.0)

@@ -1,0 +1,109 @@
+"""Unit tests for the bounded-flooding route search."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.flooding import bounded_flood, flooding_route_pair
+from repro.topology.regular import grid_network, line_network, ring_network
+
+
+def unlimited(link):
+    return 1e9
+
+
+class TestBoundedFlood:
+    def test_finds_route_on_line(self, line5):
+        result = bounded_flood(line5, 0, 4, b_min=10.0, allowance=unlimited, hop_bound=6)
+        assert result.found
+        assert result.routes[0].path == (0, 1, 2, 3, 4)
+        assert result.routes[0].hops == 4
+
+    def test_hop_bound_discards(self, line5):
+        result = bounded_flood(line5, 0, 4, b_min=10.0, allowance=unlimited, hop_bound=3)
+        assert not result.found
+
+    def test_first_route_is_shortest(self, ring6):
+        result = bounded_flood(ring6, 0, 2, b_min=10.0, allowance=unlimited, hop_bound=6)
+        assert result.routes[0].hops == 2
+        # the counter-clockwise copy arrives later
+        assert any(r.hops == 4 for r in result.routes)
+
+    def test_bandwidth_filter_discards_copies(self, ring6):
+        # Give the clockwise arc too little bandwidth.
+        def allowance(link):
+            return 5.0 if link.id in {(0, 1), (1, 2)} else 1e9
+
+        result = bounded_flood(ring6, 0, 2, b_min=10.0, allowance=allowance, hop_bound=6)
+        assert result.found
+        assert result.routes[0].path == (0, 5, 4, 3, 2)
+
+    def test_allowance_is_bottleneck(self, line5):
+        def allowance(link):
+            return 100.0 if link.id == (1, 2) else 500.0
+
+        result = bounded_flood(line5, 0, 4, b_min=10.0, allowance=allowance, hop_bound=6)
+        assert result.routes[0].allowance == 100.0
+
+    def test_message_count_positive_and_bounded(self, grid33):
+        result = bounded_flood(grid33, 0, 8, b_min=1.0, allowance=unlimited, hop_bound=4)
+        assert result.found
+        assert result.messages_sent > 0
+        # Flooding a 3x3 grid for 4 hops cannot exceed a few hundred messages.
+        assert result.messages_sent < 500
+
+    def test_suppression_reduces_messages(self, grid33):
+        wide = bounded_flood(grid33, 0, 8, b_min=1.0, allowance=unlimited, hop_bound=8)
+        # Suppression caps growth: message count stays far below the
+        # naive 4^8 explosion.
+        assert wide.messages_sent < 1000
+
+    def test_invalid_args(self, line5):
+        with pytest.raises(RoutingError):
+            bounded_flood(line5, 0, 4, 1.0, unlimited, hop_bound=0)
+        with pytest.raises(RoutingError):
+            bounded_flood(line5, 0, 0, 1.0, unlimited, hop_bound=3)
+        with pytest.raises(RoutingError):
+            bounded_flood(line5, 0, 99, 1.0, unlimited, hop_bound=3)
+
+    def test_max_routes_caps_collection(self, grid33):
+        result = bounded_flood(
+            grid33, 0, 8, b_min=1.0, allowance=unlimited, hop_bound=8, max_routes=2
+        )
+        assert len(result.routes) == 2
+
+
+class TestFloodingRoutePair:
+    def test_ring_pair_is_disjoint(self, ring6):
+        primary, backup = flooding_route_pair(
+            ring6, 0, 3, b_min=10.0, allowance=unlimited, hop_bound=6
+        )
+        assert primary is not None and backup is not None
+        plinks = set(ring6.path_links(primary))
+        blinks = set(ring6.path_links(backup))
+        assert not plinks & blinks
+
+    def test_line_has_no_backup(self, line5):
+        primary, backup = flooding_route_pair(
+            line5, 0, 4, b_min=10.0, allowance=unlimited, hop_bound=6
+        )
+        assert primary == [0, 1, 2, 3, 4]
+        assert backup is None
+
+    def test_no_primary_when_bandwidth_lacking(self, line5):
+        primary, backup = flooding_route_pair(
+            line5, 0, 4, b_min=10.0, allowance=lambda l: 1.0, hop_bound=6
+        )
+        assert primary is None and backup is None
+
+    def test_backup_allowance_filter(self, ring6):
+        # Primary bandwidth everywhere, but backup admission fails on the
+        # counter-clockwise arc: no backup can be confirmed.
+        def backup_allowance(link):
+            return 0.0 if link.id == (4, 5) else 1e9
+
+        primary, backup = flooding_route_pair(
+            ring6, 0, 2, b_min=10.0, allowance=unlimited,
+            backup_allowance=backup_allowance, hop_bound=6,
+        )
+        assert primary == [0, 1, 2]
+        assert backup is None

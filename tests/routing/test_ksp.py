@@ -1,0 +1,68 @@
+"""Unit tests for Yen's k-shortest paths and the sequential search."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.ksp import k_shortest_paths, sequential_route_search
+from repro.routing.shortest import path_hops
+from repro.topology.graph import Network
+from repro.topology.regular import grid_network, ring_network
+
+
+class TestKShortestPaths:
+    def test_single_path_topology(self, line5):
+        paths = k_shortest_paths(line5, 0, 4, k=3)
+        assert paths == [[0, 1, 2, 3, 4]]
+
+    def test_ring_has_two(self, ring6):
+        paths = k_shortest_paths(ring6, 0, 3, k=5)
+        assert len(paths) == 2
+        assert sorted(len(p) for p in paths) == [4, 4]
+
+    def test_sorted_by_length(self):
+        net = grid_network(3, 3, 1.0)
+        paths = k_shortest_paths(net, 0, 8, k=6)
+        hops = [path_hops(p) for p in paths]
+        assert hops == sorted(hops)
+        assert hops[0] == 4
+        # grid 3x3 has C(4,2)=6 shortest (monotone) routes
+        assert len(paths) == 6
+        assert len({tuple(p) for p in paths}) == 6  # all distinct
+
+    def test_loopless(self, grid33):
+        for path in k_shortest_paths(grid33, 0, 8, k=10):
+            assert len(set(path)) == len(path)
+
+    def test_k_must_be_positive(self, ring6):
+        with pytest.raises(RoutingError):
+            k_shortest_paths(ring6, 0, 3, k=0)
+
+    def test_unreachable_gives_empty(self):
+        net = Network()
+        net.add_link(0, 1, 1.0)
+        net.add_link(2, 3, 1.0)
+        assert k_shortest_paths(net, 0, 3, k=3) == []
+
+    def test_respects_filter(self, ring6):
+        paths = k_shortest_paths(ring6, 0, 3, k=5, link_filter=lambda l: l.id != (0, 1))
+        assert paths == [[0, 5, 4, 3]]
+
+
+class TestSequentialSearch:
+    def test_picks_first_admissible(self, ring6):
+        # Block the clockwise arc by admission: the second-shortest wins.
+        blocked = {(0, 1)}
+        path = sequential_route_search(
+            ring6, 0, 2, admissible=lambda l: l.id not in blocked
+        )
+        assert path == [0, 5, 4, 3, 2]
+
+    def test_prefers_shortest_when_clear(self, ring6):
+        path = sequential_route_search(ring6, 0, 2, admissible=lambda l: True)
+        assert path == [0, 1, 2]
+
+    def test_gives_up_after_max_candidates(self, grid33):
+        path = sequential_route_search(
+            grid33, 0, 8, admissible=lambda l: False, max_candidates=4
+        )
+        assert path is None

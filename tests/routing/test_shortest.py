@@ -1,0 +1,82 @@
+"""Unit tests for admission-aware shortest-path routing."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.shortest import path_cost, path_hops, shortest_path
+from repro.topology.regular import grid_network, line_network, ring_network
+
+
+class TestBfsPath:
+    def test_line(self, line5):
+        assert shortest_path(line5, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_ring_takes_short_arc(self, ring6):
+        path = shortest_path(ring6, 0, 2)
+        assert path == [0, 1, 2]
+
+    def test_deterministic_tie_break(self):
+        # Grid has many equal-hop routes; ties break toward lower nodes.
+        net = grid_network(3, 3, 1.0)
+        a = shortest_path(net, 0, 8)
+        b = shortest_path(net, 0, 8)
+        assert a == b
+        assert path_hops(a) == 4
+
+    def test_filter_blocks_link(self, ring6):
+        blocked = {(0, 1)}
+        path = shortest_path(ring6, 0, 2, link_filter=lambda l: l.id not in blocked)
+        assert path == [0, 5, 4, 3, 2]
+
+    def test_unreachable_returns_none(self, ring6):
+        path = shortest_path(ring6, 0, 3, link_filter=lambda l: False)
+        assert path is None
+
+    def test_unknown_endpoints(self, line5):
+        with pytest.raises(RoutingError):
+            shortest_path(line5, 0, 99)
+        with pytest.raises(RoutingError):
+            shortest_path(line5, 99, 0)
+
+    def test_same_endpoint_rejected(self, line5):
+        with pytest.raises(RoutingError):
+            shortest_path(line5, 2, 2)
+
+
+class TestDijkstraPath:
+    def test_weight_changes_route(self, ring6):
+        # Make the short arc expensive.
+        expensive = {(0, 1), (1, 2)}
+        weight = lambda link: 10.0 if link.id in expensive else 1.0
+        path = shortest_path(ring6, 0, 2, weight=weight)
+        assert path == [0, 5, 4, 3, 2]
+
+    def test_weighted_equals_bfs_for_uniform_weight(self, grid33):
+        bfs = shortest_path(grid33, 0, 8)
+        dij = shortest_path(grid33, 0, 8, weight=lambda l: 1.0)
+        assert path_hops(bfs) == path_hops(dij)
+
+    def test_negative_weight_rejected(self, line5):
+        with pytest.raises(RoutingError):
+            shortest_path(line5, 0, 4, weight=lambda l: -1.0)
+
+    def test_filter_respected(self, ring6):
+        path = shortest_path(
+            ring6, 0, 3, link_filter=lambda l: l.id != (0, 1), weight=lambda l: 1.0
+        )
+        assert path == [0, 5, 4, 3]
+
+
+class TestPathHelpers:
+    def test_path_hops(self):
+        assert path_hops([1, 2, 3]) == 2
+
+    def test_path_hops_rejects_trivial(self):
+        with pytest.raises(RoutingError):
+            path_hops([1])
+
+    def test_path_cost_default_hops(self, line5):
+        assert path_cost(line5, [0, 1, 2]) == 2.0
+
+    def test_path_cost_weighted(self, line5):
+        assert path_cost(line5, [0, 1, 2], weight=lambda l: l.capacity) == 2000.0

@@ -1,0 +1,81 @@
+"""Unit tests for multi-hop path simulation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.path_sim import PathSimulation
+from repro.runtime.sources import CbrSource
+
+
+def streams_for(sources, horizon):
+    return {src.channel_id: src.packets_until(horizon) for src in sources}
+
+
+class TestPathSimulation:
+    def test_single_hop_equals_link_behaviour(self):
+        sim = PathSimulation([1000.0])
+        sim.add_channel(1, reserved_rate=500.0)
+        report = sim.run(streams_for([CbrSource(1, 500.0)], 5.0), horizon=5.0)
+        stats = report.stats[1]
+        assert stats.delivered_packets == stats.offered_packets
+        assert stats.mean_delay < 0.05
+
+    def test_delay_grows_with_hops(self):
+        source = CbrSource(1, 500.0)
+        one_hop = PathSimulation([1000.0])
+        one_hop.add_channel(1, 500.0)
+        three_hop = PathSimulation([1000.0, 1000.0, 1000.0])
+        three_hop.add_channel(1, 500.0)
+        d1 = one_hop.run(streams_for([source], 5.0), 5.0).end_to_end_mean_delay(1)
+        d3 = three_hop.run(streams_for([source], 5.0), 5.0).end_to_end_mean_delay(1)
+        assert d3 > d1
+        # Each hop adds roughly one wire time for a conforming stream.
+        assert d3 == pytest.approx(3 * d1, rel=0.2)
+
+    def test_all_packets_delivered_end_to_end(self):
+        sim = PathSimulation([1000.0, 800.0])
+        sim.add_channel(1, 300.0)
+        sim.add_channel(2, 300.0)
+        report = sim.run(
+            streams_for([CbrSource(1, 300.0), CbrSource(2, 300.0)], 4.0), 4.0
+        )
+        for cid in (1, 2):
+            stats = report.stats[cid]
+            assert stats.delivered_packets == stats.offered_packets
+            assert stats.delivered_bits == stats.offered_bits
+
+    def test_bottleneck_hop_dominates_delay(self):
+        fast = PathSimulation([10_000.0, 10_000.0])
+        fast.add_channel(1, 500.0)
+        slow_middle = PathSimulation([10_000.0, 600.0])
+        slow_middle.add_channel(1, 500.0)
+        streams = streams_for([CbrSource(1, 500.0)], 5.0)
+        d_fast = fast.run(streams, 5.0).end_to_end_mean_delay(1)
+        d_slow = slow_middle.run(streams, 5.0).end_to_end_mean_delay(1)
+        assert d_slow > d_fast
+
+    def test_delays_end_to_end_not_per_hop(self):
+        sim = PathSimulation([1000.0, 1000.0])
+        sim.add_channel(1, 500.0)
+        report = sim.run(streams_for([CbrSource(1, 500.0)], 2.0), 2.0)
+        # End-to-end delay must be at least two wire times (10/1000 each).
+        assert min(report.stats[1].delays) >= 2 * (10.0 / 1000.0) - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PathSimulation([])
+        sim = PathSimulation([1000.0])
+        sim.add_channel(1, 100.0)
+        with pytest.raises(SimulationError):
+            sim.add_channel(1, 100.0)
+        with pytest.raises(SimulationError):
+            sim.add_channel(2, 0.0)
+        with pytest.raises(SimulationError):
+            sim.run({9: []}, 1.0)  # unregistered channel
+
+    def test_mean_delay_requires_deliveries(self):
+        sim = PathSimulation([1000.0])
+        sim.add_channel(1, 100.0)
+        report = sim.run({1: []}, 1.0)
+        with pytest.raises(SimulationError):
+            report.end_to_end_mean_delay(1)

@@ -1,0 +1,166 @@
+"""Unit tests for traffic sources and the single-link packet simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.qos.interval import IntervalQoS, IntervalRegulator
+from repro.runtime.link_sim import LinkSimulation
+from repro.runtime.packets import ChannelDeliveryStats, Packet
+from repro.runtime.sources import CbrSource, OnOffSource, merge_streams
+
+
+class TestCbrSource:
+    def test_rate_matches(self):
+        src = CbrSource(1, rate=500.0, packet_size=10.0)
+        packets = src.packets_until(horizon=2.0)
+        bits = sum(p.size for p in packets)
+        assert bits == pytest.approx(1000.0, rel=0.02)
+
+    def test_equally_spaced(self):
+        src = CbrSource(1, rate=100.0, packet_size=10.0)
+        packets = src.packets_until(1.0)
+        gaps = {
+            round(b.created_at - a.created_at, 9)
+            for a, b in zip(packets, packets[1:])
+        }
+        assert gaps == {0.1}
+
+    def test_sequences_increase(self):
+        packets = CbrSource(1, 100.0).packets_until(1.0)
+        assert [p.sequence for p in packets] == list(range(len(packets)))
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            CbrSource(1, rate=0.0)
+        with pytest.raises(SimulationError):
+            CbrSource(1, rate=10.0).packets_until(0.0)
+
+
+class TestOnOffSource:
+    def test_average_rate_property(self):
+        src = OnOffSource(1, peak_rate=400.0, mean_on=1.0, mean_off=3.0,
+                          rng=np.random.default_rng(1))
+        assert src.average_rate == pytest.approx(100.0)
+
+    def test_long_run_rate_close(self):
+        src = OnOffSource(1, peak_rate=400.0, mean_on=1.0, mean_off=3.0,
+                          rng=np.random.default_rng(7))
+        packets = src.packets_until(400.0)
+        rate = sum(p.size for p in packets) / 400.0
+        assert rate == pytest.approx(src.average_rate, rel=0.3)
+
+    def test_deterministic_given_seed(self):
+        a = OnOffSource(1, 400.0, 1.0, 2.0, np.random.default_rng(3)).packets_until(50.0)
+        b = OnOffSource(1, 400.0, 1.0, 2.0, np.random.default_rng(3)).packets_until(50.0)
+        assert a == b
+
+    def test_invalid(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            OnOffSource(1, 0.0, 1.0, 1.0, rng)
+        with pytest.raises(SimulationError):
+            OnOffSource(1, 10.0, 0.0, 1.0, rng)
+
+
+class TestMergeStreams:
+    def test_time_ordered(self):
+        a = CbrSource(1, 100.0).packets_until(0.5)
+        b = CbrSource(2, 300.0).packets_until(0.5)
+        merged = list(merge_streams([a, b]))
+        times = [p.created_at for p in merged]
+        assert times == sorted(times)
+        assert len(merged) == len(a) + len(b)
+
+
+class TestLinkSimulation:
+    def test_cbr_within_reservation_is_lossless_and_fast(self):
+        sim = LinkSimulation(capacity=1000.0)
+        sim.add_channel(1, reserved_rate=500.0, source=CbrSource(1, 500.0))
+        report = sim.run(horizon=5.0)
+        stats = report.stats[1]
+        assert stats.dropped_packets == 0
+        assert report.throughput(1) == pytest.approx(500.0, rel=0.05)
+        # CBR within reservation: each packet only pays wire time.
+        assert stats.max_delay <= 0.05
+
+    def test_reservations_protect_against_a_greedy_channel(self):
+        """A channel blasting far beyond its reservation cannot starve a
+        conforming one: the conforming channel keeps its rate and low
+        delay."""
+        sim = LinkSimulation(capacity=1000.0)
+        sim.add_channel(1, reserved_rate=500.0, source=CbrSource(1, 500.0))
+        sim.add_channel(2, reserved_rate=100.0, source=CbrSource(2, 900.0))
+        report = sim.run(horizon=5.0)
+        assert report.throughput(1) == pytest.approx(500.0, rel=0.1)
+        conforming_delay = report.stats[1].mean_delay
+        greedy_delay = report.stats[2].mean_delay
+        assert conforming_delay < greedy_delay
+
+    def test_work_conserving(self):
+        """Spare capacity goes to whoever has traffic."""
+        sim = LinkSimulation(capacity=1000.0)
+        sim.add_channel(1, reserved_rate=100.0, source=CbrSource(1, 800.0))
+        report = sim.run(horizon=5.0)
+        # Alone on the link, the channel gets its full offered 800 Kb/s.
+        assert report.throughput(1) == pytest.approx(800.0, rel=0.1)
+
+    def test_regulator_sheds_overload_but_keeps_floor(self):
+        qos = IntervalQoS(k=1, m=4)  # at least a quarter must pass
+        sim = LinkSimulation(capacity=1000.0)
+        sim.add_channel(
+            1,
+            reserved_rate=100.0,
+            source=CbrSource(1, 400.0),
+            regulator=IntervalRegulator(qos),
+        )
+        report = sim.run(horizon=5.0)
+        stats = report.stats[1]
+        assert stats.dropped_packets > 0
+        # The floor: at least k/m of offered packets forwarded.
+        assert stats.delivered_packets >= qos.min_forward_ratio * stats.offered_packets
+        # And the regulator's own audit must pass.
+        reg = sim._setups[1].regulator
+        reg.verify_guarantee()
+
+    def test_bursty_source_served_within_capacity(self):
+        rng = np.random.default_rng(5)
+        sim = LinkSimulation(capacity=1000.0)
+        sim.add_channel(
+            1,
+            reserved_rate=200.0,
+            source=OnOffSource(1, peak_rate=600.0, mean_on=0.5, mean_off=1.0, rng=rng),
+        )
+        report = sim.run(horizon=20.0)
+        stats = report.stats[1]
+        assert stats.dropped_packets == 0
+        assert stats.delivered_packets == stats.offered_packets
+
+    def test_validation_errors(self):
+        sim = LinkSimulation(capacity=1000.0)
+        with pytest.raises(SimulationError):
+            sim.run(horizon=1.0)  # no channels
+        sim.add_channel(1, 100.0, CbrSource(1, 100.0))
+        with pytest.raises(SimulationError):
+            sim.add_channel(1, 100.0, CbrSource(1, 100.0))
+        with pytest.raises(SimulationError):
+            sim.add_channel(2, 100.0, CbrSource(3, 100.0))  # id mismatch
+
+
+class TestDeliveryStats:
+    def test_throughput_requires_duration(self):
+        stats = ChannelDeliveryStats(channel_id=1)
+        with pytest.raises(SimulationError):
+            stats.throughput(0.0)
+
+    def test_empty_stats(self):
+        stats = ChannelDeliveryStats(channel_id=1)
+        assert stats.mean_delay is None
+        assert stats.max_delay is None
+        assert stats.loss_ratio == 0.0
+
+    def test_packet_validation(self):
+        with pytest.raises(SimulationError):
+            Packet(channel_id=1, size=0.0, created_at=0.0, sequence=0)
+        with pytest.raises(SimulationError):
+            Packet(channel_id=1, size=1.0, created_at=-1.0, sequence=0)

@@ -1,0 +1,117 @@
+"""Unit tests for the discrete-event scheduling engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventScheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(3.0, lambda: fired.append("c"))
+        sched.schedule_at(1.0, lambda: fired.append("a"))
+        sched.schedule_at(2.0, lambda: fired.append("b"))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+        assert sched.now == 3.0
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sched = EventScheduler()
+        fired = []
+        for label in "abc":
+            sched.schedule_at(5.0, lambda l=label: fired.append(l))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_after(self):
+        sched = EventScheduler()
+        times = []
+        sched.schedule_after(2.0, lambda: times.append(sched.now))
+        sched.run()
+        assert times == [2.0]
+
+    def test_past_scheduling_rejected(self):
+        sched = EventScheduler()
+        sched.schedule_at(5.0, lambda: None)
+        sched.run()
+        with pytest.raises(SimulationError):
+            sched.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().schedule_after(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule_at(1.0, lambda: fired.append("x"))
+        sched.schedule_at(2.0, lambda: fired.append("y"))
+        sched.cancel(handle)
+        sched.run()
+        assert fired == ["y"]
+
+    def test_cancel_is_idempotent(self):
+        sched = EventScheduler()
+        handle = sched.schedule_at(1.0, lambda: None)
+        sched.cancel(handle)
+        sched.cancel(handle)
+        assert sched.run() == 0
+
+    def test_peek_skips_cancelled(self):
+        sched = EventScheduler()
+        handle = sched.schedule_at(1.0, lambda: None)
+        sched.schedule_at(2.0, lambda: None)
+        sched.cancel(handle)
+        assert sched.peek_time() == 2.0
+
+
+class TestRunControl:
+    def test_max_events(self):
+        sched = EventScheduler()
+        fired = []
+        for t in range(5):
+            sched.schedule_at(float(t), lambda t=t: fired.append(t))
+        assert sched.run(max_events=3) == 3
+        assert fired == [0, 1, 2]
+
+    def test_until_is_inclusive_and_advances_clock(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(1.0, lambda: fired.append(1))
+        sched.schedule_at(2.0, lambda: fired.append(2))
+        sched.schedule_at(5.0, lambda: fired.append(5))
+        sched.run(until=2.0)
+        assert fired == [1, 2]
+        assert sched.now == 2.0
+
+    def test_step_returns_false_when_empty(self):
+        assert EventScheduler().step() is False
+
+    def test_events_run_counter(self):
+        sched = EventScheduler()
+        sched.schedule_at(1.0, lambda: None)
+        sched.run()
+        assert sched.events_run == 1
+
+    def test_events_can_schedule_events(self):
+        sched = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append(sched.now)
+            if len(fired) < 3:
+                sched.schedule_after(1.0, chain)
+
+        sched.schedule_at(0.0, chain)
+        sched.run()
+        assert fired == [0.0, 1.0, 2.0]
+
+    def test_len_counts_pending(self):
+        sched = EventScheduler()
+        sched.schedule_at(1.0, lambda: None)
+        sched.schedule_at(2.0, lambda: None)
+        assert len(sched) == 2

@@ -1,0 +1,101 @@
+"""Unit tests for time-weighted measurement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.stats import Measurement
+
+
+class TestTimeWeighting:
+    def test_constant_value(self):
+        m = Measurement(num_levels=3)
+        m.begin(0.0, average_bandwidth=100.0, population=5)
+        m.advance(10.0, 100.0, 5)
+        result = m.result()
+        assert result.average_bandwidth == pytest.approx(100.0)
+        assert result.average_population == pytest.approx(5.0)
+        assert result.duration == 10.0
+
+    def test_step_change_weighted_by_duration(self):
+        m = Measurement(num_levels=3)
+        m.begin(0.0, 100.0, 1)
+        m.advance(1.0, 400.0, 1)   # 100 held for 1 unit
+        m.advance(4.0, 0.0, 0)     # 400 held for 3 units
+        result = m.result()
+        assert result.average_bandwidth == pytest.approx((100 * 1 + 400 * 3) / 4)
+        assert result.final_average_bandwidth == 0.0
+
+    def test_zero_length_intervals_are_free(self):
+        m = Measurement(num_levels=3)
+        m.begin(0.0, 100.0, 1)
+        m.advance(0.0, 999.0, 1)
+        m.advance(2.0, 0.0, 1)
+        assert m.result().average_bandwidth == pytest.approx(999.0)
+
+    def test_advance_before_begin_rejected(self):
+        m = Measurement(num_levels=3)
+        with pytest.raises(SimulationError):
+            m.advance(1.0, 0.0, 0)
+
+    def test_result_before_begin_rejected(self):
+        with pytest.raises(SimulationError):
+            Measurement(num_levels=3).result()
+
+    def test_zero_duration_rejected(self):
+        m = Measurement(num_levels=3)
+        m.begin(0.0, 100.0, 1)
+        with pytest.raises(SimulationError):
+            m.result()
+
+    def test_time_backwards_rejected(self):
+        m = Measurement(num_levels=3)
+        m.begin(5.0, 100.0, 1)
+        with pytest.raises(SimulationError):
+            m.advance(4.0, 100.0, 1)
+
+
+class TestOccupancy:
+    def test_histogram_normalised_and_averaged(self):
+        m = Measurement(num_levels=3, occupancy_interval=1)
+        m.begin(0.0, 0.0, 0)
+        m.advance(1.0, 0.0, 0, level_histogram=[2, 2, 0])
+        m.advance(2.0, 0.0, 0, level_histogram=[0, 0, 4])
+        result = m.result()
+        assert result.samples == 2
+        assert np.allclose(result.level_occupancy, [0.25, 0.25, 0.5])
+
+    def test_empty_histogram_ignored(self):
+        m = Measurement(num_levels=3)
+        m.begin(0.0, 0.0, 0)
+        m.advance(1.0, 0.0, 0, level_histogram=[0, 0, 0])
+        assert m.result().samples == 0
+
+    def test_wrong_size_rejected(self):
+        m = Measurement(num_levels=3)
+        m.begin(0.0, 0.0, 0)
+        with pytest.raises(SimulationError):
+            m.advance(1.0, 0.0, 0, level_histogram=[1, 2])
+
+    def test_wants_occupancy_period(self):
+        m = Measurement(num_levels=3, occupancy_interval=2)
+        m.begin(0.0, 0.0, 0)
+        flags = []
+        for t in range(1, 6):
+            flags.append(m.wants_occupancy)
+            m.advance(float(t), 0.0, 0)
+        assert flags == [True, False, True, False, True]
+
+    def test_describe_mentions_bandwidth(self):
+        m = Measurement(num_levels=2)
+        m.begin(0.0, 123.0, 7)
+        m.advance(2.0, 123.0, 7)
+        assert "avg bandwidth" in m.result().describe()
+
+
+class TestValidation:
+    def test_invalid_construction(self):
+        with pytest.raises(SimulationError):
+            Measurement(num_levels=0)
+        with pytest.raises(SimulationError):
+            Measurement(num_levels=2, occupancy_interval=0)

@@ -1,0 +1,129 @@
+"""Unit tests for event-trace recording, serialisation and verification."""
+
+import pytest
+
+from repro.channels.records import EventImpact, EventKind
+from repro.errors import SimulationError
+from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig
+from repro.sim.trace import TraceRecorder, verify_trace
+from repro.topology.regular import complete_network
+
+
+def arrival(time, conn_id, accepted=True, direct=None):
+    return EventImpact(
+        kind=EventKind.ARRIVAL,
+        time=time,
+        conn_id=conn_id,
+        accepted=accepted,
+        direct=direct or {},
+    )
+
+
+class TestRecorder:
+    def test_records_accumulate(self):
+        rec = TraceRecorder()
+        rec.record(arrival(1.0, 0), population=1, average_bandwidth=500.0)
+        rec.record(arrival(2.0, 1), population=2, average_bandwidth=400.0)
+        assert len(rec) == 2
+        assert rec.records[0].kind == "arrival"
+        assert rec.records[1].population == 2
+
+    def test_summary_counts(self):
+        rec = TraceRecorder()
+        rec.record(arrival(1.0, 0, direct={5: (3, 1)}), 1, 500.0)
+        rec.record(arrival(2.0, 1, accepted=False), 1, 500.0)
+        rec.record(
+            EventImpact(kind=EventKind.TERMINATION, time=3.0, conn_id=0,
+                        direct={5: (1, 4)}),
+            0,
+            0.0,
+        )
+        summary = rec.summary()
+        assert summary.events == 3
+        assert summary.arrivals == 2
+        assert summary.accepted_arrivals == 1
+        assert summary.terminations == 1
+        assert summary.level_increases == 1
+        assert summary.level_decreases == 1
+        assert summary.acceptance_ratio == pytest.approx(0.5)
+        assert summary.duration == pytest.approx(2.0)
+
+    def test_empty_summary(self):
+        summary = TraceRecorder().summary()
+        assert summary.events == 0
+        assert summary.acceptance_ratio == 1.0
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self):
+        rec = TraceRecorder()
+        rec.record(arrival(1.5, 7, direct={2: (0, 3)}), 3, 250.0)
+        rec.record(
+            EventImpact(
+                kind=EventKind.FAILURE, time=2.5, failed_link=(1, 4),
+                activated=[7], dropped=[2], lost_backup=[3],
+            ),
+            2,
+            200.0,
+        )
+        clone = TraceRecorder.from_json(rec.to_json())
+        assert clone.records == rec.records
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceRecorder.from_json("not json{")
+
+
+class TestVerifyTrace:
+    def test_valid_simulator_trace(self, contract):
+        net = complete_network(7, 2000.0)
+        config = SimulationConfig(
+            qos=contract,
+            offered_connections=8,
+            warmup_events=10,
+            measure_events=60,
+            record_trace=True,
+        )
+        result = ElasticQoSSimulator(net, config, seed=2).run()
+        assert result.trace is not None
+        assert len(result.trace) == 70
+        verify_trace(result.trace, contract.performance.num_levels)
+
+    def test_trace_off_by_default(self, contract):
+        net = complete_network(7, 2000.0)
+        config = SimulationConfig(
+            qos=contract, offered_connections=4, warmup_events=5, measure_events=20
+        )
+        result = ElasticQoSSimulator(net, config, seed=2).run()
+        assert result.trace is None
+
+    def test_time_regression_detected(self):
+        rec = TraceRecorder()
+        rec.record(arrival(5.0, 0), 1, 100.0)
+        rec.record(arrival(4.0, 1), 2, 100.0)
+        with pytest.raises(SimulationError):
+            verify_trace(rec, 9)
+
+    def test_level_out_of_range_detected(self):
+        rec = TraceRecorder()
+        rec.record(arrival(1.0, 0, direct={3: (0, 12)}), 1, 100.0)
+        with pytest.raises(SimulationError):
+            verify_trace(rec, 9)
+
+    def test_population_inconsistency_detected(self):
+        rec = TraceRecorder()
+        rec.record(arrival(1.0, 0), 1, 100.0)
+        rec.record(arrival(2.0, 1), 5, 100.0)  # jumped by 4
+        with pytest.raises(SimulationError):
+            verify_trace(rec, 9)
+
+    def test_failure_population_accounting(self):
+        rec = TraceRecorder()
+        rec.record(arrival(1.0, 0), 1, 100.0)
+        rec.record(
+            EventImpact(kind=EventKind.FAILURE, time=2.0, failed_link=(0, 1),
+                        dropped=[0]),
+            0,
+            0.0,
+        )
+        verify_trace(rec, 9)

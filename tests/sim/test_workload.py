@@ -1,0 +1,120 @@
+"""Unit tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.workload import Workload, WorkloadConfig, constant_qos
+
+
+@pytest.fixture
+def workload(ring6, contract, rng):
+    config = WorkloadConfig(
+        arrival_rate=0.001,
+        termination_rate=0.001,
+        link_failure_rate=0.0001,
+        repair_rate=0.01,
+    )
+    return Workload(ring6, constant_qos(contract), config, rng)
+
+
+class TestConfig:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadConfig(arrival_rate=-1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadConfig(arrival_rate=0.0, termination_rate=0.0, link_failure_rate=0.0)
+
+
+class TestRequests:
+    def test_distinct_endpoints(self, workload):
+        for _ in range(100):
+            src, dst, qos = workload.next_request()
+            assert src != dst
+            assert qos is not None
+
+    def test_endpoints_in_topology(self, workload, ring6):
+        nodes = set(ring6.nodes())
+        for _ in range(50):
+            src, dst, _ = workload.next_request()
+            assert src in nodes and dst in nodes
+
+    def test_factory_receives_index(self, ring6, rng):
+        seen = []
+
+        def factory(index):
+            seen.append(index)
+            return None
+
+        config = WorkloadConfig()
+        wl = Workload(ring6, factory, config, rng)
+        wl.next_request()
+        wl.next_request()
+        assert seen == [0, 1]
+
+    def test_needs_two_nodes(self, rng, contract):
+        from repro.topology.graph import Network
+
+        net = Network()
+        net.add_node(0)
+        with pytest.raises(SimulationError):
+            Workload(net, constant_qos(contract), WorkloadConfig(), rng)
+
+
+class TestVictimSelection:
+    def test_termination_from_live(self, workload):
+        assert workload.pick_termination([7, 8, 9]) in {7, 8, 9}
+
+    def test_termination_empty_rejected(self, workload):
+        with pytest.raises(SimulationError):
+            workload.pick_termination([])
+
+    def test_failure_from_alive(self, workload, ring6):
+        links = ring6.link_ids()
+        assert workload.pick_failure(links) in links
+
+    def test_failure_empty_rejected(self, workload):
+        with pytest.raises(SimulationError):
+            workload.pick_failure([])
+
+    def test_repair_empty_rejected(self, workload):
+        with pytest.raises(SimulationError):
+            workload.pick_repair([])
+
+
+class TestEventRates:
+    def test_rates_scale_with_counts(self, workload):
+        rates = workload.event_rates(num_alive_links=6, num_failed_links=2, num_live=10)
+        assert rates["churn"] == pytest.approx(0.002)
+        assert rates["failure"] == pytest.approx(6 * 0.0001)
+        assert rates["repair"] == pytest.approx(2 * 0.01)
+
+    def test_no_terminations_without_connections(self, workload):
+        rates = workload.event_rates(6, 0, num_live=0)
+        assert rates["churn"] == pytest.approx(0.001)
+
+    def test_draw_event_categories(self, workload):
+        seen = set()
+        for _ in range(500):
+            delay, category = workload.draw_event(6, 1, 10)
+            assert delay >= 0.0
+            seen.add(category)
+        assert "churn" in seen
+        # failure/repair rates are high enough that 500 draws see them
+        assert "repair" in seen
+
+    def test_draw_event_zero_total_rejected(self, ring6, contract, rng):
+        config = WorkloadConfig(
+            arrival_rate=0.0, termination_rate=0.001, link_failure_rate=0.0
+        )
+        wl = Workload(ring6, constant_qos(contract), config, rng)
+        with pytest.raises(SimulationError):
+            wl.draw_event(6, 0, num_live=0)
+
+    def test_mean_delay_matches_total_rate(self, workload):
+        delays = [workload.draw_event(6, 0, 10)[0] for _ in range(3000)]
+        rates = workload.event_rates(6, 0, 10)
+        expected = 1.0 / sum(rates.values())
+        assert np.mean(delays) == pytest.approx(expected, rel=0.1)

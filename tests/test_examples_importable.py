@@ -1,0 +1,36 @@
+"""Smoke tests: every example script parses, imports and defines main().
+
+Full example runs take tens of seconds each; the unit suite only checks
+they stay importable and wired to real library APIs (a renamed function
+would break the import, not just the run).
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None))
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "video_service",
+        "failure_recovery",
+        "analytic_vs_simulation",
+        "capacity_planning",
+        "model_sensitivity",
+        "runtime_scheduling",
+    } <= names

@@ -1,0 +1,175 @@
+"""Unit tests for the Waxman and transit-stub topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.metrics import is_connected
+from repro.topology.transit_stub import (
+    TransitStubParams,
+    stub_node_ids,
+    transit_node_ids,
+    transit_stub_network,
+)
+from repro.topology.waxman import (
+    WaxmanParams,
+    calibrate_beta,
+    expected_edges,
+    paper_random_network,
+    waxman_edge_probability,
+    waxman_network,
+)
+
+
+class TestWaxmanParams:
+    def test_valid(self):
+        WaxmanParams(alpha=0.33, beta=0.2)
+
+    def test_alpha_range(self):
+        with pytest.raises(TopologyError):
+            WaxmanParams(alpha=0.0, beta=0.2)
+        with pytest.raises(TopologyError):
+            WaxmanParams(alpha=1.5, beta=0.2)
+
+    def test_beta_zero_rejected(self):
+        # The paper's quoted beta = 0 is degenerate (DESIGN.md).
+        with pytest.raises(TopologyError):
+            WaxmanParams(alpha=0.33, beta=0.0)
+
+
+class TestEdgeProbability:
+    def test_decreases_with_distance(self):
+        params = WaxmanParams(alpha=0.5, beta=0.3)
+        near = waxman_edge_probability(0.1, 1.0, params)
+        far = waxman_edge_probability(0.9, 1.0, params)
+        assert near > far
+
+    def test_alpha_is_cap(self):
+        params = WaxmanParams(alpha=0.5, beta=0.3)
+        assert waxman_edge_probability(0.0, 1.0, params) == pytest.approx(0.5)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(TopologyError):
+            waxman_edge_probability(0.1, 0.0, WaxmanParams(0.5, 0.3))
+
+
+class TestWaxmanNetwork:
+    def test_deterministic_with_seed(self):
+        a = waxman_network(30, WaxmanParams(0.4, 0.3), 100.0, np.random.default_rng(5))
+        b = waxman_network(30, WaxmanParams(0.4, 0.3), 100.0, np.random.default_rng(5))
+        assert a.link_ids() == b.link_ids()
+
+    def test_connected_by_default(self, rng):
+        net = waxman_network(40, WaxmanParams(0.2, 0.1), 100.0, rng)
+        assert is_connected(net)
+
+    def test_nodes_have_positions(self, rng):
+        net = waxman_network(10, WaxmanParams(0.5, 0.5), 100.0, rng)
+        assert all(net.position(n) is not None for n in net.nodes())
+
+    def test_uniform_capacity(self, rng):
+        net = waxman_network(15, WaxmanParams(0.5, 0.5), 123.0, rng)
+        assert all(link.capacity == 123.0 for link in net.links())
+
+    def test_too_few_nodes(self, rng):
+        with pytest.raises(TopologyError):
+            waxman_network(1, WaxmanParams(0.5, 0.5), 1.0, rng)
+
+    def test_raw_model_can_be_disconnected(self):
+        # With a minuscule alpha the raw model has almost no edges.
+        rng = np.random.default_rng(0)
+        net = waxman_network(
+            20, WaxmanParams(0.01, 0.05), 1.0, rng, ensure_connected=False
+        )
+        assert net.num_links < 20  # raw: far fewer than a spanning tree needs
+
+
+class TestCalibration:
+    def test_expected_edges_monotone_in_beta(self, rng):
+        points = rng.random((50, 2))
+        low = expected_edges(points, WaxmanParams(0.33, 0.05))
+        high = expected_edges(points, WaxmanParams(0.33, 0.5))
+        assert high > low
+
+    def test_calibrate_hits_target(self, rng):
+        points = rng.random((60, 2))
+        target = 120.0
+        beta = calibrate_beta(points, 0.33, target)
+        got = expected_edges(points, WaxmanParams(0.33, beta))
+        assert got == pytest.approx(target, abs=1.0)
+
+    def test_unreachable_target_rejected(self, rng):
+        points = rng.random((10, 2))
+        with pytest.raises(TopologyError):
+            calibrate_beta(points, 0.33, 1000.0)  # more than alpha * C(10,2)
+        with pytest.raises(TopologyError):
+            calibrate_beta(points, 0.33, 0.0)
+
+
+class TestPaperRandomNetwork:
+    def test_edge_count_near_target(self, rng):
+        net = paper_random_network(10_000.0, rng, n=100, target_edges=354)
+        assert net.num_nodes == 100
+        # Sampled edge count fluctuates around the calibrated expectation.
+        assert 280 <= net.num_links <= 440
+        assert is_connected(net)
+
+    def test_density_scales_with_nodes(self):
+        small = paper_random_network(1.0, np.random.default_rng(1), n=50)
+        large = paper_random_network(1.0, np.random.default_rng(1), n=100)
+        # Default target scales ~n^2: edges should grow much faster than n.
+        assert large.num_links > 2.5 * small.num_links
+
+
+class TestTransitStub:
+    def test_default_node_count(self, rng):
+        params = TransitStubParams()
+        net = transit_stub_network(params, 100.0, rng)
+        assert net.num_nodes == params.total_nodes == 104
+
+    def test_connected(self, rng):
+        net = transit_stub_network(TransitStubParams(), 100.0, rng)
+        assert is_connected(net)
+
+    def test_node_id_partition(self):
+        params = TransitStubParams()
+        transit = transit_node_ids(params)
+        stub = stub_node_ids(params)
+        assert len(transit) + len(stub) == params.total_nodes
+        assert set(transit).isdisjoint(stub)
+        assert transit == list(range(len(transit)))
+
+    def test_deterministic_with_seed(self):
+        params = TransitStubParams()
+        a = transit_stub_network(params, 1.0, np.random.default_rng(3))
+        b = transit_stub_network(params, 1.0, np.random.default_rng(3))
+        assert a.link_ids() == b.link_ids()
+
+    def test_invalid_params(self):
+        with pytest.raises(TopologyError):
+            TransitStubParams(transit_domains=0)
+        with pytest.raises(TopologyError):
+            TransitStubParams(intra_domain_edge_prob=1.5)
+        with pytest.raises(TopologyError):
+            TransitStubParams(stub_nodes_per_domain=0)
+
+    def test_transit_capacity_override(self, rng):
+        params = TransitStubParams(transit_domains=2, transit_nodes_per_domain=2,
+                                   stub_domains_per_transit_node=1, stub_nodes_per_domain=2)
+        net = transit_stub_network(params, 100.0, rng, transit_capacity=500.0)
+        transit = set(transit_node_ids(params))
+        core_links = [l for l in net.links() if l.u in transit and l.v in transit]
+        assert core_links, "expected at least one transit-core link"
+        assert all(l.capacity == 500.0 for l in core_links)
+
+    def test_stub_nodes_attach_via_transit(self, rng):
+        """Removing all transit nodes' links must disconnect every stub domain
+        from stubs of other transit nodes: stub-to-stub traffic crosses the core."""
+        params = TransitStubParams()
+        net = transit_stub_network(params, 100.0, rng)
+        transit = set(transit_node_ids(params))
+        # every stub node reaches a transit node within its domain depth
+        from repro.topology.metrics import bfs_distances
+        for stub in stub_node_ids(params)[:10]:
+            dist = bfs_distances(net, stub)
+            assert any(t in dist for t in transit)

@@ -1,0 +1,178 @@
+"""Unit tests for the Network graph substrate."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.graph import Link, Network, link_id, network_from_edges
+
+
+class TestLinkId:
+    def test_canonical_order(self):
+        assert link_id(3, 1) == (1, 3)
+        assert link_id(1, 3) == (1, 3)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            link_id(2, 2)
+
+
+class TestLink:
+    def test_endpoint_order_enforced(self):
+        with pytest.raises(TopologyError):
+            Link(u=3, v=1, capacity=10.0)
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(TopologyError):
+            Link(u=1, v=2, capacity=0.0)
+
+    def test_positive_length_required(self):
+        with pytest.raises(TopologyError):
+            Link(u=1, v=2, capacity=10.0, length=-1.0)
+
+    def test_other_endpoint(self):
+        link = Link(u=1, v=2, capacity=10.0)
+        assert link.other(1) == 2
+        assert link.other(2) == 1
+
+    def test_other_rejects_non_endpoint(self):
+        link = Link(u=1, v=2, capacity=10.0)
+        with pytest.raises(TopologyError):
+            link.other(3)
+
+    def test_id(self):
+        assert Link(u=1, v=2, capacity=10.0).id == (1, 2)
+
+
+class TestNetworkConstruction:
+    def test_empty(self):
+        net = Network()
+        assert net.num_nodes == 0
+        assert net.num_links == 0
+        assert net.nodes() == []
+        assert net.links() == []
+
+    def test_add_link_adds_nodes(self):
+        net = Network()
+        net.add_link(1, 2, 100.0)
+        assert net.num_nodes == 2
+        assert net.num_links == 1
+        assert net.has_link(2, 1)
+
+    def test_duplicate_link_rejected(self):
+        net = Network()
+        net.add_link(1, 2, 100.0)
+        with pytest.raises(TopologyError):
+            net.add_link(2, 1, 100.0)
+
+    def test_remove_link(self):
+        net = Network()
+        net.add_link(1, 2, 100.0)
+        net.remove_link(1, 2)
+        assert net.num_links == 0
+        assert not net.has_link(1, 2)
+        # nodes survive link removal
+        assert net.num_nodes == 2
+
+    def test_remove_missing_link_rejected(self):
+        net = Network()
+        net.add_node(1)
+        net.add_node(2)
+        with pytest.raises(TopologyError):
+            net.remove_link(1, 2)
+
+    def test_positions_default_length(self):
+        net = Network()
+        net.add_node(0, (0.0, 0.0))
+        net.add_node(1, (3.0, 4.0))
+        link = net.add_link(0, 1, 100.0)
+        assert link.length == pytest.approx(5.0)
+
+    def test_explicit_length_wins(self):
+        net = Network()
+        net.add_node(0, (0.0, 0.0))
+        net.add_node(1, (3.0, 4.0))
+        link = net.add_link(0, 1, 100.0, length=7.0)
+        assert link.length == 7.0
+
+    def test_length_defaults_to_one_without_positions(self):
+        net = Network()
+        link = net.add_link(0, 1, 100.0)
+        assert link.length == 1.0
+
+
+class TestNetworkQueries:
+    def test_neighbors_sorted(self, ring6):
+        assert ring6.neighbors(0) == [1, 5]
+
+    def test_neighbors_unknown_node(self, ring6):
+        with pytest.raises(TopologyError):
+            ring6.neighbors(99)
+
+    def test_degree(self, ring6):
+        for node in ring6.nodes():
+            assert ring6.degree(node) == 2
+
+    def test_degree_unknown_node(self, ring6):
+        with pytest.raises(TopologyError):
+            ring6.degree(99)
+
+    def test_get_link_missing(self, ring6):
+        with pytest.raises(TopologyError):
+            ring6.get_link(0, 3)
+
+    def test_incident_links(self, ring6):
+        links = ring6.incident_links(0)
+        assert [l.id for l in links] == [(0, 1), (0, 5)]
+
+    def test_contains(self, ring6):
+        assert 0 in ring6
+        assert 99 not in ring6
+
+    def test_link_ids_sorted(self, line5):
+        assert line5.link_ids() == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_distance_requires_positions(self, line5):
+        with pytest.raises(TopologyError):
+            line5.distance(0, 1)
+
+
+class TestPathHelpers:
+    def test_path_links(self, line5):
+        assert line5.path_links([0, 1, 2]) == [(0, 1), (1, 2)]
+
+    def test_path_links_rejects_missing_hop(self, line5):
+        with pytest.raises(TopologyError):
+            line5.path_links([0, 2])
+
+    def test_is_path(self, line5):
+        assert line5.is_path([0, 1, 2, 3])
+        assert not line5.is_path([0, 2])        # missing link
+        assert not line5.is_path([0, 1, 0])     # repeated node
+        assert not line5.is_path([0])           # too short
+
+
+class TestCopy:
+    def test_copy_is_independent(self, line5):
+        clone = line5.copy()
+        clone.add_link(0, 4, 100.0)
+        assert clone.num_links == line5.num_links + 1
+        assert not line5.has_link(0, 4)
+
+    def test_copy_preserves_positions(self):
+        net = Network()
+        net.add_node(0, (0.5, 0.5))
+        clone = net.copy()
+        assert clone.position(0) == (0.5, 0.5)
+
+
+class TestNetworkFromEdges:
+    def test_builds_uniform_capacity(self):
+        net = network_from_edges([(0, 1), (1, 2)], capacity=42.0)
+        assert net.num_links == 2
+        assert all(link.capacity == 42.0 for link in net.links())
+
+    def test_with_positions(self):
+        net = network_from_edges(
+            [(0, 1)], capacity=1.0, positions={0: (0, 0), 1: (1, 0)}
+        )
+        assert net.get_link(0, 1).length == pytest.approx(1.0)

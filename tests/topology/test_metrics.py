@@ -1,0 +1,120 @@
+"""Unit tests for topology metrics."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.graph import Network
+from repro.topology.metrics import (
+    average_degree,
+    average_shortest_path_hops,
+    bfs_distances,
+    connected_components,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    is_connected,
+    leaf_nodes,
+)
+from repro.topology.regular import complete_network, line_network, ring_network
+
+
+class TestBfsDistances:
+    def test_line(self, line5):
+        dist = bfs_distances(line5, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unknown_source(self, line5):
+        with pytest.raises(TopologyError):
+            bfs_distances(line5, 99)
+
+    def test_disconnected_reaches_only_component(self):
+        net = Network()
+        net.add_link(0, 1, 1.0)
+        net.add_link(2, 3, 1.0)
+        assert set(bfs_distances(net, 0)) == {0, 1}
+
+
+class TestComponents:
+    def test_single_component(self, ring6):
+        assert connected_components(ring6) == [[0, 1, 2, 3, 4, 5]]
+
+    def test_two_components(self):
+        net = Network()
+        net.add_link(0, 1, 1.0)
+        net.add_link(2, 3, 1.0)
+        assert connected_components(net) == [[0, 1], [2, 3]]
+
+    def test_is_connected(self, ring6):
+        assert is_connected(ring6)
+        net = Network()
+        net.add_link(0, 1, 1.0)
+        net.add_node(5)
+        assert not is_connected(net)
+
+    def test_empty_is_connected(self):
+        assert is_connected(Network())
+
+
+class TestDegreeMetrics:
+    def test_average_degree_ring(self, ring6):
+        assert average_degree(ring6) == pytest.approx(2.0)
+
+    def test_average_degree_complete(self):
+        net = complete_network(5, 1.0)
+        assert average_degree(net) == pytest.approx(4.0)
+
+    def test_average_degree_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            average_degree(Network())
+
+    def test_degree_histogram(self, line5):
+        assert degree_histogram(line5) == {1: 2, 2: 3}
+
+    def test_leaf_nodes(self, line5):
+        assert leaf_nodes(line5) == [0, 4]
+        assert leaf_nodes(ring_network(4, 1.0)) == []
+
+
+class TestDiameter:
+    def test_line_diameter(self, line5):
+        assert diameter(line5) == 4
+
+    def test_ring_diameter(self, ring6):
+        assert diameter(ring6) == 3
+
+    def test_complete_diameter(self):
+        assert diameter(complete_network(4, 1.0)) == 1
+
+    def test_eccentricity(self, line5):
+        assert eccentricity(line5, 0) == 4
+        assert eccentricity(line5, 2) == 2
+
+    def test_eccentricity_disconnected_rejected(self):
+        net = Network()
+        net.add_link(0, 1, 1.0)
+        net.add_node(9)
+        with pytest.raises(TopologyError):
+            eccentricity(net, 0)
+
+    def test_sampled_diameter_is_lower_bound(self):
+        net = line_network(20, 1.0)
+        full = diameter(net)
+        sampled = diameter(net, sample=5)
+        assert sampled <= full
+
+
+class TestAveragePath:
+    def test_line3(self):
+        net = line_network(3, 1.0)
+        # pairs: (0,1)=1 (0,2)=2 (1,2)=1 -> mean 4/3 over ordered pairs is same
+        assert average_shortest_path_hops(net) == pytest.approx(4.0 / 3.0)
+
+    def test_complete(self):
+        net = complete_network(6, 1.0)
+        assert average_shortest_path_hops(net) == pytest.approx(1.0)
+
+    def test_single_node_rejected(self):
+        net = Network()
+        net.add_node(0)
+        with pytest.raises(TopologyError):
+            average_shortest_path_hops(net)

@@ -1,0 +1,63 @@
+"""Unit tests for the flat (pure-random) topology generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.metrics import is_connected
+from repro.topology.random_flat import pure_random_network, pure_random_with_edge_target
+
+
+class TestPureRandom:
+    def test_deterministic(self):
+        a = pure_random_network(30, 0.2, 1.0, np.random.default_rng(8))
+        b = pure_random_network(30, 0.2, 1.0, np.random.default_rng(8))
+        assert a.link_ids() == b.link_ids()
+
+    def test_connected_by_default(self, rng):
+        net = pure_random_network(40, 0.05, 1.0, rng)
+        assert is_connected(net)
+
+    def test_zero_probability_yields_spanning_bridges_only(self, rng):
+        net = pure_random_network(10, 0.0, 1.0, rng)
+        # Connectivity repair adds exactly n-1 bridges to an empty graph.
+        assert net.num_links == 9
+        assert is_connected(net)
+
+    def test_full_probability_is_complete(self, rng):
+        net = pure_random_network(8, 1.0, 1.0, rng)
+        assert net.num_links == 28
+
+    def test_raw_model_can_be_disconnected(self):
+        net = pure_random_network(
+            20, 0.01, 1.0, np.random.default_rng(0), ensure_connected=False
+        )
+        assert not is_connected(net)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(TopologyError):
+            pure_random_network(1, 0.5, 1.0, rng)
+        with pytest.raises(TopologyError):
+            pure_random_network(5, 1.5, 1.0, rng)
+
+    def test_no_positions(self, rng):
+        net = pure_random_network(10, 0.3, 1.0, rng)
+        assert all(net.position(n) is None for n in net.nodes())
+
+
+class TestEdgeTarget:
+    def test_expected_count_close(self):
+        counts = []
+        for seed in range(8):
+            net = pure_random_with_edge_target(
+                50, 150, 1.0, np.random.default_rng(seed)
+            )
+            counts.append(net.num_links)
+        # Connectivity repair can only add; binomial spread is ~11.
+        assert 120 <= float(np.mean(counts)) <= 185
+
+    def test_invalid_targets(self, rng):
+        with pytest.raises(TopologyError):
+            pure_random_with_edge_target(10, 0, 1.0, rng)
+        with pytest.raises(TopologyError):
+            pure_random_with_edge_target(10, 100, 1.0, rng)

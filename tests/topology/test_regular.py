@@ -1,0 +1,82 @@
+"""Unit tests for the regular test topologies."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.metrics import diameter, is_connected
+from repro.topology.regular import (
+    complete_network,
+    dumbbell_network,
+    grid_network,
+    line_network,
+    ring_network,
+)
+
+
+class TestLine:
+    def test_shape(self):
+        net = line_network(4, 10.0)
+        assert net.num_nodes == 4
+        assert net.num_links == 3
+
+    def test_min_size(self):
+        with pytest.raises(TopologyError):
+            line_network(1, 10.0)
+
+
+class TestRing:
+    def test_shape(self):
+        net = ring_network(5, 10.0)
+        assert net.num_nodes == 5
+        assert net.num_links == 5
+        assert all(net.degree(n) == 2 for n in net.nodes())
+
+    def test_min_size(self):
+        with pytest.raises(TopologyError):
+            ring_network(2, 10.0)
+
+
+class TestComplete:
+    def test_shape(self):
+        net = complete_network(6, 10.0)
+        assert net.num_links == 15
+        assert diameter(net) == 1
+
+    def test_min_size(self):
+        with pytest.raises(TopologyError):
+            complete_network(1, 10.0)
+
+
+class TestGrid:
+    def test_shape(self):
+        net = grid_network(3, 4, 10.0)
+        assert net.num_nodes == 12
+        # 3 rows x 3 horizontal + 2 x 4 vertical = 9 + 8
+        assert net.num_links == 17
+        assert is_connected(net)
+
+    def test_positions(self):
+        net = grid_network(2, 2, 10.0)
+        assert net.position(0) == (0.0, 0.0)
+        assert net.position(3) == (1.0, 1.0)
+
+    def test_min_size(self):
+        with pytest.raises(TopologyError):
+            grid_network(1, 1, 10.0)
+
+
+class TestDumbbell:
+    def test_shape(self):
+        net = dumbbell_network(3, 10.0)
+        # 3 leaves + hub per side + bottleneck
+        assert net.num_nodes == 8
+        assert net.num_links == 7
+        assert net.has_link(0, 4)  # the bottleneck between hubs 0 and side+1
+
+    def test_bottleneck_capacity(self):
+        net = dumbbell_network(2, 10.0, bottleneck_capacity=5.0)
+        assert net.get_link(0, 3).capacity == 5.0
+
+    def test_min_size(self):
+        with pytest.raises(TopologyError):
+            dumbbell_network(0, 10.0)
