@@ -6,25 +6,37 @@ plenty of resources available") or the maximum (risking rejection and
 "blocking of future real-time channel requests").  Elastic QoS should
 match the minimum scheme's acceptance while delivering far more
 bandwidth, and beat the maximum scheme's acceptance outright.
+
+Each scheme is an independent, picklable leg (shared topology and
+request sequence rebuilt from the same spec/seed in every worker) and
+fans out over :func:`repro.parallel.parallel_map` when ``REPRO_JOBS`` > 1.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks.conftest import archive, bench_scale
+from benchmarks.conftest import archive, bench_jobs
+from repro.analysis.experiments import paper_connection_qos
 from repro.analysis.report import render_table
 from repro.baselines.compare import compare_schemes
 from repro.baselines.contracts import single_value_contract
-from repro.analysis.experiments import paper_connection_qos
-from repro.topology.waxman import paper_random_network
+from repro.parallel import TopologySpec, parallel_map
 from repro.units import PAPER_B_MAX, PAPER_B_MIN, PAPER_LINK_CAPACITY
 
 
+def _run_scheme_leg(spec):
+    """One QoS scheme over the shared request sequence (picklable)."""
+    name, qos, topology, offered, seed = spec
+    net = topology.build()
+    return compare_schemes(net, [(name, qos)], offered=offered, seed=seed)[0]
+
+
 def test_elastic_vs_single_value(benchmark, scale):
-    rng = np.random.default_rng(scale.settings.seed)
-    net = paper_random_network(
-        PAPER_LINK_CAPACITY, rng, n=scale.nodes, target_edges=scale.edges
+    topology = TopologySpec(
+        "waxman",
+        PAPER_LINK_CAPACITY,
+        scale.settings.seed,
+        nodes=scale.nodes,
+        edges=scale.edges,
     )
     offered = max(scale.figure2_counts) // 2
     schemes = [
@@ -32,8 +44,11 @@ def test_elastic_vs_single_value(benchmark, scale):
         ("single-value 100", single_value_contract(PAPER_B_MIN)),
         ("single-value 500", single_value_contract(PAPER_B_MAX)),
     ]
+    specs = [
+        (name, qos, topology, offered, scale.settings.seed) for name, qos in schemes
+    ]
     outcomes = benchmark.pedantic(
-        lambda: compare_schemes(net, schemes, offered=offered, seed=scale.settings.seed),
+        lambda: parallel_map(_run_scheme_leg, specs, jobs=bench_jobs()),
         rounds=1,
         iterations=1,
     )

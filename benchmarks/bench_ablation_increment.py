@@ -7,16 +7,22 @@ smaller increment size changes its bandwidth more frequently than the
 scheme with a larger increment size."  This ablation measures both: the
 average bandwidth and the *level-change rate* (reallocations per channel
 observation) for Δ in {25, 50, 100, 200}.
+
+Each Δ is one :class:`~repro.parallel.SimJob` (topology rebuilt in the
+worker), so the sweep fans out over the process pool when
+``REPRO_JOBS`` > 1.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.conftest import archive
-from repro.analysis.experiments import RunSettings, paper_connection_qos, simulate_point
+from benchmarks.conftest import archive, bench_jobs
+from repro.analysis.experiments import paper_connection_qos
 from repro.analysis.report import render_table
-from repro.topology.waxman import paper_random_network
+from repro.errors import MarkovModelError
+from repro.markov.model import ElasticQoSMarkovModel
+from repro.parallel import SimJob, TopologySpec, derive_seeds, run_sim_jobs
 from repro.units import PAPER_LINK_CAPACITY
 
 
@@ -43,31 +49,53 @@ def _offdiag_share(params) -> float:
 
 
 def test_increment_ablation(benchmark, scale):
-    rng = np.random.default_rng(scale.settings.seed)
-    net = paper_random_network(
-        PAPER_LINK_CAPACITY, rng, n=scale.nodes, target_edges=scale.edges
-    )
     offered = scale.figure2_counts[len(scale.figure2_counts) // 2]
     increments = (25.0, 50.0, 100.0, 200.0)
+    seeds = derive_seeds(scale.settings.seed, 1 + len(increments))
+    topology = TopologySpec(
+        "waxman",
+        PAPER_LINK_CAPACITY,
+        seeds[0],
+        nodes=scale.nodes,
+        edges=scale.edges,
+    )
+    sim_jobs = [
+        SimJob.from_settings(
+            ("ablation-increment", delta),
+            topology,
+            offered,
+            paper_connection_qos(increment=delta),
+            scale.settings,
+            seeds[1 + i],
+        )
+        for i, delta in enumerate(increments)
+    ]
 
-    def run():
-        rows = []
-        for delta in increments:
-            qos = paper_connection_qos(increment=delta)
-            result, model = simulate_point(net, offered, qos, scale.settings)
-            off_diag = _offdiag_share(result.params)
-            rows.append(
-                [
-                    delta,
-                    qos.performance.num_levels,
-                    result.average_bandwidth,
-                    model.average_bandwidth(),
-                    off_diag,
-                ]
-            )
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: run_sim_jobs(sim_jobs, jobs=bench_jobs()), rounds=1, iterations=1
+    )
+    rows = []
+    for delta, res in zip(increments, results):
+        qos = res.job.qos
+        try:
+            model_bw = ElasticQoSMarkovModel(
+                qos.performance, res.result.params
+            ).average_bandwidth()
+        except MarkovModelError:
+            # Fine-grained chains (many states) can come out reducible
+            # at quick scale when the top levels go unobserved; the
+            # model column is informative only, the claim is on the
+            # simulated bandwidths.
+            model_bw = float("nan")
+        rows.append(
+            [
+                delta,
+                qos.performance.num_levels,
+                res.result.average_bandwidth,
+                model_bw,
+                _offdiag_share(res.result.params),
+            ]
+        )
     table = render_table(
         ["Δ Kb/s", "states N", "sim avg Kb/s", "model avg Kb/s", "level-change share"],
         rows,

@@ -6,18 +6,22 @@ utility is slightly higher than the others") with the coefficient scheme
 (proportional sharing).  This ablation runs a two-class workload — half
 the clients with utility 1, half with utility 4 — under each policy and
 reports per-class average bandwidth plus aggregate utility.
+
+Each policy leg is a self-contained, picklable job (topology rebuilt
+from a :class:`TopologySpec` inside the worker), so the three legs fan
+out over :func:`repro.parallel.parallel_map` when ``REPRO_JOBS`` > 1.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.conftest import archive
+from benchmarks.conftest import archive, bench_jobs
 from repro.analysis.report import render_table
 from repro.channels.manager import NetworkManager
-from repro.elastic.policies import EqualShare, MaxUtility, UtilityProportional
+from repro.elastic.policies import policy_by_name
+from repro.parallel import TopologySpec, parallel_map
 from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS
-from repro.topology.waxman import paper_random_network
 from repro.units import PAPER_B_MAX, PAPER_B_MIN, PAPER_LINK_CAPACITY
 
 
@@ -30,43 +34,51 @@ def contract(utility: float) -> ConnectionQoS:
     )
 
 
-def test_policy_ablation(benchmark, scale):
-    rng = np.random.default_rng(scale.settings.seed)
-    net = paper_random_network(
-        PAPER_LINK_CAPACITY, rng, n=scale.nodes, target_edges=scale.edges
-    )
-    offered = max(scale.figure2_counts)
-    pair_rng = np.random.default_rng(scale.settings.seed + 1)
+def _run_policy_leg(spec):
+    """One policy over the shared request sequence (module-level: picklable)."""
+    policy_name, topology, offered, pair_seed = spec
+    net = topology.build()
+    manager = NetworkManager(net, policy=policy_by_name(policy_name))
+    pair_rng = np.random.default_rng(pair_seed)
     nodes = np.array(net.nodes())
-    requests = []
     for i in range(offered):
         src, dst = pair_rng.choice(nodes, size=2, replace=False)
-        requests.append((int(src), int(dst), contract(4.0 if i % 2 else 1.0)))
+        manager.request_connection(int(src), int(dst), contract(4.0 if i % 2 else 1.0))
+    by_class = {1.0: [], 4.0: []}
+    total_utility = 0.0
+    for conn in manager.connections.values():
+        extras = conn.bandwidth - conn.qos.performance.b_min
+        total_utility += conn.qos.performance.utility * extras
+        by_class[conn.qos.performance.utility].append(conn.bandwidth)
+    return [
+        policy_name,
+        float(np.mean(by_class[1.0])),
+        float(np.mean(by_class[4.0])),
+        manager.average_live_bandwidth(),
+        total_utility,
+    ]
 
-    def run():
-        rows = []
-        for policy in (EqualShare(), UtilityProportional(), MaxUtility()):
-            manager = NetworkManager(net, policy=policy)
-            for src, dst, qos in requests:
-                manager.request_connection(src, dst, qos)
-            by_class = {1.0: [], 4.0: []}
-            total_utility = 0.0
-            for conn in manager.connections.values():
-                extras = conn.bandwidth - conn.qos.performance.b_min
-                total_utility += conn.qos.performance.utility * extras
-                by_class[conn.qos.performance.utility].append(conn.bandwidth)
-            rows.append(
-                [
-                    policy.name,
-                    float(np.mean(by_class[1.0])),
-                    float(np.mean(by_class[4.0])),
-                    manager.average_live_bandwidth(),
-                    total_utility,
-                ]
-            )
-        return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+def test_policy_ablation(benchmark, scale):
+    topology = TopologySpec(
+        "waxman",
+        PAPER_LINK_CAPACITY,
+        scale.settings.seed,
+        nodes=scale.nodes,
+        edges=scale.edges,
+    )
+    offered = max(scale.figure2_counts)
+    pair_seed = scale.settings.seed + 1
+    specs = [
+        (name, topology, offered, pair_seed)
+        for name in ("equal-share", "utility-proportional", "max-utility")
+    ]
+
+    rows = benchmark.pedantic(
+        lambda: parallel_map(_run_policy_leg, specs, jobs=bench_jobs()),
+        rounds=1,
+        iterations=1,
+    )
     table = render_table(
         ["policy", "avg bw u=1", "avg bw u=4", "avg bw all", "total utility"],
         rows,

@@ -7,58 +7,72 @@ bounded flooding finds routes quickly "but it induces a large traffic
 overhead".  This ablation offers the same request sequence to both
 engines and compares acceptance, bandwidth and path quality, then
 measures the flooding message overhead directly.
+
+Each engine leg rebuilds its own topology from a picklable
+:class:`TopologySpec` and fans out over
+:func:`repro.parallel.parallel_map` when ``REPRO_JOBS`` > 1.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.conftest import archive
+from benchmarks.conftest import archive, bench_jobs
 from repro.analysis.experiments import paper_connection_qos
 from repro.analysis.report import render_table
 from repro.channels.manager import NetworkManager
+from repro.parallel import TopologySpec, parallel_map
 from repro.routing.flooding import bounded_flood
-from repro.topology.waxman import paper_random_network
 from repro.units import PAPER_B_MIN, PAPER_LINK_CAPACITY
 
 
-def test_routing_ablation(benchmark, scale):
-    rng = np.random.default_rng(scale.settings.seed)
-    net = paper_random_network(
-        PAPER_LINK_CAPACITY, rng, n=scale.nodes, target_edges=scale.edges
-    )
-    offered = scale.figure2_counts[len(scale.figure2_counts) // 2]
-    pair_rng = np.random.default_rng(scale.settings.seed + 5)
+def _run_engine_leg(spec):
+    """One routing engine over the shared request sequence (picklable)."""
+    engine, topology, offered, pair_seed = spec
+    net = topology.build()
+    pair_rng = np.random.default_rng(pair_seed)
     nodes = np.array(net.nodes())
     requests = [tuple(map(int, pair_rng.choice(nodes, size=2, replace=False)))
                 for _ in range(offered)]
     qos = paper_connection_qos()
+    manager = NetworkManager(net, routing=engine)
+    for src, dst in requests:
+        manager.request_connection(src, dst, qos)
+    hops = [len(c.primary_links) for c in manager.connections.values()]
+    return [
+        engine,
+        manager.stats.accepted,
+        manager.stats.acceptance_ratio,
+        manager.average_live_bandwidth(),
+        float(np.mean(hops)) if hops else 0.0,
+    ]
 
-    def run():
-        rows = []
-        for engine in ("dijkstra", "flooding"):
-            manager = NetworkManager(net, routing=engine)
-            for src, dst in requests:
-                manager.request_connection(src, dst, qos)
-            hops = [
-                len(c.primary_links) for c in manager.connections.values()
-            ]
-            rows.append(
-                [
-                    engine,
-                    manager.stats.accepted,
-                    manager.stats.acceptance_ratio,
-                    manager.average_live_bandwidth(),
-                    float(np.mean(hops)) if hops else 0.0,
-                ]
-            )
-        return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+def test_routing_ablation(benchmark, scale):
+    topology = TopologySpec(
+        "waxman",
+        PAPER_LINK_CAPACITY,
+        scale.settings.seed,
+        nodes=scale.nodes,
+        edges=scale.edges,
+    )
+    offered = scale.figure2_counts[len(scale.figure2_counts) // 2]
+    pair_seed = scale.settings.seed + 5
+    specs = [
+        (engine, topology, offered, pair_seed) for engine in ("dijkstra", "flooding")
+    ]
+
+    rows = benchmark.pedantic(
+        lambda: parallel_map(_run_engine_leg, specs, jobs=bench_jobs()),
+        rounds=1,
+        iterations=1,
+    )
 
     # Message overhead of flooding on the raw topology, averaged over a
     # sample of random pairs (Dijkstra's cost is one link-state lookup
     # per edge, i.e. "free" in message terms for the central manager).
+    net = topology.build()
+    nodes = np.array(net.nodes())
     sample_rng = np.random.default_rng(scale.settings.seed + 6)
     messages = []
     for _ in range(30):

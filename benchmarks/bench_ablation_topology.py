@@ -7,51 +7,71 @@ swaps only the topology *family*: the paper's distance-biased Waxman
 graph versus GT-ITM's non-geometric pure-random graph.  The measured
 Pf/Ps and the resulting average bandwidth quantify how much topology
 structure (not just density) matters to the model's parameters.
+
+Both legs run as :class:`~repro.parallel.SimJob` specs; the pure-random
+spec's edge target is taken from the Waxman instance so density stays
+matched.  Topology construction is deterministic per spec, so the
+parent can rebuild the same instance for the structural metrics.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks.conftest import archive
-from repro.analysis.experiments import paper_connection_qos, simulate_point
+from benchmarks.conftest import archive, bench_jobs
+from repro.analysis.experiments import paper_connection_qos
 from repro.analysis.report import render_table
+from repro.markov.model import ElasticQoSMarkovModel
+from repro.parallel import SimJob, TopologySpec, derive_seeds, run_sim_jobs
 from repro.topology.metrics import average_shortest_path_hops
-from repro.topology.random_flat import pure_random_with_edge_target
-from repro.topology.waxman import paper_random_network
 from repro.units import PAPER_LINK_CAPACITY
 
 
 def test_topology_family_ablation(benchmark, scale):
     offered = scale.figure2_counts[len(scale.figure2_counts) // 2]
-    rng_w = np.random.default_rng(scale.settings.seed)
-    rng_r = np.random.default_rng(scale.settings.seed)
-    waxman = paper_random_network(
-        PAPER_LINK_CAPACITY, rng_w, n=scale.nodes, target_edges=scale.edges
+    seeds = derive_seeds(scale.settings.seed, 4)
+    waxman_spec = TopologySpec(
+        "waxman", PAPER_LINK_CAPACITY, seeds[0], nodes=scale.nodes, edges=scale.edges
     )
-    flat = pure_random_with_edge_target(
-        scale.nodes, waxman.num_links, PAPER_LINK_CAPACITY, rng_r
+    # Match density to the *realized* Waxman edge count, as the paper's
+    # GT-ITM comparison holds density fixed.
+    waxman = waxman_spec.build()
+    flat_spec = TopologySpec(
+        "random-flat",
+        PAPER_LINK_CAPACITY,
+        seeds[1],
+        nodes=scale.nodes,
+        edges=waxman.num_links,
     )
     qos = paper_connection_qos()
+    sim_jobs = [
+        SimJob.from_settings(
+            ("ablation-topology", name), spec, offered, qos, scale.settings, seed
+        )
+        for name, spec, seed in (
+            ("waxman", waxman_spec, seeds[2]),
+            ("pure-random", flat_spec, seeds[3]),
+        )
+    ]
 
-    def run():
-        rows = []
-        for name, net in (("waxman", waxman), ("pure-random", flat)):
-            result, model = simulate_point(net, offered, qos, scale.settings)
-            rows.append(
-                [
-                    name,
-                    net.num_links,
-                    average_shortest_path_hops(net),
-                    result.params.pf,
-                    result.params.ps,
-                    result.average_bandwidth,
-                    model.average_bandwidth(),
-                ]
-            )
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: run_sim_jobs(sim_jobs, jobs=bench_jobs()), rounds=1, iterations=1
+    )
+    nets = {"waxman": waxman, "pure-random": flat_spec.build()}
+    rows = []
+    for res in results:
+        name = res.job.key[1]
+        net = nets[name]
+        model = ElasticQoSMarkovModel(qos.performance, res.result.params)
+        rows.append(
+            [
+                name,
+                net.num_links,
+                average_shortest_path_hops(net),
+                res.result.params.pf,
+                res.result.params.ps,
+                res.result.average_bandwidth,
+                model.average_bandwidth(),
+            ]
+        )
     table = render_table(
         ["topology", "edges", "avg hops", "Pf", "Ps", "sim Kb/s", "model Kb/s"],
         rows,

@@ -9,22 +9,26 @@ with load; sim and model stay close; the ideal line starts far above
 
 from __future__ import annotations
 
-from benchmarks.conftest import archive
+from benchmarks.conftest import archive, archive_timings
 from repro.analysis.experiments import run_figure2
 from repro.analysis.report import relative_error, render_table
 
 
-def test_figure2(benchmark, scale):
+def test_figure2(benchmark, scale, jobs):
+    sink = []
     result = benchmark.pedantic(
         lambda: run_figure2(
             scale.figure2_counts,
             nodes=scale.nodes,
             edges=scale.edges,
             settings=scale.settings,
+            jobs=jobs,
+            timing_sink=sink,
         ),
         rounds=1,
         iterations=1,
     )
+    archive_timings("figure2", sink)
     rows = [
         [
             row.offered,

@@ -10,21 +10,25 @@ series the paper overlays.
 
 from __future__ import annotations
 
-from benchmarks.conftest import archive
+from benchmarks.conftest import archive, archive_timings
 from repro.analysis.experiments import run_figure3
 from repro.analysis.report import render_table
 
 
-def test_figure3(benchmark, scale):
+def test_figure3(benchmark, scale, jobs):
+    sink = []
     rows = benchmark.pedantic(
         lambda: run_figure3(
             scale.figure3_nodes,
             connections=scale.figure3_connections,
             settings=scale.settings,
+            jobs=jobs,
+            timing_sink=sink,
         ),
         rounds=1,
         iterations=1,
     )
+    archive_timings("figure3", sink)
     table = render_table(
         ["nodes", "edges", "sim Kb/s", "model Kb/s"],
         [[row.nodes, row.edges, row.simulated, row.analytic] for row in rows],

@@ -14,15 +14,16 @@ topology is not eroded) validates the analytic flatness at one γ.
 
 from __future__ import annotations
 
-from benchmarks.conftest import archive, full_scale
+from benchmarks.conftest import archive, archive_timings, full_scale
 from repro.analysis.experiments import run_figure4
 from repro.analysis.report import render_table
 from repro.units import PAPER_FAILURE_RATES
 
 
-def test_figure4(benchmark, scale):
+def test_figure4(benchmark, scale, jobs):
     rates = PAPER_FAILURE_RATES[:-1]  # 1e-7 .. 1e-3
     check = (1e-5,) if not full_scale() else (1e-5, 1e-4)
+    sink = []
     series = benchmark.pedantic(
         lambda: run_figure4(
             rates,
@@ -31,10 +32,13 @@ def test_figure4(benchmark, scale):
             edges=scale.edges,
             settings=scale.settings,
             simulate_checks=check,
+            jobs=jobs,
+            timing_sink=sink,
         ),
         rounds=1,
         iterations=1,
     )
+    archive_timings("figure4", sink)
     headers = ["failure rate γ"] + [f"Avg{s.population}ft Kb/s" for s in series]
     rows = [
         [f"{gamma:.0e}"] + [s.analytic[i] for s in series]

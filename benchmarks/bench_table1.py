@@ -10,22 +10,26 @@ its average stays high while its admitted population is small.
 
 from __future__ import annotations
 
-from benchmarks.conftest import archive
+from benchmarks.conftest import archive, archive_timings
 from repro.analysis.experiments import run_table1
 from repro.analysis.report import render_table
 
 
-def test_table1(benchmark, scale):
+def test_table1(benchmark, scale, jobs):
+    sink = []
     rows = benchmark.pedantic(
         lambda: run_table1(
             scale.table1_counts,
             nodes=scale.nodes,
             edges=scale.edges,
             settings=scale.settings,
+            jobs=jobs,
+            timing_sink=sink,
         ),
         rounds=1,
         iterations=1,
     )
+    archive_timings("table1", sink)
     table = render_table(
         ["offered", "Random Δ=100 (5)", "Random Δ=50 (9)", "Tier Δ=100 (5)", "Tier Δ=50 (9)"],
         [

@@ -23,6 +23,7 @@ from typing import List, Sequence
 import pytest
 
 from repro.analysis.experiments import RunSettings
+from repro.parallel import SimJobResult, resolve_jobs
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -71,6 +72,11 @@ def bench_scale() -> BenchScale:
     )
 
 
+def bench_jobs() -> int:
+    """Worker count for benchmark campaigns (``REPRO_JOBS``, default 1)."""
+    return resolve_jobs(None)
+
+
 def archive(name: str, text: str) -> None:
     """Print a result block and persist it under benchmarks/results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -80,7 +86,51 @@ def archive(name: str, text: str) -> None:
     print(f"\n{text}\n[archived to {path}]")
 
 
+def archive_timings(name: str, results: List[SimJobResult]) -> None:
+    """Persist the per-job wall-time breakdown next to the result table.
+
+    The cumulative job time vs. the wall time of the slowest worker is
+    what documents the parallel speedup on a multi-core runner; worker
+    pids show how the campaign actually spread.
+    """
+    if not results:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    scale_tag = "full" if full_scale() else "quick"
+    path = RESULTS_DIR / f"{name}.timing.{scale_tag}.txt"
+    total = sum(r.wall_time for r in results)
+    per_pid: dict = {}
+    for r in results:
+        per_pid[r.worker_pid] = per_pid.get(r.worker_pid, 0.0) + r.wall_time
+    critical = max(per_pid.values())
+    # Longest-processing-time schedule of the measured jobs over 4
+    # workers: the wall time (and speedup) a 4-core runner achieves.
+    lanes = [0.0, 0.0, 0.0, 0.0]
+    for t in sorted((r.wall_time for r in results), reverse=True):
+        lanes[lanes.index(min(lanes))] += t
+    projected = max(lanes)
+    lines = [
+        f"# {name} per-job wall times ({scale_tag} scale)",
+        f"# workers={bench_jobs()} cpu_count={os.cpu_count()} jobs={len(results)}",
+        f"# cumulative job time {total:.2f}s; busiest worker {critical:.2f}s "
+        f"(speedup this run {total / critical:.2f}x)",
+        f"# projected wall time with jobs=4 on 4 cores: {projected:.2f}s "
+        f"({total / projected:.2f}x over sequential)",
+    ]
+    for r in results:
+        key = "/".join(str(part) for part in r.key)
+        lines.append(f"{key}\t{r.wall_time:.3f}s\tpid={r.worker_pid}")
+    path.write_text("\n".join(lines) + "\n")
+    print(f"[timings archived to {path}]")
+
+
 @pytest.fixture
 def scale() -> BenchScale:
     """Active benchmark scale."""
     return bench_scale()
+
+
+@pytest.fixture
+def jobs() -> int:
+    """Worker count for the campaign benchmarks."""
+    return bench_jobs()

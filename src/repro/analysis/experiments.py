@@ -14,6 +14,16 @@ Each ``run_*`` function regenerates the rows/series of one exhibit:
   chain parameters are measured once per population and γ is then swept
   in the chain; optional simulation spot-checks inject real failures.
 
+Every exhibit is a campaign of *independent* simulation points, so the
+runners describe each point as a :class:`~repro.parallel.SimJob` and
+execute the batch through :func:`~repro.parallel.run_sim_jobs` —
+sequentially by default, or across worker processes with ``jobs=N``
+(also via ``REPRO_JOBS`` / ``repro ... --jobs N``).  Per-job seeds are
+spawned from ``settings.seed`` with ``np.random.SeedSequence``, and
+each job builds its own topology from the campaign's topology seed, so
+results are bitwise identical for every worker count (see DESIGN.md
+§12).
+
 The functions take explicit size parameters so the benchmarks can run a
 laptop-scale version by default and the exact paper scale under
 ``REPRO_FULL=1``.
@@ -28,13 +38,13 @@ import numpy as np
 
 from repro.analysis.ideal import ideal_average_bandwidth
 from repro.markov.model import ElasticQoSMarkovModel
+from repro.parallel import SimJob, SimJobResult, TopologySpec, derive_seeds, run_sim_jobs
 from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS
 from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig, SimulationResult
 from repro.sim.workload import WorkloadConfig
 from repro.topology.graph import Network
 from repro.topology.metrics import average_shortest_path_hops
-from repro.topology.transit_stub import TransitStubParams, transit_stub_network
-from repro.topology.waxman import paper_random_network
+from repro.topology.transit_stub import TransitStubParams
 from repro.units import (
     PAPER_ARRIVAL_RATE,
     PAPER_B_MAX,
@@ -42,6 +52,11 @@ from repro.units import (
     PAPER_INCREMENT_SMALL,
     PAPER_LINK_CAPACITY,
 )
+
+#: Optional per-job timing collector: pass a list and the runner's
+#: :class:`SimJobResult` objects (with ``wall_time`` / ``worker_pid``)
+#: are appended to it — the benchmarks archive these breakdowns.
+TimingSink = Optional[List[SimJobResult]]
 
 
 def paper_connection_qos(
@@ -79,8 +94,15 @@ def simulate_point(
     link_failure_rate: float = 0.0,
     repair_rate: float = 0.0,
     seed_offset: int = 0,
+    seed: Optional[int] = None,
 ) -> Tuple[SimulationResult, ElasticQoSMarkovModel]:
-    """Run one simulation and build the matching Markov model."""
+    """Run one simulation on an existing network, in-process.
+
+    The campaign runners below go through :mod:`repro.parallel` instead;
+    this remains the one-off entry point (CLI ``validate``, ablations,
+    tests).  ``seed`` overrides the legacy ``settings.seed +
+    seed_offset`` derivation when given.
+    """
     config = SimulationConfig(
         qos=qos,
         offered_connections=offered,
@@ -95,10 +117,18 @@ def simulate_point(
         sample_interval=settings.sample_interval,
         routing=settings.routing,
     )
-    sim = ElasticQoSSimulator(net, config, seed=settings.seed + seed_offset)
+    sim = ElasticQoSSimulator(
+        net, config, seed=settings.seed + seed_offset if seed is None else seed
+    )
     result = sim.run()
     model = ElasticQoSMarkovModel(qos.performance, result.params)
     return result, model
+
+
+def _collect(timing_sink: TimingSink, results: Sequence[SimJobResult]) -> None:
+    """Append the campaign's per-job timings to the caller's sink."""
+    if timing_sink is not None:
+        timing_sink.extend(results)
 
 
 # ----------------------------------------------------------------------
@@ -132,16 +162,33 @@ def run_figure2(
     edges: int = 354,
     increment: float = PAPER_INCREMENT_SMALL,
     settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
+    timing_sink: TimingSink = None,
 ) -> Figure2Result:
     """Average bandwidth vs. number of DR-connections (Figure 2)."""
     settings = settings or RunSettings()
-    rng = np.random.default_rng(settings.seed)
-    net = paper_random_network(settings.capacity, rng, n=nodes, target_edges=edges)
-    avghop = average_shortest_path_hops(net)
+    seeds = derive_seeds(settings.seed, 1 + len(connection_counts))
+    topology = TopologySpec(
+        "waxman", settings.capacity, seeds[0], nodes=nodes, edges=edges
+    )
     qos = paper_connection_qos(increment=increment)
+    batch = [
+        SimJob.from_settings(
+            ("figure2", offered), topology, offered, qos, settings, seeds[1 + index]
+        )
+        for index, offered in enumerate(connection_counts)
+    ]
+    results = run_sim_jobs(batch, jobs=jobs)
+    _collect(timing_sink, results)
+
+    # The caption's topology facts come from the same spec every worker
+    # built from, so this parent-side build is the jobs' exact network.
+    net = topology.build()
+    avghop = average_shortest_path_hops(net)
     rows: List[Figure2Row] = []
-    for index, offered in enumerate(connection_counts):
-        result, model = simulate_point(net, offered, qos, settings, seed_offset=index)
+    for offered, res in zip(connection_counts, results):
+        result = res.result
+        model = ElasticQoSMarkovModel(qos.performance, result.params)
         rows.append(
             Figure2Row(
                 offered=offered,
@@ -182,6 +229,8 @@ def run_table1(
     edges: int = 354,
     tier_params: Optional[TransitStubParams] = None,
     settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
+    timing_sink: TimingSink = None,
 ) -> List[Table1Row]:
     """Average bandwidth for different increment sizes (Table 1).
 
@@ -191,34 +240,45 @@ def run_table1(
     row label, as in the paper.
     """
     settings = settings or RunSettings()
-    rng = np.random.default_rng(settings.seed)
-    random_net = paper_random_network(settings.capacity, rng, n=nodes, target_edges=edges)
-    tier_net = transit_stub_network(
-        tier_params or TransitStubParams(), settings.capacity, rng
+    seeds = derive_seeds(settings.seed, 2 + 4 * len(connection_counts))
+    random_topology = TopologySpec(
+        "waxman", settings.capacity, seeds[0], nodes=nodes, edges=edges
+    )
+    tier_topology = TopologySpec(
+        "transit-stub", settings.capacity, seeds[1], tier=tier_params
     )
     span = PAPER_B_MAX - PAPER_B_MIN
     qos_small = paper_connection_qos(increment=span / 8)  # 9 states
     qos_large = paper_connection_qos(increment=span / 4)  # 5 states
-    rows: List[Table1Row] = []
-    for index, offered in enumerate(connection_counts):
-        cells = {}
-        for name, net, qos in (
-            ("random_5", random_net, qos_large),
-            ("random_9", random_net, qos_small),
-            ("tier_5", tier_net, qos_large),
-            ("tier_9", tier_net, qos_small),
-        ):
-            result, _model = simulate_point(
-                net, offered, qos, settings, seed_offset=100 * index
+    schemes = (
+        ("random_5", random_topology, qos_large),
+        ("random_9", random_topology, qos_small),
+        ("tier_5", tier_topology, qos_large),
+        ("tier_9", tier_topology, qos_small),
+    )
+    batch: List[SimJob] = []
+    next_seed = iter(seeds[2:])
+    for offered in connection_counts:
+        for name, topology, qos in schemes:
+            batch.append(
+                SimJob.from_settings(
+                    ("table1", offered, name), topology, offered, qos,
+                    settings, next(next_seed),
+                )
             )
-            cells[name] = result.average_bandwidth
+    results = run_sim_jobs(batch, jobs=jobs)
+    _collect(timing_sink, results)
+
+    rows: List[Table1Row] = []
+    by_key = {res.key: res.result.average_bandwidth for res in results}
+    for offered in connection_counts:
         rows.append(
             Table1Row(
                 offered=offered,
-                random_5_states=cells["random_5"],
-                random_9_states=cells["random_9"],
-                tier_5_states=cells["tier_5"],
-                tier_9_states=cells["tier_9"],
+                random_5_states=by_key[("table1", offered, "random_5")],
+                random_9_states=by_key[("table1", offered, "random_9")],
+                tier_5_states=by_key[("table1", offered, "tier_5")],
+                tier_9_states=by_key[("table1", offered, "tier_9")],
             )
         )
     return rows
@@ -242,6 +302,8 @@ def run_figure3(
     connections: int = 3000,
     settings: Optional[RunSettings] = None,
     increment: float = PAPER_INCREMENT_SMALL,
+    jobs: Optional[int] = None,
+    timing_sink: TimingSink = None,
 ) -> List[Figure3Row]:
     """Average bandwidth vs. network size (Figure 3).
 
@@ -250,18 +312,27 @@ def run_figure3(
     preserved, edges grow ~quadratically).
     """
     settings = settings or RunSettings()
+    seeds = derive_seeds(settings.seed, 2 * len(node_counts))
     qos = paper_connection_qos(increment=increment)
-    rows: List[Figure3Row] = []
-    for index, n in enumerate(node_counts):
-        rng = np.random.default_rng(settings.seed + index)
-        net = paper_random_network(settings.capacity, rng, n=n)
-        result, model = simulate_point(
-            net, connections, qos, settings, seed_offset=index
+    batch = [
+        SimJob.from_settings(
+            ("figure3", n),
+            TopologySpec("waxman", settings.capacity, seeds[2 * index], nodes=n),
+            connections, qos, settings, seeds[2 * index + 1],
         )
+        for index, n in enumerate(node_counts)
+    ]
+    results = run_sim_jobs(batch, jobs=jobs)
+    _collect(timing_sink, results)
+
+    rows: List[Figure3Row] = []
+    for n, res in zip(node_counts, results):
+        result = res.result
+        model = ElasticQoSMarkovModel(qos.performance, result.params)
         rows.append(
             Figure3Row(
                 nodes=n,
-                edges=net.num_links,
+                edges=result.topology_links,
                 simulated=result.average_bandwidth,
                 analytic=model.average_bandwidth(),
             )
@@ -289,6 +360,8 @@ def run_figure4(
     edges: int = 354,
     settings: Optional[RunSettings] = None,
     simulate_checks: Sequence[float] = (),
+    jobs: Optional[int] = None,
+    timing_sink: TimingSink = None,
 ) -> List[Figure4Series]:
     """Average bandwidth vs. link failure rate (Figure 4).
 
@@ -299,31 +372,50 @@ def run_figure4(
     (repairs enabled so the topology is not eroded; see DESIGN.md).
     """
     settings = settings or RunSettings()
-    rng = np.random.default_rng(settings.seed)
-    net = paper_random_network(settings.capacity, rng, n=nodes, target_edges=edges)
+    per_population = 1 + len(simulate_checks)
+    seeds = derive_seeds(settings.seed, 1 + per_population * len(populations))
+    topology = TopologySpec(
+        "waxman", settings.capacity, seeds[0], nodes=nodes, edges=edges
+    )
+    # The per-link rate of a check divides the *network* γ by the link
+    # count, which only the built topology knows.
+    num_links = topology.build().num_links
     qos = paper_connection_qos()
-    series: List[Figure4Series] = []
-    for index, population in enumerate(populations):
-        result, _model = simulate_point(
-            net, population, qos, settings, seed_offset=index
+
+    batch: List[SimJob] = []
+    next_seed = iter(seeds[1:])
+    for population in populations:
+        batch.append(
+            SimJob.from_settings(
+                ("figure4", population), topology, population, qos,
+                settings, next(next_seed),
+            )
         )
+        for gamma in simulate_checks:
+            batch.append(
+                SimJob.from_settings(
+                    ("figure4-check", population, gamma), topology, population,
+                    qos, settings, next(next_seed),
+                    link_failure_rate=gamma / max(1, num_links),
+                    repair_rate=1.0,
+                )
+            )
+    results = run_sim_jobs(batch, jobs=jobs)
+    _collect(timing_sink, results)
+    by_key = {res.key: res.result for res in results}
+
+    series: List[Figure4Series] = []
+    for population in populations:
+        result = by_key[("figure4", population)]
         analytic: List[float] = []
         for gamma in failure_rates:
             params = result.params.with_failure_rate(gamma)
             model = ElasticQoSMarkovModel(qos.performance, params)
             analytic.append(model.average_bandwidth())
-        checks: List[Tuple[float, float]] = []
-        for gamma in simulate_checks:
-            check_result, _ = simulate_point(
-                net,
-                population,
-                qos,
-                settings,
-                link_failure_rate=gamma / max(1, net.num_links),
-                repair_rate=1.0,
-                seed_offset=1000 + index,
-            )
-            checks.append((gamma, check_result.average_bandwidth))
+        checks = [
+            (gamma, by_key[("figure4-check", population, gamma)].average_bandwidth)
+            for gamma in simulate_checks
+        ]
         series.append(
             Figure4Series(
                 population=population,

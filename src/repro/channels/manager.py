@@ -167,8 +167,10 @@ class NetworkManager:
         perf = qos.performance
         b_min = perf.b_min
 
-        primary_path, backup_path = self._select_routes(source, destination, qos)
-        if primary_path is None:
+        primary_path, backup_path, primary_links, primary_link_set = self._select_routes(
+            source, destination, qos
+        )
+        if primary_path is None or primary_links is None or primary_link_set is None:
             self.stats.rejected_no_primary += 1
             impact.accepted = False
             return None, impact
@@ -177,8 +179,7 @@ class NetworkManager:
             impact.accepted = False
             return None, impact
 
-        primary_links = self.topology.path_links(primary_path)
-        primary_set = self._conflict_set(frozenset(primary_links))
+        primary_set = self._conflict_set(primary_link_set)
         conn_id = self._next_id
         self._next_id += 1
         impact.conn_id = conn_id
@@ -198,7 +199,7 @@ class NetworkManager:
         overlap = 0
         if backup_path is not None:
             backup_links = self.topology.path_links(backup_path)
-            overlap = sum(1 for lid in backup_links if lid in primary_set)
+            overlap = sum(1 for lid in backup_links if lid in primary_link_set)
             if not self.state.can_admit_backup_path(backup_links, b_min, primary_set):
                 # The primary's own reservation consumed the headroom the
                 # backup needed (only possible with overlapping routes).
@@ -234,8 +235,20 @@ class NetworkManager:
 
     def _select_routes(
         self, source: int, destination: int, qos: ConnectionQoS
-    ) -> Tuple[Optional[List[int]], Optional[List[int]]]:
-        """Pick (primary, backup) routes with the configured engine."""
+    ) -> Tuple[
+        Optional[List[int]],
+        Optional[List[int]],
+        Optional[List[LinkId]],
+        Optional[FrozenSet[LinkId]],
+    ]:
+        """Pick routes with the configured engine.
+
+        Returns ``(primary, backup, primary_links, primary_link_set)``.
+        The primary's link list and link set are derived here, exactly
+        once per arrival, and handed to both the backup search and the
+        caller — ``path_links`` over a 10+-hop route is too expensive to
+        recompute three times per request.
+        """
         perf = qos.performance
         b_min = perf.b_min
 
@@ -257,30 +270,37 @@ class NetworkManager:
                 hop_bound=self.flood_hop_bound,
             )
             if primary is None:
-                return None, None
+                return None, None, None, None
+            primary_links = self.topology.path_links(primary)
+            primary_link_set = frozenset(primary_links)
             if qos.dependability.wants_backup and backup is None:
                 # Flooding found no disjoint copy; fall back to the
                 # centralized disjoint search so maximal disjointness is
                 # still honoured (footnote 1 of the paper).
-                backup = self._centralized_backup(primary, b_min, qos)
-            return primary, backup
+                backup = self._centralized_backup(primary, b_min, qos, primary_link_set)
+            return primary, backup, primary_links, primary_link_set
 
         primary = shortest_path(self.topology, source, destination, primary_ok)
         if primary is None:
-            return None, None
+            return None, None, None, None
+        primary_links = self.topology.path_links(primary)
+        primary_link_set = frozenset(primary_links)
         backup = None
         if qos.dependability.wants_backup:
-            backup = self._centralized_backup(primary, b_min, qos)
-        return primary, backup
+            backup = self._centralized_backup(primary, b_min, qos, primary_link_set)
+        return primary, backup, primary_links, primary_link_set
 
     def _conflict_set(self, primary_set: FrozenSet[LinkId]) -> FrozenSet[LinkId]:
         """The failure-conflict set a backup reservation is keyed on."""
         return primary_set if self.multiplex_backups else _UNIVERSAL_CONFLICT
 
     def _centralized_backup(
-        self, primary: List[int], b_min: float, qos: ConnectionQoS
+        self,
+        primary: List[int],
+        b_min: float,
+        qos: ConnectionQoS,
+        primary_set: FrozenSet[LinkId],
     ) -> Optional[List[int]]:
-        primary_set = frozenset(self.topology.path_links(primary))
         conflict_set = self._conflict_set(primary_set)
 
         def backup_ok(link: Link) -> bool:
@@ -466,15 +486,15 @@ class NetworkManager:
         unprotected, as in the paper's base scheme.
         """
         b_min = conn.qos.performance.b_min
-        path = self._centralized_backup(conn.primary_path, b_min, conn.qos)
+        primary_link_set = frozenset(conn.primary_links)
+        path = self._centralized_backup(conn.primary_path, b_min, conn.qos, primary_link_set)
         if path is None:
             return False
         links = self.topology.path_links(path)
-        primary_set = self._conflict_set(frozenset(conn.primary_links))
+        primary_set = self._conflict_set(primary_link_set)
         if not self.state.can_admit_backup_path(links, b_min, primary_set):
             return False
         self.state.reserve_backup_path(conn.conn_id, links, b_min, primary_set)
-        primary_link_set = set(conn.primary_links)
         conn.backup_path = list(path)
         conn.backup_links = links
         conn.backup_overlap = sum(1 for lid in links if lid in primary_link_set)

@@ -96,10 +96,17 @@ class DRConnection:
 
     @property
     def bandwidth(self) -> float:
-        """Bandwidth currently reserved for the live channel."""
+        """Bandwidth currently reserved for the live channel.
+
+        Computed inline rather than via ``level_bandwidth``: ``level`` is
+        maintained by the manager and always valid, and this property is
+        read for every live connection at every measurement sample, so
+        the range check there is pure overhead here.
+        """
+        perf = self.qos.performance
         if self.on_backup:
-            return self.qos.performance.b_min
-        return self.qos.performance.level_bandwidth(self.level)
+            return perf.b_min
+        return perf.b_min + self.level * perf.increment
 
     @property
     def live_links(self) -> List[LinkId]:

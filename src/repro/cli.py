@@ -69,6 +69,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=None, help="network size")
     parser.add_argument("--edges", type=int, default=None, help="target edge count")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for simulation campaigns (0 = all cores; "
+        "default: REPRO_JOBS env or 1; results are identical at any value)",
+    )
+    parser.add_argument(
         "--chart", action="store_true", help="also render an ASCII chart"
     )
 
@@ -86,7 +93,9 @@ def cmd_figure2(args: argparse.Namespace) -> int:
     nodes, edges = _network_shape(args)
     counts = args.connections or ([500, 1000, 2000, 3000, 4000, 5000] if args.full
                                   else [150, 300, 600, 1000, 1500])
-    result = run_figure2(counts, nodes=nodes, edges=edges, settings=_settings(args))
+    result = run_figure2(
+        counts, nodes=nodes, edges=edges, settings=_settings(args), jobs=args.jobs
+    )
     print(
         render_table(
             ["offered", "population", "sim Kb/s", "model Kb/s", "ideal Kb/s"],
@@ -111,7 +120,9 @@ def cmd_table1(args: argparse.Namespace) -> int:
     nodes, edges = _network_shape(args)
     counts = args.connections or ([1000, 2000, 3000, 4000, 5000] if args.full
                                   else [300, 800, 1500])
-    rows = run_table1(counts, nodes=nodes, edges=edges, settings=_settings(args))
+    rows = run_table1(
+        counts, nodes=nodes, edges=edges, settings=_settings(args), jobs=args.jobs
+    )
     print(
         render_table(
             ["offered", "Random Δ=100", "Random Δ=50", "Tier Δ=100", "Tier Δ=50"],
@@ -130,7 +141,9 @@ def cmd_figure3(args: argparse.Namespace) -> int:
     node_counts = args.node_counts or ([100, 200, 300, 400, 500] if args.full
                                        else [40, 60, 80, 100])
     connections = args.connections_fixed or (3000 if args.full else 600)
-    rows = run_figure3(node_counts, connections=connections, settings=_settings(args))
+    rows = run_figure3(
+        node_counts, connections=connections, settings=_settings(args), jobs=args.jobs
+    )
     print(
         render_table(
             ["nodes", "edges", "sim Kb/s", "model Kb/s"],
@@ -155,6 +168,7 @@ def cmd_figure4(args: argparse.Namespace) -> int:
         nodes=nodes,
         edges=edges,
         settings=_settings(args),
+        jobs=args.jobs,
     )
     print(
         render_table(
@@ -208,7 +222,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     lines.append("")
 
     counts = [500, 1000, 2000, 3000, 4000, 5000] if args.full else [150, 300, 600, 1000]
-    fig2 = run_figure2(counts, nodes=nodes, edges=edges, settings=settings)
+    fig2 = run_figure2(counts, nodes=nodes, edges=edges, settings=settings,
+                       jobs=args.jobs)
     lines.append("## Figure 2 — avg bandwidth vs. #connections")
     lines.append("```")
     lines.append(
@@ -220,7 +235,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     lines.append("```")
 
     t1_counts = [1000, 3000, 5000] if args.full else [300, 800]
-    table1 = run_table1(t1_counts, nodes=nodes, edges=edges, settings=settings)
+    table1 = run_table1(t1_counts, nodes=nodes, edges=edges, settings=settings,
+                        jobs=args.jobs)
     lines.append("## Table 1 — increment sizes")
     lines.append("```")
     lines.append(
@@ -234,7 +250,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     f3_nodes = [100, 300, 500] if args.full else [40, 70, 100]
     f3_conns = 3000 if args.full else 400
-    fig3 = run_figure3(f3_nodes, connections=f3_conns, settings=settings)
+    fig3 = run_figure3(f3_nodes, connections=f3_conns, settings=settings,
+                       jobs=args.jobs)
     lines.append(f"## Figure 3 — network size ({f3_conns} connections)")
     lines.append("```")
     lines.append(
@@ -247,7 +264,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     pops = [2000, 3000] if args.full else [300, 500]
     fig4 = run_figure4(list(PAPER_FAILURE_RATES), populations=pops,
-                       nodes=nodes, edges=edges, settings=settings)
+                       nodes=nodes, edges=edges, settings=settings, jobs=args.jobs)
     lines.append("## Figure 4 — failure-rate sweep (model)")
     lines.append("```")
     lines.append(

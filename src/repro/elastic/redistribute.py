@@ -22,6 +22,7 @@ simulations tractable in pure Python.
 from __future__ import annotations
 
 import heapq
+from collections import defaultdict
 from typing import Dict, Iterable, List, Mapping, Protocol, Sequence, Set, Tuple
 
 from repro.elastic.policies import AdaptationPolicy
@@ -46,11 +47,18 @@ class ElasticParticipant(Protocol):
 def candidate_ids(
     channels_on_link: Mapping[LinkId, Set[int]], affected_links: Iterable[LinkId]
 ) -> Set[int]:
-    """Channels whose primary touches any affected link."""
-    out: Set[int] = set()
-    for lid in affected_links:
-        out.update(channels_on_link.get(lid, ()))
-    return out
+    """Channels whose primary touches any affected link.
+
+    Skips empty per-link sets and unions the rest in one call instead of
+    growing an accumulator link by link (this runs on every event).
+    """
+    get = channels_on_link.get
+    groups = [ids for ids in map(get, affected_links) if ids]
+    if not groups:
+        return set()
+    if len(groups) == 1:
+        return set(groups[0])
+    return set().union(*groups)
 
 
 def redistribute(
@@ -74,36 +82,48 @@ def redistribute(
         ``conn_id -> increments granted`` for every channel that rose.
         Channel ``level`` attributes are updated in place.
     """
+    # The fill loop visits each competitor many times (once per granted
+    # increment), so everything loop-invariant is resolved exactly once
+    # per candidate up front: the channel record, its QoS scalars
+    # (``max_level``/``increment`` are computed properties), and the
+    # LinkState objects of its path (``state.link`` is a guarded dict
+    # lookup that used to dominate the profile).
+    resolve_link = state.link
+    priority = policy.priority
     heap: List[Tuple[Tuple, int]] = []
+    competitors: Dict[int, Tuple] = {}
     for cid in candidates:
         chan = channels[cid]
         qos = chan.elastic_qos
-        if chan.level < qos.max_level:
-            heapq.heappush(heap, (policy.priority(cid, chan.level, qos), cid))
+        max_level = qos.max_level
+        if chan.level < max_level:
+            delta = qos.increment
+            links = [resolve_link(lid) for lid in chan.primary_links]
+            competitors[cid] = (chan, qos, max_level, delta, delta - EPSILON, links)
+            heap.append((priority(cid, chan.level, qos), cid))
+    heapq.heapify(heap)
 
-    granted: Dict[int, int] = {}
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    granted: Dict[int, int] = defaultdict(int)
     while heap:
-        _, cid = heapq.heappop(heap)
-        chan = channels[cid]
-        qos = chan.elastic_qos
-        if chan.level >= qos.max_level:
+        _, cid = heappop(heap)
+        chan, qos, max_level, delta, threshold, links = competitors[cid]
+        if chan.level >= max_level:
             continue
-        delta = qos.increment
-        raisable = all(
-            state.link(lid).spare_for_extras >= delta - EPSILON
-            for lid in chan.primary_links
-        )
-        if not raisable:
-            # Spares only shrink during the fill, so this channel can
-            # never become raisable again in this round: drop it.
-            continue
-        for lid in chan.primary_links:
-            state.link(lid).grant_extra(cid, delta)
-        chan.level += 1
-        granted[cid] = granted.get(cid, 0) + 1
-        if chan.level < qos.max_level:
-            heapq.heappush(heap, (policy.priority(cid, chan.level, qos), cid))
-    return granted
+        for ls in links:
+            if ls.spare_for_extras < threshold:
+                # Spares only shrink during the fill, so this channel can
+                # never become raisable again in this round: drop it.
+                break
+        else:
+            for ls in links:
+                ls.grant_extra(cid, delta)
+            chan.level += 1
+            granted[cid] += 1
+            if chan.level < max_level:
+                heappush(heap, (priority(cid, chan.level, qos), cid))
+    return dict(granted)
 
 
 def is_maximal(
@@ -112,13 +132,15 @@ def is_maximal(
     ids: Iterable[int],
 ) -> bool:
     """Whether no channel in ``ids`` could still be raised (test oracle)."""
+    resolve_link = state.link
     for cid in ids:
         chan = channels[cid]
         qos = chan.elastic_qos
         if chan.level >= qos.max_level:
             continue
+        threshold = qos.increment - EPSILON
         if all(
-            state.link(lid).spare_for_extras >= qos.increment - EPSILON
+            resolve_link(lid).spare_for_extras >= threshold
             for lid in chan.primary_links
         ):
             return False

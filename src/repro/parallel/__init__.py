@@ -1,0 +1,39 @@
+"""Parallel experiment execution: declarative jobs over a process pool.
+
+Every exhibit and ablation of the reproduction is a campaign of
+*independent* simulation points, so the experiment layer describes each
+point as a picklable :class:`~repro.parallel.jobs.SimJob` and hands the
+whole batch to :func:`~repro.parallel.runner.run_sim_jobs`, which fans
+the jobs out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(``REPRO_JOBS`` / ``--jobs`` configurable) or runs them in-process when
+``jobs=1``.  Results are returned in submission order, so parallel and
+sequential execution are bitwise identical.
+
+Determinism rests on two rules (DESIGN.md §12):
+
+* every job carries its own integer seeds, derived up front from the
+  experiment's root seed via :func:`derive_seeds`
+  (``np.random.SeedSequence.spawn``), so no job reads another job's
+  random stream;
+* topology construction happens *inside* the job from the job's own
+  topology seed, so a worker process never depends on parent state.
+"""
+
+from repro.parallel.jobs import SimJob, SimJobResult, TopologySpec, execute_sim_job
+from repro.parallel.runner import (
+    derive_seeds,
+    parallel_map,
+    resolve_jobs,
+    run_sim_jobs,
+)
+
+__all__ = [
+    "SimJob",
+    "SimJobResult",
+    "TopologySpec",
+    "derive_seeds",
+    "execute_sim_job",
+    "parallel_map",
+    "resolve_jobs",
+    "run_sim_jobs",
+]

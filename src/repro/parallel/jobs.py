@@ -1,0 +1,212 @@
+"""Declarative, picklable simulation job specifications.
+
+A :class:`SimJob` captures everything one simulation point needs —
+topology recipe, offered load, QoS contract, run settings, workload
+failure knobs and an explicit integer seed — as plain (frozen)
+dataclasses, so a job can be pickled into a worker process and executed
+there without touching any parent state.  The worker builds its own
+network from the job's :class:`TopologySpec` (same spec + same seed =
+the same network everywhere, so ``jobs=1`` and ``jobs=N`` agree
+bitwise).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.qos.spec import ConnectionQoS
+from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig, SimulationResult
+from repro.sim.workload import WorkloadConfig
+from repro.topology.graph import Network
+from repro.topology.random_flat import pure_random_with_edge_target
+from repro.topology.transit_stub import TransitStubParams, transit_stub_network
+from repro.topology.waxman import paper_random_network
+
+#: Topology families a job may request.
+TOPOLOGY_KINDS = ("waxman", "transit-stub", "random-flat")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Recipe for building one network inside a worker process.
+
+    Attributes:
+        kind: ``waxman`` (the paper's Random network), ``transit-stub``
+            (the paper's Tier network) or ``random-flat`` (GT-ITM's
+            non-geometric pure-random graph, ablation A7).
+        capacity: Per-link capacity (Kb/s).
+        seed: Seed of the fresh generator the topology is built from;
+            the build is deterministic given (kind, parameters, seed).
+        nodes: Node count (waxman / random-flat).
+        edges: Target edge count (``None``: the generator's default
+            density rule).
+        tier: Transit-stub shape parameters (transit-stub only).
+    """
+
+    kind: str
+    capacity: float
+    seed: int
+    nodes: int = 0
+    edges: Optional[int] = None
+    tier: Optional[TransitStubParams] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise SimulationError(
+                f"unknown topology kind {self.kind!r}; choose from {TOPOLOGY_KINDS}"
+            )
+
+    def build(self) -> Network:
+        """Construct the network from a fresh, seed-determined generator."""
+        rng = np.random.default_rng(self.seed)
+        if self.kind == "waxman":
+            return paper_random_network(
+                self.capacity, rng, n=self.nodes, target_edges=self.edges
+            )
+        if self.kind == "transit-stub":
+            return transit_stub_network(
+                self.tier or TransitStubParams(), self.capacity, rng
+            )
+        if self.edges is None:
+            raise SimulationError("random-flat topologies need an explicit edge count")
+        return pure_random_with_edge_target(self.nodes, self.edges, self.capacity, rng)
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One self-contained simulation point of an experiment campaign.
+
+    Attributes:
+        key: Caller-chosen label identifying the point in the campaign
+            (e.g. ``("figure2", 3000)``); echoed back on the result.
+        topology: Network recipe, built inside the executing worker.
+        offered: Initial DR-connection population parameter.
+        qos: QoS contract template for every request.
+        seed: Simulation seed (derive via
+            :func:`repro.parallel.runner.derive_seeds` for campaigns).
+        arrival_rate: λ of the churn workload (= μ, the paper's choice).
+        warmup_events / measure_events / sample_interval: Measurement
+            knobs, mirroring :class:`~repro.sim.simulator.SimulationConfig`.
+        routing: ``dijkstra`` or ``flooding``.
+        link_failure_rate / repair_rate: Per-link failure injection.
+        policy_name: Adaptation policy short name (``None``: equal share).
+    """
+
+    key: Tuple
+    topology: TopologySpec
+    offered: int
+    qos: ConnectionQoS
+    seed: int
+    arrival_rate: float = 0.001
+    warmup_events: int = 300
+    measure_events: int = 1500
+    sample_interval: int = 10
+    routing: str = "dijkstra"
+    link_failure_rate: float = 0.0
+    repair_rate: float = 0.0
+    policy_name: Optional[str] = None
+
+    @classmethod
+    def from_settings(
+        cls,
+        key: Tuple,
+        topology: TopologySpec,
+        offered: int,
+        qos: ConnectionQoS,
+        settings,
+        seed: int,
+        link_failure_rate: float = 0.0,
+        repair_rate: float = 0.0,
+        policy_name: Optional[str] = None,
+    ) -> "SimJob":
+        """Build a job from a :class:`~repro.analysis.experiments.RunSettings`.
+
+        ``settings`` is duck-typed (arrival_rate / warmup_events /
+        measure_events / sample_interval / routing) to avoid a circular
+        import with the analysis layer.
+        """
+        return cls(
+            key=key,
+            topology=topology,
+            offered=offered,
+            qos=qos,
+            seed=seed,
+            arrival_rate=settings.arrival_rate,
+            warmup_events=settings.warmup_events,
+            measure_events=settings.measure_events,
+            sample_interval=settings.sample_interval,
+            routing=settings.routing,
+            link_failure_rate=link_failure_rate,
+            repair_rate=repair_rate,
+            policy_name=policy_name,
+        )
+
+    def config(self) -> SimulationConfig:
+        """The :class:`SimulationConfig` this job describes."""
+        policy = None
+        if self.policy_name is not None:
+            from repro.elastic.policies import policy_by_name
+
+            policy = policy_by_name(self.policy_name)
+        return SimulationConfig(
+            qos=self.qos,
+            offered_connections=self.offered,
+            workload=WorkloadConfig(
+                arrival_rate=self.arrival_rate,
+                termination_rate=self.arrival_rate,
+                link_failure_rate=self.link_failure_rate,
+                repair_rate=self.repair_rate,
+            ),
+            warmup_events=self.warmup_events,
+            measure_events=self.measure_events,
+            sample_interval=self.sample_interval,
+            routing=self.routing,
+            policy=policy,
+        )
+
+
+@dataclass
+class SimJobResult:
+    """Outcome of one executed :class:`SimJob`.
+
+    Attributes:
+        job: The spec that produced this result.
+        result: Full simulation output.
+        wall_time: Seconds the job took inside its worker.
+        worker_pid: PID of the executing process (the parent's own PID
+            under sequential execution).
+    """
+
+    job: SimJob
+    result: SimulationResult
+    wall_time: float
+    worker_pid: int = 0
+
+    @property
+    def key(self) -> Tuple:
+        """The job's campaign label."""
+        return self.job.key
+
+
+def execute_sim_job(job: SimJob) -> SimJobResult:
+    """Run one job start-to-finish: build topology, simulate, time it.
+
+    Module-level (and with picklable arguments) so it can execute in a
+    worker process; also called directly by the sequential fallback.
+    """
+    start = time.perf_counter()
+    net = job.topology.build()
+    sim = ElasticQoSSimulator(net, job.config(), seed=job.seed)
+    result = sim.run()
+    return SimJobResult(
+        job=job,
+        result=result,
+        wall_time=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+    )

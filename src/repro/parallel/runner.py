@@ -1,0 +1,182 @@
+"""The process-pool experiment runner and its seeding scheme.
+
+:func:`run_sim_jobs` executes a batch of :class:`~repro.parallel.jobs.SimJob`
+specs — in-process when ``jobs=1``, over a
+:class:`~concurrent.futures.ProcessPoolExecutor` otherwise — and returns
+:class:`~repro.parallel.jobs.SimJobResult` objects *in submission
+order*.  Because every job is self-contained (own topology seed, own
+simulation seed, no shared random stream), the results are bitwise
+identical regardless of worker count or completion order; the
+determinism tests under ``tests/parallel/`` assert exactly that.
+
+Worker counts resolve in priority order: explicit ``jobs`` argument →
+``REPRO_JOBS`` environment variable → 1 (sequential).  When a pool
+cannot be created or a job cannot be pickled, the runner logs a warning
+and falls back to sequential execution rather than failing the
+campaign.
+
+:func:`derive_seeds` is the one sanctioned way to produce per-job
+seeds: ``np.random.SeedSequence(root).spawn(n)`` children are
+statistically independent, deterministic for a given root, and
+*prefix-stable* (the first ``k`` of ``n`` derived seeds do not depend
+on ``n``), so growing a campaign never reshuffles existing points.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.parallel.jobs import SimJob, SimJobResult, execute_sim_job
+
+logger = logging.getLogger("repro.parallel")
+
+#: Environment variable overriding the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the worker count: argument > ``REPRO_JOBS`` env > 1.
+
+    ``jobs=0`` (or ``REPRO_JOBS=0``) means "all cores".  Anything
+    negative is rejected.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise SimulationError(
+                f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if jobs < 0:
+        raise SimulationError(f"jobs must be non-negative, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def derive_seeds(root_seed: int, count: int) -> List[int]:
+    """``count`` independent integer seeds spawned from ``root_seed``.
+
+    Uses ``np.random.SeedSequence.spawn``: each child sequence is
+    collapsed to one 64-bit integer, which fully determines the child's
+    stream when fed back into ``np.random.default_rng``.  Deterministic,
+    prefix-stable, and collision-free for all practical campaign sizes.
+    """
+    if count < 0:
+        raise SimulationError(f"seed count must be non-negative, got {count}")
+    children = np.random.SeedSequence(root_seed).spawn(count)
+    return [int(child.generate_state(1, np.uint64)[0]) for child in children]
+
+
+def _run_sequential(
+    jobs_list: Sequence[SimJob],
+    progress: Optional[Callable[[SimJobResult], None]],
+) -> List[SimJobResult]:
+    out: List[SimJobResult] = []
+    for index, job in enumerate(jobs_list):
+        result = execute_sim_job(job)
+        logger.info(
+            "job %d/%d %s done in %.2fs (sequential)",
+            index + 1, len(jobs_list), job.key, result.wall_time,
+        )
+        if progress is not None:
+            progress(result)
+        out.append(result)
+    return out
+
+
+def run_sim_jobs(
+    jobs_list: Sequence[SimJob],
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[SimJobResult], None]] = None,
+) -> List[SimJobResult]:
+    """Execute a batch of simulation jobs; results in submission order.
+
+    Args:
+        jobs_list: The campaign's job specs.
+        jobs: Worker processes (``None``: ``REPRO_JOBS`` env or 1;
+            ``0``: all cores).  ``jobs=1`` runs in-process.
+        progress: Optional callback invoked with each
+            :class:`SimJobResult` as it completes (completion order
+            under parallel execution; call order is *not* deterministic,
+            the returned list is).
+
+    Returns:
+        One :class:`SimJobResult` per job, in the order submitted,
+        independent of the worker count.
+    """
+    jobs_list = list(jobs_list)
+    workers = min(resolve_jobs(jobs), max(1, len(jobs_list)))
+    if workers <= 1 or len(jobs_list) <= 1:
+        return _run_sequential(jobs_list, progress)
+
+    start = time.perf_counter()
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_sim_job, job): index
+                for index, job in enumerate(jobs_list)
+            }
+            results: List[Optional[SimJobResult]] = [None] * len(jobs_list)
+            pending = set(futures)
+            done_count = 0
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    result = future.result()
+                    results[index] = result
+                    done_count += 1
+                    logger.info(
+                        "job %d/%d %s done in %.2fs (pid %d)",
+                        done_count, len(jobs_list), result.job.key,
+                        result.wall_time, result.worker_pid,
+                    )
+                    if progress is not None:
+                        progress(result)
+    except (OSError, ValueError, TypeError, AttributeError, ImportError) as exc:
+        # Pool creation or job pickling failed (sandboxed platform,
+        # unpicklable payload): degrade gracefully to one process.
+        logger.warning("process pool unavailable (%s); running sequentially", exc)
+        return _run_sequential(jobs_list, progress)
+    logger.info(
+        "campaign of %d jobs finished in %.2fs on %d workers",
+        len(jobs_list), time.perf_counter() - start, workers,
+    )
+    return [r for r in results if r is not None]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: Optional[int] = None,
+) -> List[R]:
+    """Order-preserving map over a process pool (ablation drivers).
+
+    ``fn`` must be a module-level callable and every item picklable.
+    Falls back to an in-process map when ``jobs`` resolves to 1, the
+    batch is trivial, or the pool cannot be used.
+    """
+    items = list(items)
+    workers = min(resolve_jobs(jobs), max(1, len(items)))
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, ValueError, TypeError, AttributeError, ImportError) as exc:
+        logger.warning("process pool unavailable (%s); mapping sequentially", exc)
+        return [fn(item) for item in items]

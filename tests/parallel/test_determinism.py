@@ -1,0 +1,45 @@
+"""Bitwise determinism: jobs=1 and jobs=4 must agree exactly.
+
+This is the acceptance gate of the parallel runner: every campaign job
+is self-contained (its own topology seed and simulation seed), so the
+worker count can only change *where* a job runs, never what it
+computes.  The comparisons below are exact equality on the result
+dataclasses, not tolerance checks.
+"""
+
+from repro.analysis.experiments import RunSettings, run_figure2, run_table1
+from repro.parallel import run_sim_jobs
+from tests.parallel.test_runner import tiny_jobs
+
+TINY = RunSettings(warmup_events=30, measure_events=120, sample_interval=5, seed=3)
+
+
+class TestCampaignDeterminism:
+    def test_figure2_jobs1_equals_jobs4(self):
+        counts = (40, 80, 120)
+        seq = run_figure2(counts, nodes=30, edges=55, settings=TINY, jobs=1)
+        par = run_figure2(counts, nodes=30, edges=55, settings=TINY, jobs=4)
+        assert seq == par
+
+    def test_table1_jobs1_equals_jobs4(self):
+        counts = (40, 80)
+        seq = run_table1(counts, nodes=30, edges=55, settings=TINY, jobs=1)
+        par = run_table1(counts, nodes=30, edges=55, settings=TINY, jobs=4)
+        assert seq == par
+
+
+class TestJobDeterminism:
+    def test_sim_results_identical_across_worker_counts(self):
+        batch = tiny_jobs(4)
+        seq = run_sim_jobs(batch, jobs=1)
+        par = run_sim_jobs(batch, jobs=4)
+        for a, b in zip(seq, par):
+            assert a.job == b.job
+            assert a.result.average_bandwidth == b.result.average_bandwidth
+            assert a.result.initial_population == b.result.initial_population
+            assert a.result.events == b.result.events
+            assert (a.result.params.a == b.result.params.a).all()
+            assert (a.result.params.b == b.result.params.b).all()
+            assert (a.result.params.t == b.result.params.t).all()
+            assert a.result.params.pf == b.result.params.pf
+            assert a.result.params.ps == b.result.params.ps

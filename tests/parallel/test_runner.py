@@ -1,0 +1,108 @@
+"""Runner mechanics: worker-count resolution, ordering, fallback."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.experiments import RunSettings, paper_connection_qos
+from repro.errors import SimulationError
+from repro.parallel import (
+    SimJob,
+    TopologySpec,
+    derive_seeds,
+    execute_sim_job,
+    parallel_map,
+    resolve_jobs,
+    run_sim_jobs,
+)
+from repro.parallel.runner import JOBS_ENV_VAR
+
+TINY = RunSettings(warmup_events=20, measure_events=60, sample_interval=5, seed=3)
+
+
+def tiny_jobs(count: int = 3):
+    seeds = derive_seeds(TINY.seed, 1 + count)
+    topology = TopologySpec("waxman", TINY.capacity, seeds[0], nodes=24, edges=45)
+    qos = paper_connection_qos()
+    return [
+        SimJob.from_settings(("tiny", i), topology, 60 + 10 * i, qos, TINY, seeds[1 + i])
+        for i in range(count)
+    ]
+
+
+class TestResolveJobs:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "8")
+        assert resolve_jobs(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(None) == 3
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_jobs(-2)
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(SimulationError):
+            resolve_jobs(None)
+
+
+class TestSimJobPlumbing:
+    def test_job_is_picklable(self):
+        job = tiny_jobs(1)[0]
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone == job
+
+    def test_execute_records_timing(self):
+        res = execute_sim_job(tiny_jobs(1)[0])
+        assert res.wall_time > 0.0
+        assert res.worker_pid > 0
+        assert res.key == ("tiny", 0)
+
+    def test_topology_build_is_deterministic(self):
+        spec = TopologySpec("waxman", 155_000.0, 11, nodes=24, edges=45)
+        a, b = spec.build(), spec.build()
+        assert a.num_nodes == b.num_nodes
+        assert sorted(l.id for l in a.links()) == sorted(l.id for l in b.links())
+
+
+class TestRunSimJobs:
+    def test_submission_order_preserved(self):
+        batch = tiny_jobs(3)
+        results = run_sim_jobs(batch, jobs=2)
+        assert [r.key for r in results] == [j.key for j in batch]
+
+    def test_progress_callback_sees_every_job(self):
+        batch = tiny_jobs(3)
+        seen = []
+        run_sim_jobs(batch, jobs=1, progress=lambda r: seen.append(r.key))
+        assert sorted(seen) == sorted(j.key for j in batch)
+
+    def test_empty_batch(self):
+        assert run_sim_jobs([], jobs=4) == []
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+class TestParallelMap:
+    def test_order_preserving(self):
+        assert parallel_map(_double, [3, 1, 2], jobs=2) == [6, 2, 4]
+
+    def test_sequential_path(self):
+        assert parallel_map(_double, [5], jobs=4) == [10]
+
+    def test_unpicklable_falls_back_to_sequential(self):
+        # A lambda cannot be sent to a worker process; the runner must
+        # degrade to an in-process map instead of raising.
+        assert parallel_map(lambda x: x + 1, [1, 2, 3], jobs=2) == [2, 3, 4]
