@@ -1,0 +1,143 @@
+"""Distill ``bench_core_ops`` into a machine-readable JSON artifact.
+
+Runs the core-op micro-benchmarks through pytest-benchmark and folds the
+timing statistics into ``BENCH_core_ops.json`` at the repository root so
+the performance trajectory is tracked across PRs.  Each invocation
+appends (or replaces, by label) one entry in the artifact's ``runs``
+list, so before/after comparisons live side by side in one file::
+
+    PYTHONPATH=src python benchmarks/bench_to_json.py --label pr2
+    PYTHONPATH=src python benchmarks/bench_to_json.py --quick --label ci --output bench_ci.json
+
+The artifact is intentionally small and stable-keyed: one object per
+benchmark with mean/median/min/stddev in microseconds plus round counts,
+so CI logs and diff views stay readable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = Path(__file__).resolve().parent / "bench_core_ops.py"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core_ops.json"
+
+#: Seconds -> microseconds (all artifact times are in µs).
+_US = 1e6
+
+
+def run_benchmarks(quick: bool, extra_args: list[str]) -> Dict[str, dict]:
+    """Run bench_core_ops under pytest-benchmark; return name -> stats."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "benchmark.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(BENCH_FILE),
+            "-q",
+            "--benchmark-json",
+            str(raw_path),
+            "--benchmark-sort=name",
+        ]
+        if quick:
+            cmd += ["--benchmark-min-rounds=5", "--benchmark-max-time=0.5"]
+        cmd += extra_args
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed with exit code {proc.returncode}")
+        raw = json.loads(raw_path.read_text())
+
+    results: Dict[str, dict] = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        results[bench["name"]] = {
+            "mean_us": round(stats["mean"] * _US, 3),
+            "median_us": round(stats["median"] * _US, 3),
+            "min_us": round(stats["min"] * _US, 3),
+            "stddev_us": round(stats["stddev"] * _US, 3),
+            "rounds": stats["rounds"],
+        }
+    return results
+
+
+def git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        return out.stdout.strip() if out.returncode == 0 else "unknown"
+    except OSError:  # pragma: no cover - git always present in CI
+        return "unknown"
+
+
+def merge_run(output: Path, label: str, results: Dict[str, dict]) -> dict:
+    """Insert/replace the run ``label`` in the artifact at ``output``."""
+    artifact = {"benchmark": "bench_core_ops", "runs": []}
+    if output.exists():
+        try:
+            artifact = json.loads(output.read_text())
+        except json.JSONDecodeError:
+            pass  # regenerate a corrupt artifact from scratch
+    runs = [run for run in artifact.get("runs", []) if run.get("label") != label]
+    runs.append(
+        {
+            "label": label,
+            "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "git": git_revision(),
+            "python": platform.python_version(),
+            "results": results,
+        }
+    )
+    artifact["benchmark"] = "bench_core_ops"
+    artifact["runs"] = runs
+    output.write_text(json.dumps(artifact, indent=2, sort_keys=False) + "\n")
+    return artifact
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="current", help="name of this run in the artifact")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"artifact path (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer benchmark rounds (CI smoke; numbers are noisier)",
+    )
+    parser.add_argument(
+        "pytest_args", nargs="*", help="extra arguments forwarded to pytest"
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(args.quick, args.pytest_args)
+    artifact = merge_run(args.output, args.label, results)
+    print(f"wrote {args.output} ({len(artifact['runs'])} runs)")
+    for name, stats in sorted(results.items()):
+        print(f"  {name}: mean {stats['mean_us']:.1f} µs over {stats['rounds']} rounds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

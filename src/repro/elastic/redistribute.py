@@ -25,7 +25,7 @@ import heapq
 from collections import defaultdict
 from typing import Dict, Iterable, List, Mapping, Protocol, Sequence, Set, Tuple
 
-from repro.elastic.policies import AdaptationPolicy
+from repro.elastic.policies import AdaptationPolicy, EqualShare
 from repro.network.link_state import EPSILON
 from repro.network.state import NetworkState
 from repro.qos.spec import ElasticQoS
@@ -85,45 +85,164 @@ def redistribute(
     # The fill loop visits each competitor many times (once per granted
     # increment), so everything loop-invariant is resolved exactly once
     # per candidate up front: the channel record, its QoS scalars
-    # (``max_level``/``increment`` are computed properties), and the
-    # LinkState objects of its path (``state.link`` is a guarded dict
-    # lookup that used to dominate the profile).
+    # (memoized per contract object — populations share a handful of
+    # contracts, and most candidates are already maxed, so the scalar
+    # lookup must be cheap even for channels that never compete) and the
+    # LinkState objects of its path (memoized on the record itself and
+    # validated by identity against ``primary_links``, which is replaced
+    # wholesale on reroute — resolving a path through ``state.link`` on
+    # every event used to dominate the profile).  The per-increment body
+    # then works on plain attributes: the spare test and the grant are
+    # inlined equivalents of ``LinkState.spare_for_extras`` and
+    # ``LinkState.grant_extra`` (the admission guard of ``grant_extra``
+    # is exactly the spare test, so no check is lost), because property
+    # and method dispatch on the hundred-thousand-call scale of a single
+    # simulation dominates the fill's run time.
     resolve_link = state.link
-    priority = policy.priority
-    heap: List[Tuple[Tuple, int]] = []
-    competitors: Dict[int, Tuple] = {}
+    qos_scalars: Dict[int, Tuple[int, float, float]] = {}
+    granted: Dict[int, int] = defaultdict(int)
+    equal_share = type(policy) is EqualShare
+    buckets: Dict[int, List[Tuple]] = {}
+    heap: List[Tuple] = []
     for cid in candidates:
         chan = channels[cid]
-        qos = chan.elastic_qos
-        max_level = qos.max_level
-        if chan.level < max_level:
-            delta = qos.increment
-            links = [resolve_link(lid) for lid in chan.primary_links]
-            competitors[cid] = (chan, qos, max_level, delta, delta - EPSILON, links)
-            heap.append((priority(cid, chan.level, qos), cid))
+        try:
+            memo = chan.link_state_memo
+        except AttributeError:
+            memo = None  # bare protocol participant: resolve per event
+        if memo is not None and memo[0] is chan.primary_links:
+            _lids, links, extras, max_level, delta, threshold = memo
+        else:
+            qos = chan.elastic_qos
+            scalars = qos_scalars.get(id(qos))
+            if scalars is None:
+                delta = qos.increment
+                scalars = (qos.max_level, delta, delta - EPSILON)
+                qos_scalars[id(qos)] = scalars
+            max_level, delta, threshold = scalars
+            lids = chan.primary_links
+            links = [resolve_link(lid) for lid in lids]
+            extras = [ls.primary_extra for ls in links]
+            try:
+                chan.link_state_memo = (lids, links, extras, max_level, delta, threshold)
+            except AttributeError:
+                pass
+        level = chan.level
+        if level >= max_level:
+            continue
+        if equal_share:
+            entry = (cid, chan, max_level, delta, threshold, links, extras)
+            bucket = buckets.get(level)
+            if bucket is None:
+                buckets[level] = [entry]
+            else:
+                bucket.append(entry)
+        else:
+            qos = chan.elastic_qos
+            heap.append(
+                (policy.priority(cid, level, qos), cid, chan, qos, max_level,
+                 delta, threshold, links)
+            )
+
+    if equal_share:
+        _fill_equal_share(buckets, granted)
+    else:
+        _fill_by_priority(policy, heap, granted)
+    return dict(granted)
+
+
+def _fill_equal_share(buckets: Dict[int, List[Tuple]], granted: Dict[int, int]) -> None:
+    """Water-fill under the equal-share priority ``(level, conn_id)``.
+
+    Equal share is the paper's own configuration and the default policy,
+    so it gets a heap-free fast path: with priority ``(level, cid)`` the
+    generic loop provably grants to all raisable channels of the lowest
+    populated level in ascending ``cid`` order before touching the next
+    level (a grant re-enters at ``level + 1``, *behind* every remaining
+    same-level channel).  Processing whole level "waves" over cid-sorted
+    buckets therefore performs the grants in exactly the generic order —
+    and the resulting allocation is byte-identical — without paying a
+    heap push/pop and a priority call per increment.
+
+    ``buckets`` maps each starting level to its competitor entries
+    ``(cid, chan, max_level, delta, threshold, links, extras)`` where
+    ``extras`` holds each link's ``primary_extra`` dict (pre-resolved so
+    a grant touches no attribute chains).
+    """
+    for bucket in buckets.values():
+        # Entries compare by their leading (unique) cid, so sorting never
+        # reaches the non-comparable payload fields.  Promotion preserves
+        # cid order, so each bucket is sorted exactly once.
+        bucket.sort()
+    while buckets:
+        level = min(buckets)
+        next_level = level + 1
+        promoted: List[Tuple] = []
+        for entry in buckets.pop(level):
+            cid, chan, max_level, delta, threshold, links, extras = entry
+            for ls in links:
+                if ls.capacity - ls._min_total - ls._activated_total - ls._extra_total < threshold:
+                    # Spares only shrink during the fill, so this channel
+                    # can never become raisable again in this round.
+                    break
+            else:
+                for ls in links:
+                    ls._extra_total += delta
+                for pe in extras:
+                    pe[cid] += delta
+                chan.level = next_level
+                granted[cid] += 1
+                if next_level < max_level:
+                    promoted.append(entry)
+        if promoted:
+            existing = buckets.get(next_level)
+            if existing is None:
+                buckets[next_level] = promoted
+            else:
+                # Two cid-sorted runs; timsort merges them in linear time
+                # and keeps the bucket's sorted invariant.
+                existing.extend(promoted)
+                existing.sort()
+
+
+def _fill_by_priority(
+    policy: AdaptationPolicy, heap: List[Tuple], granted: Dict[int, int]
+) -> None:
+    """Generic water-fill for arbitrary priority rules.
+
+    Heap entries keep the ``(priority, cid)`` prefix of the original
+    implementation — ``cid`` is unique per entry, so the competitor
+    payload riding behind it is never compared and the pop order is
+    identical to a plain ``(priority, cid)`` heap.
+    """
+    priority = policy.priority
     heapq.heapify(heap)
 
     heappush = heapq.heappush
     heappop = heapq.heappop
-    granted: Dict[int, int] = defaultdict(int)
     while heap:
-        _, cid = heappop(heap)
-        chan, qos, max_level, delta, threshold, links = competitors[cid]
+        entry = heappop(heap)
+        _, cid, chan, qos, max_level, delta, threshold, links = entry
         if chan.level >= max_level:
             continue
         for ls in links:
-            if ls.spare_for_extras < threshold:
+            if ls.capacity - ls._min_total - ls._activated_total - ls._extra_total < threshold:
                 # Spares only shrink during the fill, so this channel can
                 # never become raisable again in this round: drop it.
                 break
         else:
             for ls in links:
-                ls.grant_extra(cid, delta)
-            chan.level += 1
+                ls.primary_extra[cid] += delta
+                ls._extra_total += delta
+            level = chan.level + 1
+            chan.level = level
             granted[cid] += 1
-            if chan.level < max_level:
-                heappush(heap, (priority(cid, chan.level, qos), cid))
-    return dict(granted)
+            if level < max_level:
+                heappush(
+                    heap,
+                    (priority(cid, level, qos), cid, chan, qos, max_level, delta,
+                     threshold, links),
+                )
 
 
 def is_maximal(

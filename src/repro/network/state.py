@@ -11,11 +11,15 @@ statistics) lives one layer up in :mod:`repro.channels.manager`.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ReservationError, TopologyError
 from repro.network.link_state import EPSILON, LinkState
 from repro.topology.graph import LinkId, Network
+
+#: One state-adjacency row: ``(neighbor, link_id, link_state)`` triples,
+#: sorted by neighbor — the routing hot loops' view of the network.
+StateAdjacencyRow = List[Tuple[int, LinkId, LinkState]]
 
 
 class NetworkState:
@@ -28,6 +32,11 @@ class NetworkState:
             for link in topology.links()
         }
         self._failed: Set[LinkId] = set()
+        #: Bumped on every fail/repair; versions anything derived from
+        #: the *live* topology (e.g. cached candidate routes).
+        self.generation: int = 0
+        self._rows_cache: Optional[Dict[int, StateAdjacencyRow]] = None
+        self._rows_version: int = -1
 
     # ------------------------------------------------------------------
     # link access
@@ -46,6 +55,24 @@ class NetworkState:
     def links(self) -> Iterable[LinkState]:
         """All link states (topology order)."""
         return self._links.values()
+
+    def adjacency_rows(self) -> Dict[int, StateAdjacencyRow]:
+        """Compact adjacency with live state: node -> ``[(nbr, lid, state)]``.
+
+        Mirrors :meth:`Network.adjacency_rows` but carries each link's
+        :class:`LinkState` so admission-aware searches test capacity and
+        liveness without a per-edge ``state.link(lid)`` dict lookup.
+        The :class:`LinkState` objects are the live ones — mutations
+        (reservations, failures) are visible without a rebuild; only
+        structural topology changes trigger one.  Treat as read-only.
+        """
+        if self._rows_cache is None or self._rows_version != self.topology.version:
+            self._rows_cache = {
+                node: [(nbr, lid, self._links[lid]) for nbr, lid, _link in row]
+                for node, row in self.topology.adjacency_rows().items()
+            }
+            self._rows_version = self.topology.version
+        return self._rows_cache
 
     @property
     def failed_links(self) -> FrozenSet[LinkId]:
@@ -67,6 +94,7 @@ class NetworkState:
             raise ReservationError(f"link {lid} is already failed")
         state.failed = True
         self._failed.add(lid)
+        self.generation += 1
 
     def repair_link(self, lid: LinkId) -> None:
         """Return a failed link to service."""
@@ -75,6 +103,7 @@ class NetworkState:
             raise ReservationError(f"link {lid} is not failed")
         state.failed = False
         self._failed.discard(lid)
+        self.generation += 1
 
     def path_is_alive(self, path_links: Sequence[LinkId]) -> bool:
         """Whether no link of ``path_links`` is failed."""
@@ -119,9 +148,22 @@ class NetworkState:
         redistribution frontier).
         """
         affected: List[LinkId] = []
+        link = self.link
         for lid in path_links:
-            if self.link(lid).drop_extra(conn_id) > EPSILON:
-                affected.append(lid)
+            # Inlined LinkState.drop_extra: this runs for every link of
+            # every directly-chained channel on every event, and the
+            # method-call version showed up in event-rate profiles.
+            ls = link(lid)
+            freed = ls.primary_extra.get(conn_id)
+            if freed is None:
+                raise ReservationError(
+                    f"connection {conn_id} has no primary on {ls.link}"
+                )
+            if freed:
+                ls.primary_extra[conn_id] = 0.0
+                ls._extra_total -= freed
+                if freed > EPSILON:
+                    affected.append(lid)
         return affected
 
     def primary_level_bandwidth(self, conn_id: int, path_links: Sequence[LinkId]) -> float:

@@ -87,6 +87,11 @@ class ElasticQoS:
     b_max: float
     increment: float
     utility: float = 1.0
+    #: Cached level count; the redistribution engine reads the level
+    #: geometry once per candidate per event, so it is computed once
+    #: here instead of per access (the dataclass is frozen, making the
+    #: value valid for the object's whole lifetime).
+    _num_levels: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if self.b_min <= 0:
@@ -104,16 +109,17 @@ class ElasticQoS:
                 f"range [{self.b_min}, {self.b_max}] is not an integral "
                 f"multiple of the increment {self.increment}"
             )
+        object.__setattr__(self, "_num_levels", 1 + round(steps))
 
     @property
     def num_levels(self) -> int:
         """Number of distinct reservation levels, N = 1 + (b_max - b_min)/Δ."""
-        return 1 + round((self.b_max - self.b_min) / self.increment)
+        return self._num_levels
 
     @property
     def max_level(self) -> int:
         """Index of the highest level, N - 1."""
-        return self.num_levels - 1
+        return self._num_levels - 1
 
     def level_bandwidth(self, level: int) -> float:
         """Bandwidth of level ``level`` (``b_min + level * Δ``)."""

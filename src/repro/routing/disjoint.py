@@ -11,14 +11,23 @@ exactly that contract:
    path that overlaps the primary in as few links as possible (among
    those, the shortest), by Dijkstra with a large additive penalty per
    shared link.
+
+Stage 2 is exposed separately as :func:`maximally_disjoint_path` so the
+route cache can skip the stage-1 search when it already knows (from a
+cached raw-topology search) that no fully disjoint path exists.
 """
 
 from __future__ import annotations
 
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.routing.shortest import LinkFilter, shortest_path
-from repro.topology.graph import Link, LinkId, Network
+from repro.routing.shortest import (
+    LinkFilter,
+    _check_endpoints,
+    bfs_path_rows,
+    dijkstra_path_rows,
+)
+from repro.topology.graph import LinkId, Network, link_id
 
 #: Penalty that dominates any hop-count difference: a path overlapping
 #: the primary in one link is always worse than any overlap-free path.
@@ -49,25 +58,49 @@ def disjoint_path(
         allow_partial: Permit a maximally-disjoint path when no fully
             disjoint one exists.
     """
-
-    def disjoint_filter(link: Link) -> bool:
-        if link.id in avoid:
-            return False
-        return link_filter is None or link_filter(link)
-
-    path = shortest_path(net, source, destination, disjoint_filter)
+    _check_endpoints(net, source, destination)
+    rows = net.adjacency_rows()
+    if link_filter is None:
+        disjoint_ok = lambda lid, link: lid not in avoid  # noqa: E731
+    else:
+        disjoint_ok = (  # noqa: E731
+            lambda lid, link: lid not in avoid and link_filter(link)
+        )
+    path = bfs_path_rows(rows, source, destination, disjoint_ok)
     if path is not None:
         return path, 0
     if not allow_partial:
         return None
+    return maximally_disjoint_path(net, source, destination, avoid, link_filter)
 
-    def penalised_weight(link: Link) -> float:
-        return _SHARED_LINK_PENALTY + 1.0 if link.id in avoid else 1.0
 
-    path = shortest_path(net, source, destination, link_filter, weight=penalised_weight)
+def maximally_disjoint_path(
+    net: Network,
+    source: int,
+    destination: int,
+    avoid: FrozenSet[LinkId],
+    link_filter: Optional[LinkFilter] = None,
+) -> Optional[Tuple[List[int], int]]:
+    """Admissible path overlapping ``avoid`` in as few links as possible.
+
+    The second stage of :func:`disjoint_path`: Dijkstra where every
+    shared link costs a penalty dominating any hop-count difference, so
+    overlap count is minimized first and path length second.  Returns
+    ``(path, overlap)`` or ``None`` when no admissible path exists.
+    """
+    _check_endpoints(net, source, destination)
+    rows = net.adjacency_rows()
+
+    def penalised_weight(lid: LinkId, link: object) -> float:
+        return _SHARED_LINK_PENALTY + 1.0 if lid in avoid else 1.0
+
+    edge_ok = None
+    if link_filter is not None:
+        edge_ok = lambda lid, link: link_filter(link)  # noqa: E731
+    path = dijkstra_path_rows(rows, source, destination, edge_ok, penalised_weight)
     if path is None:
         return None
-    overlap = sum(1 for a, b in zip(path, path[1:]) if net.get_link(a, b).id in avoid)
+    overlap = sum(1 for a, b in zip(path, path[1:]) if link_id(a, b) in avoid)
     return path, overlap
 
 

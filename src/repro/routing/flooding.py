@@ -93,6 +93,7 @@ def bounded_flood(
         raise RoutingError("source and destination coincide")
 
     result = FloodingResult()
+    rows = net.adjacency_rows()
     #: Best allowance each node has already forwarded; later copies with
     #: no better allowance are discarded (the paper's suppression rule).
     best_seen: Dict[int, float] = {source: float("inf")}
@@ -106,10 +107,9 @@ def bounded_flood(
         for path, allow in frontier:
             node = path[-1]
             prev = path[-2] if len(path) > 1 else None
-            for nbr in net.neighbors(node):
+            for nbr, _lid, link in rows.get(node, ()):
                 if nbr == prev or nbr in path:
                     continue
-                link = net.get_link(node, nbr)
                 offered = allowance(link)
                 new_allow = min(allow, offered)
                 if new_allow + 1e-12 < b_min:

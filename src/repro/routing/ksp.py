@@ -1,17 +1,119 @@
-"""Yen's k-shortest loopless paths.
+"""Yen's k-shortest loopless paths, as a lazy generator.
 
 Used by the sequential route-search strategy ("all possible routes are
 checked one by one until a qualified one is found", paper §2.1.1), by
-tests that need route diversity, and by the routing ablation benchmark.
+the manager's candidate-route cache, by tests that need route
+diversity, and by the routing ablation benchmark.
+
+:func:`shortest_paths_iter` enumerates *all* loopless paths between two
+nodes in ``(hops, node-sequence)`` lexicographic order, computing each
+next path only when the consumer asks for it: the first path costs one
+BFS, and the spur searches of Yen's algorithm run only when a second
+path is actually pulled.  Candidate deviations are kept in a heap
+(``(cost, path)`` tuples), so accepting a path is ``O(log n)`` instead
+of re-sorting the whole candidate list as the previous eager
+implementation did.  The enumeration order is bitwise identical to that
+implementation: the heap pops candidates in exactly the
+``sort(key=(cost, path))`` order, and the spur searches use the same
+neighbor-sorted BFS tie-breaking.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+import heapq
+from itertools import islice
+from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.errors import RoutingError
-from repro.routing.shortest import LinkFilter, path_cost, shortest_path
-from repro.topology.graph import Link, LinkId, Network
+from repro.routing.shortest import (
+    AdjacencyRows,
+    EdgeFilter,
+    LinkFilter,
+    _check_endpoints,
+    bfs_path_rows,
+)
+from repro.topology.graph import LinkId, Network, link_id
+
+
+def shortest_paths_iter(
+    net: Network,
+    source: int,
+    destination: int,
+    link_filter: Optional[LinkFilter] = None,
+) -> Iterator[List[int]]:
+    """Lazily enumerate loopless shortest paths (hop metric), best first.
+
+    Classic Yen's algorithm over the admissible subgraph; deterministic
+    given the deterministic underlying shortest-path (ours breaks ties
+    by node number).  Endpoint validation happens eagerly; path
+    computation happens on demand.
+    """
+    _check_endpoints(net, source, destination)
+    rows = net.adjacency_rows()
+    edge_ok: Optional[EdgeFilter] = None
+    if link_filter is not None:
+        edge_ok = lambda lid, link: link_filter(link)  # noqa: E731
+    return paths_iter_rows(rows, source, destination, edge_ok)
+
+
+def paths_iter_rows(
+    rows: AdjacencyRows,
+    source: int,
+    destination: int,
+    edge_ok: Optional[EdgeFilter] = None,
+) -> Iterator[List[int]]:
+    """Rows-based core of :func:`shortest_paths_iter`.
+
+    Takes compact adjacency rows directly so callers holding live-state
+    rows (the route cache) can enumerate without per-edge dict lookups.
+    """
+    first = bfs_path_rows(rows, source, destination, edge_ok)
+    if first is None:
+        return
+    yield first
+    paths: List[List[int]] = [first]
+    #: Deviation candidates as (cost, path); heap order == (cost, lex).
+    candidates: List[Tuple[float, List[int]]] = []
+    seen: Set[Tuple[int, ...]] = {tuple(first)}
+
+    while True:
+        prev = paths[-1]
+        for i in range(len(prev) - 1):
+            spur_node = prev[i]
+            root = prev[: i + 1]
+            removed_links: Set[LinkId] = set()
+            for path in paths:
+                if len(path) > i and path[: i + 1] == root:
+                    removed_links.add(link_id(path[i], path[i + 1]))
+            banned_nodes = set(root[:-1])
+
+            def spur_ok(
+                lid: LinkId,
+                payload: object,
+                _removed=removed_links,
+                _banned=banned_nodes,
+                _base=edge_ok,
+            ) -> bool:
+                if lid in _removed:
+                    return False
+                if lid[0] in _banned or lid[1] in _banned:
+                    return False
+                return _base is None or _base(lid, payload)
+
+            spur = bfs_path_rows(rows, spur_node, destination, spur_ok)
+            if spur is None:
+                continue
+            total = root[:-1] + spur
+            key = tuple(total)
+            if key in seen:
+                continue
+            seen.add(key)
+            heapq.heappush(candidates, (float(len(total) - 1), total))
+        if not candidates:
+            return
+        _, best = heapq.heappop(candidates)
+        paths.append(best)
+        yield best
 
 
 def k_shortest_paths(
@@ -21,54 +123,10 @@ def k_shortest_paths(
     k: int,
     link_filter: Optional[LinkFilter] = None,
 ) -> List[List[int]]:
-    """Up to ``k`` loopless shortest paths (hop metric), shortest first.
-
-    Classic Yen's algorithm over the admissible subgraph; deterministic
-    given a deterministic underlying shortest-path (ours breaks ties by
-    node number).
-    """
+    """Up to ``k`` loopless shortest paths (hop metric), shortest first."""
     if k < 1:
         raise RoutingError(f"k must be at least 1, got {k}")
-    first = shortest_path(net, source, destination, link_filter)
-    if first is None:
-        return []
-    paths: List[List[int]] = [first]
-    candidates: List[Tuple[float, List[int]]] = []
-    seen: Set[Tuple[int, ...]] = {tuple(first)}
-
-    while len(paths) < k:
-        prev = paths[-1]
-        for i in range(len(prev) - 1):
-            spur_node = prev[i]
-            root = prev[: i + 1]
-            removed_links: Set[LinkId] = set()
-            for path in paths:
-                if len(path) > i and path[: i + 1] == root:
-                    removed_links.add(net.get_link(path[i], path[i + 1]).id)
-            banned_nodes = set(root[:-1])
-
-            def spur_filter(link: Link) -> bool:
-                if link.id in removed_links:
-                    return False
-                if link.u in banned_nodes or link.v in banned_nodes:
-                    return False
-                return link_filter is None or link_filter(link)
-
-            spur = shortest_path(net, spur_node, destination, spur_filter)
-            if spur is None:
-                continue
-            total = root[:-1] + spur
-            key = tuple(total)
-            if key in seen:
-                continue
-            seen.add(key)
-            candidates.append((path_cost(net, total), total))
-        if not candidates:
-            break
-        candidates.sort(key=lambda item: (item[0], item[1]))
-        _, best = candidates.pop(0)
-        paths.append(best)
-    return paths
+    return list(islice(shortest_paths_iter(net, source, destination, link_filter), k))
 
 
 def sequential_route_search(
@@ -85,8 +143,15 @@ def sequential_route_search(
     mirroring "shortest routes are picked and checked first,
     sequentially one by one".  Returns ``None`` when ``max_candidates``
     routes were tried without success.
+
+    Thanks to the lazy enumeration, an arrival whose very first
+    shortest route is admissible pays exactly one BFS; Yen's spur
+    searches only run for arrivals whose early candidates are rejected.
     """
-    for path in k_shortest_paths(net, source, destination, max_candidates):
+    if max_candidates < 1:
+        raise RoutingError(f"max_candidates must be at least 1, got {max_candidates}")
+    paths = shortest_paths_iter(net, source, destination)
+    for path in islice(paths, max_candidates):
         links = [net.get_link(a, b) for a, b in zip(path, path[1:])]
         if all(admissible(link) for link in links):
             return path

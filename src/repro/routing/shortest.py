@@ -9,13 +9,32 @@ length-weighted) Dijkstra restricted to links that pass a caller-
 supplied admission predicate.  The distributed equivalent (bounded
 flooding) lives in :mod:`repro.routing.flooding` and finds the same
 routes at higher message cost.
+
+Hot-path layout: every search here runs over *compact adjacency rows*
+(``node -> [(neighbor, link_id, payload), ...]``, sorted by neighbor —
+see :meth:`Network.adjacency_rows`), iterating prebuilt arrays instead
+of calling ``neighbors()`` (which sorts) plus ``get_link()`` (a dict
+lookup) per edge.  The rows-based cores :func:`bfs_path_rows` and
+:func:`dijkstra_path_rows` are shared by the k-shortest enumeration,
+the disjoint backup search, and the manager's admission-aware searches
+(which use rows whose payload is the live ``LinkState``).
+
+Determinism contract (relied on by the route cache): with the hop
+metric, :func:`bfs_path_rows` returns the unique path that minimizes
+``(hops, node-sequence)`` lexicographically among all admissible paths.
+BFS over neighbor-sorted rows discovers each layer in lexicographic
+order of tree paths, so each node's parent is the one reached by the
+lexicographically smallest shortest prefix — identical inputs always
+yield the identical route (reproducibility), and the (hops, lex)-least
+admissible path is exactly what a full candidate enumeration would
+accept first.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import RoutingError
 from repro.topology.graph import Link, LinkId, Network
@@ -25,6 +44,17 @@ LinkFilter = Callable[[Link], bool]
 
 #: Per-link cost function for weighted routing.
 LinkWeight = Callable[[Link], float]
+
+#: Rows-based edge predicate: ``(link_id, payload) -> usable?`` where the
+#: payload is whatever the rows carry (a ``Link`` for topology rows, a
+#: ``LinkState`` for live-state rows).
+EdgeFilter = Callable[[LinkId, object], bool]
+
+#: Rows-based edge cost: ``(link_id, payload) -> weight``.
+EdgeWeight = Callable[[LinkId, object], float]
+
+#: Compact adjacency mapping (payload type intentionally loose).
+AdjacencyRows = Mapping[int, Sequence[Tuple[int, LinkId, object]]]
 
 
 def _check_endpoints(net: Network, source: int, destination: int) -> None:
@@ -58,25 +88,43 @@ def shortest_path(
     identical inputs always yield identical routes (reproducibility).
     """
     _check_endpoints(net, source, destination)
+    rows = net.adjacency_rows()
     if weight is None:
-        return _bfs_path(net, source, destination, link_filter)
-    return _dijkstra_path(net, source, destination, link_filter, weight)
+        if link_filter is None:
+            return bfs_path_rows(rows, source, destination)
+        return bfs_path_rows(
+            rows, source, destination, lambda lid, link: link_filter(link)
+        )
+    edge_weight = lambda lid, link: weight(link)  # noqa: E731 - tiny shim
+    if link_filter is None:
+        return dijkstra_path_rows(rows, source, destination, None, edge_weight)
+    return dijkstra_path_rows(
+        rows, source, destination, lambda lid, link: link_filter(link), edge_weight
+    )
 
 
-def _bfs_path(
-    net: Network, source: int, destination: int, link_filter: Optional[LinkFilter]
+def bfs_path_rows(
+    rows: AdjacencyRows,
+    source: int,
+    destination: int,
+    edge_ok: Optional[EdgeFilter] = None,
 ) -> Optional[List[int]]:
+    """Hop-count shortest path over compact adjacency rows.
+
+    The core of every unweighted search in the library.  Returns the
+    (hops, node-sequence)-lexicographically least admissible path (see
+    the module docstring), or ``None`` when the destination is cut off.
+    """
     parent: Dict[int, int] = {source: source}
     queue = deque([source])
     while queue:
         node = queue.popleft()
         if node == destination:
             break
-        for nbr in net.neighbors(node):
+        for nbr, lid, payload in rows.get(node, ()):
             if nbr in parent:
                 continue
-            link = net.get_link(node, nbr)
-            if link_filter is not None and not link_filter(link):
+            if edge_ok is not None and not edge_ok(lid, payload):
                 continue
             parent[nbr] = node
             queue.append(nbr)
@@ -85,16 +133,17 @@ def _bfs_path(
     return _walk_back(parent, source, destination)
 
 
-def _dijkstra_path(
-    net: Network,
+def dijkstra_path_rows(
+    rows: AdjacencyRows,
     source: int,
     destination: int,
-    link_filter: Optional[LinkFilter],
-    weight: LinkWeight,
+    edge_ok: Optional[EdgeFilter],
+    edge_weight: EdgeWeight,
 ) -> Optional[List[int]]:
+    """Weighted shortest path over compact adjacency rows (Dijkstra)."""
     dist: Dict[int, float] = {source: 0.0}
     parent: Dict[int, int] = {source: source}
-    heap: List[tuple[float, int]] = [(0.0, source)]
+    heap: List[Tuple[float, int]] = [(0.0, source)]
     settled: set[int] = set()
     while heap:
         d, node = heapq.heappop(heap)
@@ -103,15 +152,14 @@ def _dijkstra_path(
         settled.add(node)
         if node == destination:
             break
-        for nbr in net.neighbors(node):
+        for nbr, lid, payload in rows.get(node, ()):
             if nbr in settled:
                 continue
-            link = net.get_link(node, nbr)
-            if link_filter is not None and not link_filter(link):
+            if edge_ok is not None and not edge_ok(lid, payload):
                 continue
-            w = weight(link)
+            w = edge_weight(lid, payload)
             if w < 0:
-                raise RoutingError(f"negative link weight {w} on {link.id}")
+                raise RoutingError(f"negative link weight {w} on {lid}")
             cand = d + w
             if cand < dist.get(nbr, float("inf")) - 1e-15:
                 dist[nbr] = cand
@@ -147,11 +195,12 @@ def path_cost(net: Network, path: Sequence[int], weight: Optional[LinkWeight] = 
 
 def reachable_filterless(net: Network, source: int) -> set[int]:
     """All nodes reachable from ``source`` ignoring filters (diagnostics)."""
+    rows = net.adjacency_rows()
     seen = {source}
     queue = deque([source])
     while queue:
         node = queue.popleft()
-        for nbr in net.neighbors(node):
+        for nbr, _lid, _link in rows.get(node, ()):
             if nbr not in seen:
                 seen.add(nbr)
                 queue.append(nbr)

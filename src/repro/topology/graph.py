@@ -23,6 +23,12 @@ from repro.errors import TopologyError
 #: Canonical identifier of an undirected link: ``(min(u, v), max(u, v))``.
 LinkId = Tuple[int, int]
 
+#: One compact adjacency row: ``(neighbor, link_id, link)`` triples of a
+#: node, sorted by neighbor.  Routing hot loops iterate these instead of
+#: calling ``neighbors()`` (which sorts) plus ``get_link()`` (a dict
+#: lookup) per edge.
+AdjacencyRow = List[Tuple[int, LinkId, "Link"]]
+
 
 def link_id(u: int, v: int) -> LinkId:
     """Return the canonical identifier for the undirected link ``{u, v}``."""
@@ -84,6 +90,10 @@ class Network:
     _adj: Dict[int, Dict[int, Link]] = field(default_factory=dict)
     _links: Dict[LinkId, Link] = field(default_factory=dict)
     _positions: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    #: Bumped on every structural mutation; versions the adjacency cache.
+    _version: int = field(default=0, repr=False)
+    _rows_cache: Optional[Dict[int, AdjacencyRow]] = field(default=None, repr=False)
+    _rows_version: int = field(default=-1, repr=False)
 
     # ------------------------------------------------------------------
     # construction
@@ -92,6 +102,7 @@ class Network:
         """Add ``node``; re-adding an existing node only updates its position."""
         if node not in self._adj:
             self._adj[node] = {}
+            self._version += 1
         if position is not None:
             self._positions[node] = (float(position[0]), float(position[1]))
 
@@ -118,6 +129,7 @@ class Network:
         self._links[lid] = link
         self._adj[u][v] = link
         self._adj[v][u] = link
+        self._version += 1
         return link
 
     def remove_link(self, u: int, v: int) -> None:
@@ -132,6 +144,7 @@ class Network:
         del self._links[lid]
         del self._adj[u][v]
         del self._adj[v][u]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -188,6 +201,28 @@ class Network:
             return sorted(self._adj[node])
         except KeyError:
             raise TopologyError(f"node {node} does not exist") from None
+
+    @property
+    def version(self) -> int:
+        """Structural mutation counter (add/remove of nodes and links)."""
+        return self._version
+
+    def adjacency_rows(self) -> Dict[int, AdjacencyRow]:
+        """Compact adjacency: node -> ``[(neighbor, link_id, link), ...]``.
+
+        Rows are sorted by neighbor, matching :meth:`neighbors`, so any
+        search iterating them visits edges in exactly the order the
+        per-edge ``neighbors()``/``get_link()`` API would.  The mapping
+        is rebuilt lazily after structural mutations and shared by all
+        callers; treat it as read-only.
+        """
+        if self._rows_cache is None or self._rows_version != self._version:
+            self._rows_cache = {
+                node: [(nbr, nbrs[nbr].id, nbrs[nbr]) for nbr in sorted(nbrs)]
+                for node, nbrs in self._adj.items()
+            }
+            self._rows_version = self._version
+        return self._rows_cache
 
     def incident_links(self, node: int) -> List[Link]:
         """Links incident to ``node``, sorted by the opposite endpoint."""

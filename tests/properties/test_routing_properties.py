@@ -132,3 +132,88 @@ def test_waxman_expected_edges_monotone_in_alpha(alpha_lo, bump, seed):
     lo = expected_edges(points, WaxmanParams(alpha_lo, 0.3))
     hi = expected_edges(points, WaxmanParams(min(1.0, alpha_lo + bump), 0.3))
     assert hi >= lo
+
+
+# ---------------------------------------------------------------------------
+# Lazy k-shortest-paths vs. the original eager implementation
+# ---------------------------------------------------------------------------
+
+def eager_k_shortest_paths(net, source, destination, k, link_filter=None):
+    """The pre-heap, pre-lazy Yen's implementation (regression oracle).
+
+    Verbatim port of the original eager algorithm: full shortest-path
+    calls per spur, a sorted candidate list re-sorted per accepted path,
+    and nothing computed lazily.  The production generator promises a
+    bitwise-identical enumeration order.
+    """
+    first = shortest_path(net, source, destination, link_filter)
+    if first is None:
+        return []
+    paths = [first]
+    candidates = []
+    seen = {tuple(first)}
+    while len(paths) < k:
+        prev = paths[-1]
+        for i in range(len(prev) - 1):
+            spur_node = prev[i]
+            root = prev[: i + 1]
+            removed_links = set()
+            for path in paths:
+                if len(path) > i and path[: i + 1] == root:
+                    removed_links.add(net.get_link(path[i], path[i + 1]).id)
+            banned_nodes = set(root[:-1])
+
+            def spur_filter(link):
+                if link.id in removed_links:
+                    return False
+                if link.u in banned_nodes or link.v in banned_nodes:
+                    return False
+                return link_filter is None or link_filter(link)
+
+            spur = shortest_path(net, spur_node, destination, spur_filter)
+            if spur is None:
+                continue
+            total = root[:-1] + spur
+            key = tuple(total)
+            if key in seen:
+                continue
+            seen.add(key)
+            candidates.append((path_hops(total), total))
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        _, best = candidates.pop(0)
+        paths.append(best)
+    return paths
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    src=st.integers(min_value=0, max_value=11),
+    dst=st.integers(min_value=0, max_value=11),
+    k=st.integers(min_value=1, max_value=8),
+)
+@ROUTING_SETTINGS
+def test_lazy_ksp_matches_eager_oracle(seed, src, dst, k):
+    if src == dst:
+        return
+    net = random_connected_network(seed)
+    assert k_shortest_paths(net, src, dst, k) == eager_k_shortest_paths(net, src, dst, k)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    src=st.integers(min_value=0, max_value=11),
+    dst=st.integers(min_value=0, max_value=11),
+    banned=st.sets(st.integers(min_value=0, max_value=11), max_size=3),
+)
+@ROUTING_SETTINGS
+def test_lazy_ksp_matches_eager_oracle_filtered(seed, src, dst, banned):
+    """Equivalence must also hold under admission-style link filters."""
+    if src == dst:
+        return
+    net = random_connected_network(seed)
+    flt = lambda link: link.u not in banned and link.v not in banned  # noqa: E731
+    assert k_shortest_paths(net, src, dst, 6, link_filter=flt) == eager_k_shortest_paths(
+        net, src, dst, 6, link_filter=flt
+    )

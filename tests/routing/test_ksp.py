@@ -3,7 +3,11 @@
 import pytest
 
 from repro.errors import RoutingError
-from repro.routing.ksp import k_shortest_paths, sequential_route_search
+from repro.routing.ksp import (
+    k_shortest_paths,
+    sequential_route_search,
+    shortest_paths_iter,
+)
 from repro.routing.shortest import path_hops
 from repro.topology.graph import Network
 from repro.topology.regular import grid_network, ring_network
@@ -66,3 +70,49 @@ class TestSequentialSearch:
             grid33, 0, 8, admissible=lambda l: False, max_candidates=4
         )
         assert path is None
+
+    def test_max_candidates_must_be_positive(self, ring6):
+        with pytest.raises(RoutingError):
+            sequential_route_search(
+                ring6, 0, 2, admissible=lambda l: True, max_candidates=0
+            )
+
+
+class TestLaziness:
+    """The enumeration must not search further than the consumer asks."""
+
+    def _count_searches(self, monkeypatch):
+        import repro.routing.ksp as ksp_mod
+
+        calls = []
+        real = ksp_mod.bfs_path_rows
+
+        def counting(*args, **kwargs):
+            calls.append(args[1:3])
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(ksp_mod, "bfs_path_rows", counting)
+        return calls
+
+    def test_one_search_when_first_route_admits(self, grid33, monkeypatch):
+        # Regression for the eager implementation, which computed all
+        # max_candidates routes (spur searches included) even when the
+        # very first shortest route was admissible.
+        calls = self._count_searches(monkeypatch)
+        path = sequential_route_search(grid33, 0, 8, admissible=lambda l: True)
+        assert path is not None
+        assert len(calls) == 1
+
+    def test_first_path_from_iterator_costs_one_search(self, grid33, monkeypatch):
+        calls = self._count_searches(monkeypatch)
+        first = next(shortest_paths_iter(grid33, 0, 8))
+        assert first is not None
+        assert len(calls) == 1
+
+    def test_spur_searches_only_on_demand(self, grid33, monkeypatch):
+        calls = self._count_searches(monkeypatch)
+        paths = shortest_paths_iter(grid33, 0, 8)
+        next(paths)
+        assert len(calls) == 1
+        next(paths)  # now Yen's deviation searches must run
+        assert len(calls) > 1

@@ -1,0 +1,182 @@
+"""Unit tests for the generation-invalidated candidate-route cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channels.manager import NetworkManager
+from repro.network.state import NetworkState
+from repro.routing.cache import NO_ROUTE, RouteCache
+from repro.routing.shortest import bfs_path_rows
+from repro.topology.graph import Network
+
+
+def admit_live(ls):
+    """Admission that only rejects failed links (pure connectivity)."""
+    return not ls.failed
+
+
+def make_cache(net, **kwargs):
+    state = NetworkState(net)
+    return state, RouteCache(net, state, **kwargs)
+
+
+class TestPrimaryRoute:
+    def test_hit_matches_filtered_bfs(self, grid33):
+        state, cache = make_cache(grid33)
+        found = cache.primary_route(0, 8, admit_live)
+        assert found is not None and found is not NO_ROUTE
+        path, links = found
+        reference = bfs_path_rows(
+            state.adjacency_rows(), 0, 8, lambda lid, ls: not ls.failed
+        )
+        assert path == reference
+        assert links == [tuple(sorted(p)) for p in zip(path, path[1:])]
+        assert cache.hits == 1
+
+    def test_repeat_lookup_reuses_entry(self, grid33):
+        _state, cache = make_cache(grid33)
+        first = cache.primary_route(0, 8, admit_live)
+        second = cache.primary_route(0, 8, admit_live)
+        assert first == second
+        assert len(cache) == 1
+        assert cache.hits == 2
+
+    def test_returned_candidate_is_a_copy(self, ring6):
+        _state, cache = make_cache(ring6)
+        path, links = cache.primary_route(0, 3, admit_live)
+        path.append(99)
+        links.clear()
+        again_path, again_links = cache.primary_route(0, 3, admit_live)
+        assert 99 not in again_path
+        assert again_links
+
+    def test_admission_skips_to_second_candidate(self, ring6):
+        _state, cache = make_cache(ring6)
+        # Reject the clockwise arc by admission: the counter-clockwise
+        # route must be returned, exactly like a filtered BFS would.
+        found = cache.primary_route(0, 3, lambda ls: ls.link != (0, 1))
+        path, _links = found
+        assert path == [0, 5, 4, 3]
+
+    def test_probe_limit_fallback(self, grid33):
+        _state, cache = make_cache(grid33, probe_limit=2)
+        # Nothing admits: with more than two raw candidates available the
+        # cache must give up (None), not claim NO_ROUTE.
+        result = cache.primary_route(0, 8, lambda ls: False)
+        assert result is None
+        assert cache.fallbacks == 1
+
+    def test_exhaustion_proves_no_route(self, ring6):
+        _state, cache = make_cache(ring6, probe_limit=8)
+        # Only two simple routes exist between opposite ring nodes; with
+        # both rejected and the probe budget larger, exhaustion is proof.
+        assert cache.primary_route(0, 3, lambda ls: False) is NO_ROUTE
+
+    def test_disconnected_pair_is_no_route(self):
+        net = Network()
+        net.add_link(0, 1, 100.0)
+        net.add_link(2, 3, 100.0)
+        _state, cache = make_cache(net)
+        assert cache.primary_route(0, 3, admit_live) is NO_ROUTE
+
+    def test_probe_limit_must_be_positive(self, ring6):
+        state = NetworkState(ring6)
+        with pytest.raises(ValueError):
+            RouteCache(ring6, state, probe_limit=0)
+
+
+class TestGenerationInvalidation:
+    def test_failure_invalidates_candidates(self, ring6):
+        state, cache = make_cache(ring6)
+        path, _ = cache.primary_route(0, 3, admit_live)
+        assert path == [0, 1, 2, 3]
+        state.fail_link((1, 2))
+        path, _ = cache.primary_route(0, 3, admit_live)
+        assert path == [0, 5, 4, 3]
+
+    def test_repair_invalidates_again(self, ring6):
+        state, cache = make_cache(ring6)
+        state.fail_link((1, 2))
+        path, _ = cache.primary_route(0, 3, admit_live)
+        assert path == [0, 5, 4, 3]
+        state.repair_link((1, 2))
+        path, _ = cache.primary_route(0, 3, admit_live)
+        assert path == [0, 1, 2, 3]
+
+    def test_generation_counter_bumps(self, ring6):
+        state, _cache = make_cache(ring6)
+        g0 = state.generation
+        state.fail_link((0, 1))
+        state.repair_link((0, 1))
+        assert state.generation == g0 + 2
+
+    def test_clear_drops_entries(self, ring6):
+        _state, cache = make_cache(ring6)
+        cache.primary_route(0, 3, admit_live)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestRawDisjointBackup:
+    def test_finds_disjoint_arc(self, ring6):
+        _state, cache = make_cache(ring6)
+        primary = [0, 1, 2, 3]
+        avoid = frozenset(tuple(sorted(p)) for p in zip(primary, primary[1:]))
+        cand = cache.raw_disjoint_backup(0, 3, tuple(primary), avoid)
+        assert cand is not None
+        path, links, states = cand
+        assert path == [0, 5, 4, 3]
+        assert not (set(links) & avoid)
+        assert len(states) == len(links)
+
+    def test_memoized_per_primary(self, ring6):
+        _state, cache = make_cache(ring6)
+        primary = (0, 1, 2, 3)
+        avoid = frozenset(tuple(sorted(p)) for p in zip(primary, primary[1:]))
+        first = cache.raw_disjoint_backup(0, 3, primary, avoid)
+        second = cache.raw_disjoint_backup(0, 3, primary, avoid)
+        assert first is second  # the shared candidate, not a recompute
+
+    def test_none_when_no_disjoint_exists(self, line5):
+        _state, cache = make_cache(line5)
+        primary = (0, 1, 2, 3, 4)
+        avoid = frozenset(tuple(sorted(p)) for p in zip(primary, primary[1:]))
+        assert cache.raw_disjoint_backup(0, 4, primary, avoid) is None
+
+    def test_failure_invalidates_backups(self, complete5):
+        state, cache = make_cache(complete5)
+        primary = (0, 4)
+        avoid = frozenset({(0, 4)})
+        before = cache.raw_disjoint_backup(0, 4, primary, avoid)
+        assert before is not None
+        state.fail_link(tuple(sorted(before[0][:2])))  # kill its first hop
+        after = cache.raw_disjoint_backup(0, 4, primary, avoid)
+        assert after is not None
+        assert after[0] != before[0]
+
+
+class TestManagerIntegration:
+    def test_cache_enabled_by_default(self, ring6):
+        manager = NetworkManager(ring6)
+        assert manager.route_cache is not None
+
+    def test_probe_zero_disables_cache(self, ring6, contract):
+        manager = NetworkManager(ring6, route_cache_probe=0)
+        assert manager.route_cache is None
+        conn, _ = manager.request_connection(0, 3, contract)
+        assert conn is not None  # uncached path still routes
+
+    def test_cached_and_uncached_agree(self, grid33, contract):
+        cached = NetworkManager(grid33)
+        plain = NetworkManager(grid33, route_cache_probe=0)
+        pairs = [(0, 8), (2, 6), (0, 8), (1, 7), (3, 5), (0, 8)]
+        for src, dst in pairs:
+            a, _ = cached.request_connection(src, dst, contract)
+            b, _ = plain.request_connection(src, dst, contract)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.primary_path == b.primary_path
+                assert a.backup_path == b.backup_path
+        assert cached.average_live_bandwidth() == plain.average_live_bandwidth()
