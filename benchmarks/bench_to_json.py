@@ -108,7 +108,11 @@ def merge_run(output: Path, label: str, results: Dict[str, dict]) -> dict:
     )
     artifact["benchmark"] = "bench_core_ops"
     artifact["runs"] = runs
-    output.write_text(json.dumps(artifact, indent=2, sort_keys=False) + "\n")
+    # Atomic tmp-then-rename write: an interrupted run must never leave
+    # a truncated artifact that the next merge_run would silently reset.
+    tmp = output.with_name(output.name + ".tmp")
+    tmp.write_text(json.dumps(artifact, indent=2, sort_keys=False) + "\n")
+    tmp.replace(output)
     return artifact
 
 

@@ -23,7 +23,7 @@ from typing import List, Sequence
 import pytest
 
 from repro.analysis.experiments import RunSettings
-from repro.parallel import SimJobResult, resolve_jobs
+from repro.parallel import SimJobResult, atomic_write_text, resolve_jobs
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -82,7 +82,7 @@ def archive(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     scale_tag = "full" if full_scale() else "quick"
     path = RESULTS_DIR / f"{name}.{scale_tag}.txt"
-    path.write_text(text + "\n")
+    atomic_write_text(path, text + "\n")
     print(f"\n{text}\n[archived to {path}]")
 
 
@@ -120,7 +120,7 @@ def archive_timings(name: str, results: List[SimJobResult]) -> None:
     for r in results:
         key = "/".join(str(part) for part in r.key)
         lines.append(f"{key}\t{r.wall_time:.3f}s\tpid={r.worker_pid}")
-    path.write_text("\n".join(lines) + "\n")
+    atomic_write_text(path, "\n".join(lines) + "\n")
     print(f"[timings archived to {path}]")
 
 

@@ -38,7 +38,15 @@ import numpy as np
 
 from repro.analysis.ideal import ideal_average_bandwidth
 from repro.markov.model import ElasticQoSMarkovModel
-from repro.parallel import SimJob, SimJobResult, TopologySpec, derive_seeds, run_sim_jobs
+from repro.parallel import (
+    CampaignCheckpoint,
+    RetryPolicy,
+    SimJob,
+    SimJobResult,
+    TopologySpec,
+    derive_seeds,
+    run_sim_jobs,
+)
 from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS
 from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig, SimulationResult
 from repro.sim.workload import WorkloadConfig
@@ -164,6 +172,8 @@ def run_figure2(
     settings: Optional[RunSettings] = None,
     jobs: Optional[int] = None,
     timing_sink: TimingSink = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Optional[CampaignCheckpoint] = None,
 ) -> Figure2Result:
     """Average bandwidth vs. number of DR-connections (Figure 2)."""
     settings = settings or RunSettings()
@@ -178,7 +188,7 @@ def run_figure2(
         )
         for index, offered in enumerate(connection_counts)
     ]
-    results = run_sim_jobs(batch, jobs=jobs)
+    results = run_sim_jobs(batch, jobs=jobs, retry=retry, checkpoint=checkpoint)
     _collect(timing_sink, results)
 
     # The caption's topology facts come from the same spec every worker
@@ -231,6 +241,8 @@ def run_table1(
     settings: Optional[RunSettings] = None,
     jobs: Optional[int] = None,
     timing_sink: TimingSink = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Optional[CampaignCheckpoint] = None,
 ) -> List[Table1Row]:
     """Average bandwidth for different increment sizes (Table 1).
 
@@ -266,7 +278,7 @@ def run_table1(
                     settings, next(next_seed),
                 )
             )
-    results = run_sim_jobs(batch, jobs=jobs)
+    results = run_sim_jobs(batch, jobs=jobs, retry=retry, checkpoint=checkpoint)
     _collect(timing_sink, results)
 
     rows: List[Table1Row] = []
@@ -304,6 +316,8 @@ def run_figure3(
     increment: float = PAPER_INCREMENT_SMALL,
     jobs: Optional[int] = None,
     timing_sink: TimingSink = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Optional[CampaignCheckpoint] = None,
 ) -> List[Figure3Row]:
     """Average bandwidth vs. network size (Figure 3).
 
@@ -322,7 +336,7 @@ def run_figure3(
         )
         for index, n in enumerate(node_counts)
     ]
-    results = run_sim_jobs(batch, jobs=jobs)
+    results = run_sim_jobs(batch, jobs=jobs, retry=retry, checkpoint=checkpoint)
     _collect(timing_sink, results)
 
     rows: List[Figure3Row] = []
@@ -362,6 +376,8 @@ def run_figure4(
     simulate_checks: Sequence[float] = (),
     jobs: Optional[int] = None,
     timing_sink: TimingSink = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Optional[CampaignCheckpoint] = None,
 ) -> List[Figure4Series]:
     """Average bandwidth vs. link failure rate (Figure 4).
 
@@ -400,7 +416,7 @@ def run_figure4(
                     repair_rate=1.0,
                 )
             )
-    results = run_sim_jobs(batch, jobs=jobs)
+    results = run_sim_jobs(batch, jobs=jobs, retry=retry, checkpoint=checkpoint)
     _collect(timing_sink, results)
     by_key = {res.key: res.result for res in results}
 

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Any, Iterable, List, Mapping, Sequence, Union
 
 from repro.errors import ReproError
+from repro.parallel.checkpoint import atomic_write_text
 
 Row = Union[Mapping[str, Any], Any]  # mapping or dataclass instance
 
@@ -77,14 +78,14 @@ def _json_default(value: Any) -> Any:
 
 
 def write_csv(rows: Sequence[Row], path: Union[str, Path]) -> Path:
-    """Write rows to a CSV file; returns the path."""
+    """Atomically write rows to a CSV file; returns the path."""
     path = Path(path)
-    path.write_text(to_csv(rows))
+    atomic_write_text(path, to_csv(rows))
     return path
 
 
 def write_json(rows: Sequence[Row], path: Union[str, Path]) -> Path:
-    """Write rows to a JSON file; returns the path."""
+    """Atomically write rows to a JSON file; returns the path."""
     path = Path(path)
-    path.write_text(to_json(rows))
+    atomic_write_text(path, to_json(rows))
     return path

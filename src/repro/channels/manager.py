@@ -35,7 +35,7 @@ from repro.channels.records import (
 )
 from repro.elastic.policies import AdaptationPolicy, EqualShare
 from repro.elastic.redistribute import candidate_ids, drop_to_minimum, redistribute
-from repro.errors import ReservationError, SimulationError
+from repro.errors import FaultInjectionError, ReservationError, SimulationError
 from repro.network.state import NetworkState
 from repro.qos.spec import ConnectionQoS
 from repro.routing.cache import NO_ROUTE, RouteCache
@@ -107,6 +107,15 @@ class NetworkManager:
         self.stats = ManagerStats()
         self.now = 0.0
         self._next_id = 0
+        #: Injected backup-activation fault probability: with p > 0 each
+        #: otherwise-usable backup activation fails with probability p
+        #: (the backup link is concurrently dead from the manager's
+        #: point of view) and the connection is dropped.  0.0 keeps the
+        #: paper's behaviour and performs *no* RNG draws, so disabled
+        #: runs stay bitwise identical.  Set via
+        #: :meth:`set_activation_faults`.
+        self.activation_fault_prob: float = 0.0
+        self._fault_rng = None
         #: When False, events skip the water-fill (bulk setup runs one
         #: global redistribution at the end instead — see the simulator).
         self.auto_redistribute = True
@@ -418,6 +427,24 @@ class NetworkManager:
     # ------------------------------------------------------------------
     # failures
     # ------------------------------------------------------------------
+    def set_activation_faults(self, probability: float, rng) -> None:
+        """Enable injected backup-activation faults.
+
+        Args:
+            probability: Per-activation failure probability in [0, 1].
+            rng: ``numpy.random.Generator`` the fault draws come from
+                (the simulator passes its own stream so campaigns stay
+                seed-deterministic).
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise FaultInjectionError(
+                f"activation fault probability must be in [0, 1], got {probability}"
+            )
+        if probability > 0.0 and rng is None:
+            raise FaultInjectionError("activation faults need an RNG")
+        self.activation_fault_prob = probability
+        self._fault_rng = rng
+
     def fail_link(self, lid: LinkId) -> EventImpact:
         """Fail one link: activate backups, drop unrecoverable connections.
 
@@ -430,15 +457,73 @@ class NetworkManager:
         channels."
         """
         impact = EventImpact(kind=EventKind.FAILURE, time=self.now, failed_link=lid)
-        self.state.fail_link(lid)
-        self.stats.link_failures += 1
+        return self._apply_failure([lid], impact)
+
+    def fail_links(self, lids) -> EventImpact:
+        """Fail several links as one atomic failure event (burst).
+
+        All links are marked failed *before* any recovery runs, so a
+        burst that hits both a primary and its backup drops the
+        connection (a double failure) instead of activating onto a link
+        that is about to die — exactly the correlated-failure regime the
+        paper's single-failure model excludes.
+        """
+        unique = sorted(set(lids))
+        if not unique:
+            raise FaultInjectionError("fail_links needs at least one link")
+        for lid in unique:
+            if self.state.is_failed(lid):
+                raise FaultInjectionError(f"link {lid} is already failed")
+        impact = EventImpact(
+            kind=EventKind.FAILURE,
+            time=self.now,
+            failed_link=unique[0] if len(unique) == 1 else None,
+        )
+        return self._apply_failure(unique, impact)
+
+    def fail_node(self, node: int) -> EventImpact:
+        """Atomically fail every alive link incident to ``node``.
+
+        Models a router/switch crash: all its links die in one event.
+        Raises :class:`FaultInjectionError` when the node has no alive
+        incident links left to fail.
+        """
+        alive = [
+            link.id
+            for link in self.topology.incident_links(node)
+            if not self.state.is_failed(link.id)
+        ]
+        if not alive:
+            raise FaultInjectionError(
+                f"node {node} has no alive incident links to fail"
+            )
+        impact = EventImpact(
+            kind=EventKind.FAILURE,
+            time=self.now,
+            failed_link=alive[0] if len(alive) == 1 else None,
+            failed_node=node,
+        )
+        self.stats.node_failures += 1
+        return self._apply_failure(alive, impact)
+
+    def _apply_failure(self, lids: List[LinkId], impact: EventImpact) -> EventImpact:
+        """Shared failure machinery over an atomic set of failed links."""
+        for lid in lids:
+            self.state.fail_link(lid)
+            self.stats.link_failures += 1
+        impact.failed_links = list(lids)
         affected: Set[LinkId] = set()
 
-        primary_victims = sorted(self.channels_on_link.get(lid, ()))
-        inactive_backup_victims = sorted(
-            cid for cid in self.backups_on_link.get(lid, ()) if cid not in primary_victims
-        )
-        live_backup_victims = sorted(self.active_backups_on_link.get(lid, ()))
+        primary_victim_set: Set[int] = set()
+        inactive_victim_set: Set[int] = set()
+        live_victim_set: Set[int] = set()
+        for lid in lids:
+            primary_victim_set |= self.channels_on_link.get(lid, set())
+            inactive_victim_set |= self.backups_on_link.get(lid, set())
+            live_victim_set |= self.active_backups_on_link.get(lid, set())
+        primary_victims = sorted(primary_victim_set)
+        inactive_backup_victims = sorted(inactive_victim_set - primary_victim_set)
+        live_backup_victims = sorted(live_victim_set)
 
         # Connections that only lost their (inactive) backup stay up,
         # unprotected, at their current bandwidth.
@@ -466,6 +551,9 @@ class NetworkManager:
             conn.state = ConnectionState.DROPPED
             impact.dropped.append(cid)
             self.stats.connections_dropped += 1
+            # A failed-over connection losing its activated backup is a
+            # second failure on the same connection.
+            self.stats.double_failure_drops += 1
             affected.update(blid for blid in conn.backup_links if not self.state.is_failed(blid))
 
         # Primaries through the failed link: release, then try failover.
@@ -481,12 +569,24 @@ class NetworkManager:
             )
             impact.direct[cid] = (before_level, 0)
 
+            had_backup = conn.backup_links is not None
             usable_backup = (
                 conn.has_backup
                 and conn.backup_links is not None
                 and self.state.path_is_alive(conn.backup_links)
                 and self.state.can_activate_backup_path(cid, conn.backup_links)
             )
+            if (
+                usable_backup
+                and self.activation_fault_prob > 0.0
+                and self._fault_rng is not None
+                and float(self._fault_rng.random()) < self.activation_fault_prob
+            ):
+                # Injected backup-activation fault: the activation
+                # signalling fails even though the path looked usable.
+                usable_backup = False
+                impact.activation_faults.append(cid)
+                self.stats.activation_faults += 1
             if usable_backup:
                 assert conn.backup_links is not None
                 # Retreat rule: primaries sharing the backup's links give
@@ -515,6 +615,11 @@ class NetworkManager:
                 conn.state = ConnectionState.DROPPED
                 impact.dropped.append(cid)
                 self.stats.connections_dropped += 1
+                if had_backup:
+                    # The connection was protected and still died: its
+                    # backup was concurrently dead, no longer fit, or
+                    # hit by an activation fault.
+                    self.stats.double_failure_drops += 1
 
         direct_ids = set(impact.direct)
         self._redistribute(affected, impact, direct_ids)
@@ -608,6 +713,19 @@ class NetworkManager:
                 if not self.state.link(lid).has_primary(cid):
                     raise ReservationError(
                         f"index says connection {cid} is on {lid} but link state disagrees"
+                    )
+        for lid, ids in self.backups_on_link.items():
+            for cid in ids:
+                if not self.state.link(lid).has_backup(cid):
+                    raise ReservationError(
+                        f"index says backup of {cid} is on {lid} but link state disagrees"
+                    )
+        for lid, ids in self.active_backups_on_link.items():
+            for cid in ids:
+                if cid not in self.state.link(lid).activated:
+                    raise ReservationError(
+                        f"index says activated backup of {cid} is on {lid} "
+                        f"but link state disagrees"
                     )
         for conn in self.connections.values():
             if conn.state is ConnectionState.ACTIVE:

@@ -159,6 +159,15 @@ class EventImpact:
     activated: List[int] = field(default_factory=list)
     dropped: List[int] = field(default_factory=list)
     lost_backup: List[int] = field(default_factory=list)
+    #: Every link failed by this event.  Single-link failures keep
+    #: ``failed_link`` set as before; node failures and correlated
+    #: bursts fail several links atomically and list them all here.
+    failed_links: List[LinkId] = field(default_factory=list)
+    #: Node whose failure caused this event (node-failure injector).
+    failed_node: Optional[int] = None
+    #: Connections whose backup activation itself failed (injected
+    #: backup-activation fault); each is also listed in ``dropped``.
+    activation_faults: List[int] = field(default_factory=list)
 
     def merge_change(self, conn_id: int, before: int, after: int, direct: bool) -> None:
         """Record one channel's net level change for this event."""
@@ -185,6 +194,17 @@ class ManagerStats:
     connections_dropped: int = 0
     backups_lost: int = 0
     backups_reestablished: int = 0
+    #: Whole-node failures applied via ``fail_node`` (each also counts
+    #: its incident links in ``link_failures``).
+    node_failures: int = 0
+    #: Connections that *had* a backup and were dropped by a failure
+    #: anyway: the backup path was concurrently dead, no longer fit, or
+    #: its activation was hit by an injected activation fault — the
+    #: double-failure regime outside the paper's single-failure model.
+    double_failure_drops: int = 0
+    #: Backup activations that failed due to an injected activation
+    #: fault (subset of ``double_failure_drops``).
+    activation_faults: int = 0
 
     @property
     def rejected(self) -> int:

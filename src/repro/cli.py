@@ -7,17 +7,23 @@ writing any Python:
   exhibit and print its rows/series;
 * ``validate`` — run one simulation and print the full sim-vs-model
   validation report (average bandwidth, per-state π, TV distance);
+* ``faultsim`` — run one fault-injection scenario (correlated bursts,
+  node failures, Markov on/off links, backup-activation faults) with
+  run-time invariant auditing and print the dependability counters;
 * ``topology`` — generate a Waxman or transit-stub network and print
   its structural metrics.
 
 All commands accept ``--seed`` and size options; ``--full`` switches to
-the paper's exact scale.
+the paper's exact scale.  Campaign commands also take ``--checkpoint``
+/ ``--resume`` (persist finished jobs, skip them on re-run) and
+``--retries`` / ``--job-timeout`` (crash-resilient execution).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -35,6 +41,8 @@ from repro.analysis.experiments import (
 from repro.analysis.report import render_table
 from repro.analysis.chaining import expected_arrival_chaining, snapshot_chaining
 from repro.analysis.validation import validate_against_model
+from repro.faults import AuditPolicy, FaultConfig
+from repro.parallel import CampaignCheckpoint, RetryPolicy, atomic_write_text
 from repro.topology.metrics import (
     average_degree,
     average_shortest_path_hops,
@@ -78,6 +86,47 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--chart", action="store_true", help="also render an ASCII chart"
     )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="persist finished simulation jobs under this directory",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse jobs already completed in --checkpoint instead of re-running",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run a failed/hung job up to this many times with the same seed",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget (pool mode); overdue jobs are retried",
+    )
+
+
+def _campaign_kwargs(args: argparse.Namespace, exhibit: str) -> dict:
+    """Retry/checkpoint kwargs for one exhibit's campaign.
+
+    Each exhibit checkpoints into its own subdirectory so ``report``
+    (which runs several campaigns) never mixes their manifests.
+    """
+    checkpoint = None
+    if args.checkpoint:
+        checkpoint = CampaignCheckpoint(
+            Path(args.checkpoint) / exhibit, resume=args.resume
+        )
+    return {
+        "retry": RetryPolicy(max_retries=args.retries, timeout=args.job_timeout),
+        "checkpoint": checkpoint,
+    }
 
 
 def _network_shape(args: argparse.Namespace) -> tuple[int, int]:
@@ -94,7 +143,8 @@ def cmd_figure2(args: argparse.Namespace) -> int:
     counts = args.connections or ([500, 1000, 2000, 3000, 4000, 5000] if args.full
                                   else [150, 300, 600, 1000, 1500])
     result = run_figure2(
-        counts, nodes=nodes, edges=edges, settings=_settings(args), jobs=args.jobs
+        counts, nodes=nodes, edges=edges, settings=_settings(args), jobs=args.jobs,
+        **_campaign_kwargs(args, "figure2"),
     )
     print(
         render_table(
@@ -121,7 +171,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
     counts = args.connections or ([1000, 2000, 3000, 4000, 5000] if args.full
                                   else [300, 800, 1500])
     rows = run_table1(
-        counts, nodes=nodes, edges=edges, settings=_settings(args), jobs=args.jobs
+        counts, nodes=nodes, edges=edges, settings=_settings(args), jobs=args.jobs,
+        **_campaign_kwargs(args, "table1"),
     )
     print(
         render_table(
@@ -142,7 +193,8 @@ def cmd_figure3(args: argparse.Namespace) -> int:
                                        else [40, 60, 80, 100])
     connections = args.connections_fixed or (3000 if args.full else 600)
     rows = run_figure3(
-        node_counts, connections=connections, settings=_settings(args), jobs=args.jobs
+        node_counts, connections=connections, settings=_settings(args), jobs=args.jobs,
+        **_campaign_kwargs(args, "figure3"),
     )
     print(
         render_table(
@@ -169,6 +221,7 @@ def cmd_figure4(args: argparse.Namespace) -> int:
         edges=edges,
         settings=_settings(args),
         jobs=args.jobs,
+        **_campaign_kwargs(args, "figure4"),
     )
     print(
         render_table(
@@ -212,6 +265,52 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faultsim(args: argparse.Namespace) -> int:
+    """One fault-injection scenario with run-time invariant auditing."""
+    from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig
+    from repro.sim.workload import WorkloadConfig
+
+    nodes, edges = _network_shape(args)
+    rng = np.random.default_rng(args.seed)
+    net = paper_random_network(PAPER_LINK_CAPACITY, rng, n=nodes, target_edges=edges)
+    faults = FaultConfig(
+        mode=args.mode,
+        burst_size=args.burst_size,
+        burst_kernel=args.kernel,
+        activation_fault_prob=args.activation_fault_prob,
+        rate_spread=args.rate_spread,
+        rate_seed=args.seed,
+    )
+    warmup = args.events // 5
+    config = SimulationConfig(
+        qos=paper_connection_qos(),
+        offered_connections=args.load,
+        workload=WorkloadConfig(
+            link_failure_rate=args.failure_rate, repair_rate=args.repair_rate
+        ),
+        warmup_events=warmup,
+        measure_events=args.events - warmup,
+        faults=faults,
+        audit=AuditPolicy(after_failure=True, every_n_events=args.audit_every),
+    )
+    result = ElasticQoSSimulator(net, config, seed=args.seed).run()
+    stats = result.manager_stats
+    print(
+        f"fault scenario '{args.mode}' on {nodes} nodes / {net.num_links} links, "
+        f"{result.events} events, t_end={result.end_time:.0f}:"
+    )
+    print(f"  avg bandwidth:         {result.average_bandwidth:.1f} Kb/s")
+    print(f"  link failures/repairs: {stats.link_failures}/{stats.link_repairs}")
+    print(f"  node failures:         {stats.node_failures}")
+    print(f"  backups activated:     {stats.backups_activated}")
+    print(f"  activation faults:     {stats.activation_faults}")
+    print(f"  connections dropped:   {stats.connections_dropped}")
+    print(f"  double-failure drops:  {stats.double_failure_drops}")
+    print(f"  backups lost/rebuilt:  {stats.backups_lost}/{stats.backups_reestablished}")
+    print(f"  invariant audits:      {result.audit_checks} (all passed)")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Regenerate every exhibit and write one markdown report."""
     nodes, edges = _network_shape(args)
@@ -223,7 +322,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     counts = [500, 1000, 2000, 3000, 4000, 5000] if args.full else [150, 300, 600, 1000]
     fig2 = run_figure2(counts, nodes=nodes, edges=edges, settings=settings,
-                       jobs=args.jobs)
+                       jobs=args.jobs, **_campaign_kwargs(args, "figure2"))
     lines.append("## Figure 2 — avg bandwidth vs. #connections")
     lines.append("```")
     lines.append(
@@ -236,7 +335,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     t1_counts = [1000, 3000, 5000] if args.full else [300, 800]
     table1 = run_table1(t1_counts, nodes=nodes, edges=edges, settings=settings,
-                        jobs=args.jobs)
+                        jobs=args.jobs, **_campaign_kwargs(args, "table1"))
     lines.append("## Table 1 — increment sizes")
     lines.append("```")
     lines.append(
@@ -251,7 +350,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     f3_nodes = [100, 300, 500] if args.full else [40, 70, 100]
     f3_conns = 3000 if args.full else 400
     fig3 = run_figure3(f3_nodes, connections=f3_conns, settings=settings,
-                       jobs=args.jobs)
+                       jobs=args.jobs, **_campaign_kwargs(args, "figure3"))
     lines.append(f"## Figure 3 — network size ({f3_conns} connections)")
     lines.append("```")
     lines.append(
@@ -264,7 +363,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     pops = [2000, 3000] if args.full else [300, 500]
     fig4 = run_figure4(list(PAPER_FAILURE_RATES), populations=pops,
-                       nodes=nodes, edges=edges, settings=settings, jobs=args.jobs)
+                       nodes=nodes, edges=edges, settings=settings, jobs=args.jobs,
+                       **_campaign_kwargs(args, "figure4"))
     lines.append("## Figure 4 — failure-rate sweep (model)")
     lines.append("```")
     lines.append(
@@ -278,9 +378,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     text = "\n".join(lines)
     if args.output:
-        from pathlib import Path
-
-        Path(args.output).write_text(text + "\n")
+        atomic_write_text(Path(args.output), text + "\n")
         print(f"report written to {args.output}")
     else:
         print(text)
@@ -370,6 +468,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--load", type=int, default=600, help="offered connections")
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("faultsim", help="fault-injection scenario with auditing")
+    _add_common(p)
+    p.add_argument("--mode", choices=("single", "node", "burst", "markov"),
+                   default="burst", help="failure process (default: burst)")
+    p.add_argument("--burst-size", type=int, default=3,
+                   help="links failed per burst event")
+    p.add_argument("--kernel", choices=("shared-node", "distance"),
+                   default="shared-node", help="burst-growth kernel")
+    p.add_argument("--activation-fault-prob", type=float, default=0.05,
+                   help="probability a backup activation itself fails")
+    p.add_argument("--rate-spread", type=float, default=0.5,
+                   help="lognormal σ of per-link rates (markov mode)")
+    p.add_argument("--failure-rate", type=float, default=2e-4,
+                   help="per-link failure rate γ")
+    p.add_argument("--repair-rate", type=float, default=1.0,
+                   help="per-failed-link repair rate")
+    p.add_argument("--events", type=int, default=3000, help="total events")
+    p.add_argument("--load", type=int, default=300, help="offered connections")
+    p.add_argument("--audit-every", type=int, default=0,
+                   help="also audit every N events (failures always audit)")
+    p.set_defaults(func=cmd_faultsim)
 
     p = sub.add_parser("report", help="regenerate all exhibits into one report")
     _add_common(p)

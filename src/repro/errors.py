@@ -64,6 +64,39 @@ class SimulationError(ReproError):
     """
 
 
+class FaultInjectionError(ReproError):
+    """Raised for invalid fault-injection configuration or misuse.
+
+    Examples: a correlated-burst injector with a non-positive burst
+    size, a distance-kernel injector over a topology without node
+    positions, or failing a node that has no alive incident links.
+    """
+
+
+class AuditError(FaultInjectionError):
+    """Raised when a run-time invariant audit fails mid-simulation.
+
+    Carries the tail of the event trace leading up to the violation so
+    a failed campaign job can be post-mortemed without re-running it:
+
+    Attributes:
+        trace_tail: The most recent audit-trail entries (oldest first),
+            each a compact per-event record.
+        event_index: Index of the event after which the audit tripped.
+    """
+
+    def __init__(self, message: str, trace_tail=(), event_index=None) -> None:
+        super().__init__(message)
+        self.trace_tail = list(trace_tail)
+        self.event_index = event_index
+
+    def render_tail(self) -> str:
+        """Human-readable rendering of the captured event tail."""
+        if not self.trace_tail:
+            return "(no trail captured)"
+        return "\n".join(str(entry) for entry in self.trace_tail)
+
+
 class MarkovModelError(ReproError):
     """Raised for malformed Markov-model inputs.
 

@@ -1,0 +1,37 @@
+"""Fault injection, beyond-the-paper failure processes and auditing.
+
+Public surface:
+
+* :class:`FaultConfig` + :func:`build_injector` — declarative injector
+  setup (``single``/``node``/``burst``/``markov`` failure processes,
+  backup-activation faults);
+* the injector classes themselves for direct composition;
+* :class:`AuditPolicy` / :class:`Auditor` — structured run-time
+  invariant auditing with post-mortem event tails.
+"""
+
+from repro.faults.audit import AuditPolicy, AuditTrailEntry, Auditor
+from repro.faults.injectors import (
+    BURST_KERNELS,
+    FAULT_MODES,
+    CorrelatedBurstInjector,
+    FaultConfig,
+    FaultInjector,
+    MarkovOnOffInjector,
+    NodeFailureInjector,
+    build_injector,
+)
+
+__all__ = [
+    "AuditPolicy",
+    "AuditTrailEntry",
+    "Auditor",
+    "BURST_KERNELS",
+    "CorrelatedBurstInjector",
+    "FAULT_MODES",
+    "FaultConfig",
+    "FaultInjector",
+    "MarkovOnOffInjector",
+    "NodeFailureInjector",
+    "build_injector",
+]

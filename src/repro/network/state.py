@@ -11,6 +11,7 @@ statistics) lives one layer up in :mod:`repro.channels.manager`.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ReservationError, TopologyError
@@ -32,6 +33,13 @@ class NetworkState:
             for link in topology.links()
         }
         self._failed: Set[LinkId] = set()
+        #: Sorted alive/failed link-id lists, maintained incrementally on
+        #: every fail/repair so per-event consumers (failure victim
+        #: selection, repair selection, fault injectors) never rescan the
+        #: whole link table.  Order matches a from-scratch ``sorted()``
+        #: at all times, which keeps victim picks bitwise deterministic.
+        self._alive_list: List[LinkId] = sorted(self._links)
+        self._failed_list: List[LinkId] = []
         #: Bumped on every fail/repair; versions anything derived from
         #: the *live* topology (e.g. cached candidate routes).
         self.generation: int = 0
@@ -83,6 +91,31 @@ class NetworkState:
         """Whether ``lid`` is currently failed."""
         return lid in self._failed
 
+    def alive_link_list(self) -> Sequence[LinkId]:
+        """Sorted ids of all alive links (maintained incrementally).
+
+        The returned list is the live internal structure — treat as
+        read-only; it mutates on the next fail/repair.
+        """
+        return self._alive_list
+
+    def failed_link_list(self) -> Sequence[LinkId]:
+        """Sorted ids of all failed links (maintained incrementally).
+
+        Same read-only contract as :meth:`alive_link_list`.
+        """
+        return self._failed_list
+
+    @property
+    def num_alive(self) -> int:
+        """Number of currently alive links."""
+        return len(self._alive_list)
+
+    @property
+    def num_failed(self) -> int:
+        """Number of currently failed links."""
+        return len(self._failed_list)
+
     # ------------------------------------------------------------------
     # failures
     # ------------------------------------------------------------------
@@ -94,6 +127,8 @@ class NetworkState:
             raise ReservationError(f"link {lid} is already failed")
         state.failed = True
         self._failed.add(lid)
+        self._alive_list.pop(bisect_left(self._alive_list, lid))
+        insort(self._failed_list, lid)
         self.generation += 1
 
     def repair_link(self, lid: LinkId) -> None:
@@ -103,6 +138,8 @@ class NetworkState:
             raise ReservationError(f"link {lid} is not failed")
         state.failed = False
         self._failed.discard(lid)
+        self._failed_list.pop(bisect_left(self._failed_list, lid))
+        insort(self._alive_list, lid)
         self.generation += 1
 
     def path_is_alive(self, path_links: Sequence[LinkId]) -> bool:

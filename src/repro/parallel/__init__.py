@@ -19,6 +19,12 @@ Determinism rests on two rules (DESIGN.md §12):
   topology seed, so a worker process never depends on parent state.
 """
 
+from repro.parallel.checkpoint import (
+    CampaignCheckpoint,
+    RetryPolicy,
+    atomic_write_bytes,
+    atomic_write_text,
+)
 from repro.parallel.jobs import SimJob, SimJobResult, TopologySpec, execute_sim_job
 from repro.parallel.runner import (
     derive_seeds,
@@ -28,9 +34,13 @@ from repro.parallel.runner import (
 )
 
 __all__ = [
+    "CampaignCheckpoint",
+    "RetryPolicy",
     "SimJob",
     "SimJobResult",
     "TopologySpec",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "derive_seeds",
     "execute_sim_job",
     "parallel_map",

@@ -1,0 +1,214 @@
+"""Campaign checkpointing, atomic artifact writes and retry policy.
+
+Long campaigns die for boring reasons — OOM killers, pre-empted
+machines, ctrl-C — and the expensive part is the completed jobs, not
+the bookkeeping.  :class:`CampaignCheckpoint` persists every finished
+:class:`~repro.parallel.jobs.SimJobResult` as it completes (atomic
+tmp-then-rename writes, a JSON manifest of completed job ids), so a
+re-run with ``resume=True`` replays the finished jobs from disk and
+only executes the rest.  Because each job is bitwise deterministic
+given its spec and seed, a resumed campaign's aggregates are identical
+to an uninterrupted one at any worker count.
+
+:class:`RetryPolicy` bounds how stubbornly the runner re-executes a
+failing or hung job: same job spec, same seed (determinism is sacred —
+a retry must reproduce, not re-roll), exponential backoff between
+attempts, optional per-job wall-clock timeout.
+
+:func:`atomic_write_text` / :func:`atomic_write_bytes` are the shared
+write primitives; every benchmark/figure artifact writer uses them so a
+crash mid-write can never leave a truncated file behind.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import pickle
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from repro.errors import SimulationError
+from repro.parallel.jobs import SimJob, SimJobResult
+
+logger = logging.getLogger("repro.parallel")
+
+#: Manifest schema version; bump on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp sibling + rename).
+
+    The temporary file lives next to the target so the rename stays on
+    one filesystem; a crash mid-write leaves the old content (or
+    nothing) in place, never a truncated file.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    tmp.replace(path)
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Text flavour of :func:`atomic_write_bytes` (UTF-8)."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the campaign runner handles failing or hung jobs.
+
+    Attributes:
+        max_retries: Additional attempts after the first failure
+            (0 = fail fast, the legacy behaviour).
+        timeout: Per-job wall-clock budget in seconds (``None`` = no
+            limit).  Enforced in pool mode, where an overdue worker can
+            be replaced; sequential execution cannot pre-empt a running
+            job and only honours retries.
+        backoff_base: Sleep before the first retry, in seconds.
+        backoff_factor: Multiplier applied per further retry.
+
+    A retried job runs with its original spec and seed — bitwise
+    determinism means a retry reproduces the same result, so retries
+    only help against *transient* faults (killed workers, timeouts,
+    resource exhaustion), never against deterministic bugs.
+    """
+
+    max_retries: int = 2
+    timeout: Optional[float] = None
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise SimulationError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise SimulationError(f"timeout must be positive, got {self.timeout}")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise SimulationError(
+                "need backoff_base >= 0 and backoff_factor >= 1, got "
+                f"{self.backoff_base}/{self.backoff_factor}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt + 1``."""
+        return self.backoff_base * self.backoff_factor**attempt
+
+
+def _slug(value: object) -> str:
+    """Filesystem-safe rendering of a job-key component."""
+    return _SLUG_RE.sub("-", str(value)).strip("-") or "x"
+
+
+class CampaignCheckpoint:
+    """Persistent record of a campaign's completed jobs.
+
+    Layout: ``<directory>/manifest.json`` maps job ids to result
+    filenames; each result is one pickle next to it.  Every write is
+    atomic, and the manifest is only updated *after* its result file
+    landed, so the manifest never references a missing or partial file.
+
+    A job's id is derived from its position, campaign key and seed, so
+    a resumed campaign only reuses results whose spec actually matches
+    (a changed spec under an unchanged id is caught by comparing the
+    unpickled job against the requested one).
+    """
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, directory: Union[str, Path], resume: bool = False) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.directory / self.MANIFEST
+        self._jobs: Dict[str, str] = {}
+        if resume and self._manifest_path.exists():
+            try:
+                data = json.loads(self._manifest_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                logger.warning(
+                    "checkpoint manifest %s unreadable (%s); starting fresh",
+                    self._manifest_path, exc,
+                )
+                data = {}
+            if data.get("version") == MANIFEST_VERSION:
+                jobs = data.get("jobs", {})
+                if isinstance(jobs, dict):
+                    self._jobs = {str(k): str(v) for k, v in jobs.items()}
+            elif data:
+                logger.warning(
+                    "checkpoint manifest %s has unsupported version %r; "
+                    "starting fresh", self._manifest_path, data.get("version"),
+                )
+        if not self._jobs:
+            self._write_manifest()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def job_id(index: int, job: SimJob) -> str:
+        """Stable identifier of one campaign slot."""
+        key_part = "_".join(_slug(part) for part in job.key) or "job"
+        return f"{index:04d}_{key_part}_s{job.seed}"
+
+    @property
+    def completed_ids(self) -> Sequence[str]:
+        """Ids of all jobs the checkpoint currently holds."""
+        return sorted(self._jobs)
+
+    def load_completed(self, jobs_list: Sequence[SimJob]) -> Dict[int, SimJobResult]:
+        """Results already on disk, keyed by position in ``jobs_list``.
+
+        A stored result is only reused when its unpickled job spec
+        equals the requested one; mismatches (edited campaign) and
+        unreadable files are skipped with a warning and re-run.
+        """
+        restored: Dict[int, SimJobResult] = {}
+        for index, job in enumerate(jobs_list):
+            filename = self._jobs.get(self.job_id(index, job))
+            if filename is None:
+                continue
+            path = self.directory / filename
+            try:
+                stored = pickle.loads(path.read_bytes())
+            except Exception as exc:  # corrupt/missing file: just re-run
+                logger.warning(
+                    "checkpointed result %s unreadable (%s); re-running job %s",
+                    path, exc, job.key,
+                )
+                continue
+            if not isinstance(stored, SimJobResult) or stored.job != job:
+                logger.warning(
+                    "checkpointed result %s does not match the requested spec; "
+                    "re-running job %s", path, job.key,
+                )
+                continue
+            restored[index] = stored
+        return restored
+
+    def record(self, index: int, job: SimJob, result: SimJobResult) -> None:
+        """Persist one finished job (result file first, then manifest)."""
+        job_id = self.job_id(index, job)
+        filename = f"{job_id}.pkl"
+        atomic_write_bytes(
+            self.directory / filename,
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        self._jobs[job_id] = filename
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        atomic_write_text(
+            self._manifest_path,
+            json.dumps(
+                {"version": MANIFEST_VERSION, "jobs": dict(sorted(self._jobs.items()))},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+        )

@@ -20,6 +20,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.faults.audit import AuditPolicy
+from repro.faults.injectors import FaultConfig
 from repro.qos.spec import ConnectionQoS
 from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig, SimulationResult
 from repro.sim.workload import WorkloadConfig
@@ -96,6 +98,9 @@ class SimJob:
         routing: ``dijkstra`` or ``flooding``.
         link_failure_rate / repair_rate: Per-link failure injection.
         policy_name: Adaptation policy short name (``None``: equal share).
+        faults: Optional fault-injection setup (failure process, burst
+            shape, activation faults); ``None`` keeps the paper's model.
+        audit: Optional run-time invariant audit policy.
     """
 
     key: Tuple
@@ -111,6 +116,8 @@ class SimJob:
     link_failure_rate: float = 0.0
     repair_rate: float = 0.0
     policy_name: Optional[str] = None
+    faults: Optional[FaultConfig] = None
+    audit: Optional[AuditPolicy] = None
 
     @classmethod
     def from_settings(
@@ -124,6 +131,8 @@ class SimJob:
         link_failure_rate: float = 0.0,
         repair_rate: float = 0.0,
         policy_name: Optional[str] = None,
+        faults: Optional[FaultConfig] = None,
+        audit: Optional[AuditPolicy] = None,
     ) -> "SimJob":
         """Build a job from a :class:`~repro.analysis.experiments.RunSettings`.
 
@@ -145,6 +154,8 @@ class SimJob:
             link_failure_rate=link_failure_rate,
             repair_rate=repair_rate,
             policy_name=policy_name,
+            faults=faults,
+            audit=audit,
         )
 
     def config(self) -> SimulationConfig:
@@ -168,6 +179,8 @@ class SimJob:
             sample_interval=self.sample_interval,
             routing=self.routing,
             policy=policy,
+            faults=self.faults,
+            audit=self.audit,
         )
 
 

@@ -1,4 +1,4 @@
-"""The process-pool experiment runner and its seeding scheme.
+"""The crash-resilient process-pool experiment runner and its seeding.
 
 :func:`run_sim_jobs` executes a batch of :class:`~repro.parallel.jobs.SimJob`
 specs — in-process when ``jobs=1``, over a
@@ -9,11 +9,25 @@ simulation seed, no shared random stream), the results are bitwise
 identical regardless of worker count or completion order; the
 determinism tests under ``tests/parallel/`` assert exactly that.
 
+Campaign resilience is layered on top of that determinism:
+
+* a :class:`~repro.parallel.checkpoint.RetryPolicy` re-runs failing or
+  overdue jobs with the *same* spec and seed (a retry reproduces, never
+  re-rolls), with exponential backoff and an optional per-job wall-clock
+  timeout enforced in pool mode;
+* a broken pool (worker killed by the OS, crashed interpreter) is
+  rebuilt and the unfinished jobs resubmitted, counting one attempt for
+  the jobs that were in flight;
+* a :class:`~repro.parallel.checkpoint.CampaignCheckpoint` persists
+  every finished result, so an interrupted campaign resumed later skips
+  straight to the missing jobs and still aggregates bitwise identically.
+
 Worker counts resolve in priority order: explicit ``jobs`` argument →
 ``REPRO_JOBS`` environment variable → 1 (sequential).  When a pool
-cannot be created or a job cannot be pickled, the runner logs a warning
-and falls back to sequential execution rather than failing the
-campaign.
+cannot be created or a job cannot be pickled, the runner degrades to
+sequential execution — loudly: a ``RuntimeWarning`` naming the original
+exception is emitted alongside the log record, because a silently
+serial "parallel" campaign is a misconfiguration someone should see.
 
 :func:`derive_seeds` is the one sanctioned way to produce per-job
 seeds: ``np.random.SeedSequence(root).spawn(n)`` children are
@@ -27,12 +41,15 @@ from __future__ import annotations
 import logging
 import os
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, List, Optional, Sequence, TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Set, TypeVar
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.parallel.checkpoint import CampaignCheckpoint, RetryPolicy
 from repro.parallel.jobs import SimJob, SimJobResult, execute_sim_job
 
 logger = logging.getLogger("repro.parallel")
@@ -40,8 +57,18 @@ logger = logging.getLogger("repro.parallel")
 #: Environment variable overriding the default worker count.
 JOBS_ENV_VAR = "REPRO_JOBS"
 
+#: Exceptions that mean "the pool itself is unusable" (sandboxed
+#: platform, unpicklable payload) rather than "a job failed".
+_POOL_SETUP_ERRORS = (OSError, ValueError, TypeError, AttributeError, ImportError)
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _sleep(seconds: float) -> None:
+    """Backoff sleep, separated out so tests can stub it."""
+    if seconds > 0:
+        time.sleep(seconds)
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -81,27 +108,207 @@ def derive_seeds(root_seed: int, count: int) -> List[int]:
     return [int(child.generate_state(1, np.uint64)[0]) for child in children]
 
 
+def _warn_sequential_fallback(context: str, exc: BaseException) -> None:
+    """Make a degraded-to-sequential campaign impossible to miss."""
+    message = (
+        f"process pool unavailable while {context} "
+        f"({type(exc).__name__}: {exc}); running sequentially"
+    )
+    logger.warning(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def _execute_with_retry(job: SimJob, retry: RetryPolicy) -> SimJobResult:
+    """Run one job in-process, honouring the retry policy.
+
+    Sequential execution cannot pre-empt a running job, so
+    ``retry.timeout`` is not enforced here — only bounded retries with
+    backoff against transient in-process failures.
+    """
+    attempt = 0
+    while True:
+        try:
+            return execute_sim_job(job)
+        except Exception as exc:
+            if attempt >= retry.max_retries:
+                raise
+            delay = retry.backoff(attempt)
+            logger.warning(
+                "job %s failed (%s: %s); retry %d/%d with the same seed in %.2fs",
+                job.key, type(exc).__name__, exc,
+                attempt + 1, retry.max_retries, delay,
+            )
+            _sleep(delay)
+            attempt += 1
+
+
+def _finish(
+    index: int,
+    result: SimJobResult,
+    results: List[Optional[SimJobResult]],
+    checkpoint: Optional[CampaignCheckpoint],
+    progress: Optional[Callable[[SimJobResult], None]],
+) -> None:
+    """Record one freshly computed result everywhere it needs to go."""
+    results[index] = result
+    if checkpoint is not None:
+        checkpoint.record(index, result.job, result)
+    if progress is not None:
+        progress(result)
+
+
 def _run_sequential(
     jobs_list: Sequence[SimJob],
+    indices: Sequence[int],
+    results: List[Optional[SimJobResult]],
+    retry: RetryPolicy,
+    checkpoint: Optional[CampaignCheckpoint],
     progress: Optional[Callable[[SimJobResult], None]],
-) -> List[SimJobResult]:
-    out: List[SimJobResult] = []
-    for index, job in enumerate(jobs_list):
-        result = execute_sim_job(job)
+) -> None:
+    for position, index in enumerate(indices):
+        job = jobs_list[index]
+        result = _execute_with_retry(job, retry)
         logger.info(
             "job %d/%d %s done in %.2fs (sequential)",
-            index + 1, len(jobs_list), job.key, result.wall_time,
+            position + 1, len(indices), job.key, result.wall_time,
         )
-        if progress is not None:
-            progress(result)
-        out.append(result)
-    return out
+        _finish(index, result, results, checkpoint, progress)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung workers."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - platform-specific teardown
+            pass
+
+
+def _run_pool(
+    jobs_list: Sequence[SimJob],
+    indices: Sequence[int],
+    results: List[Optional[SimJobResult]],
+    workers: int,
+    retry: RetryPolicy,
+    checkpoint: Optional[CampaignCheckpoint],
+    progress: Optional[Callable[[SimJobResult], None]],
+) -> None:
+    """Pool execution with retries, per-job timeouts and pool recovery."""
+    total = len(indices)
+    unfinished: Set[int] = set(indices)
+    attempts: Dict[int, int] = {}
+    done_count = 0
+
+    def budget_attempt(index: int, reason: str) -> None:
+        """Count one failed attempt; raise when the budget is spent."""
+        used = attempts.get(index, 0)
+        if used >= retry.max_retries:
+            raise SimulationError(
+                f"job {jobs_list[index].key} exhausted "
+                f"{retry.max_retries + 1} attempts: {reason}"
+            )
+        attempts[index] = used + 1
+        logger.warning(
+            "job %s %s; retry %d/%d with the same seed",
+            jobs_list[index].key, reason, used + 1, retry.max_retries,
+        )
+
+    while unfinished:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(unfinished)))
+        restart = False
+        try:
+            futures = {
+                pool.submit(execute_sim_job, jobs_list[index]): index
+                for index in sorted(unfinished)
+            }
+            deadlines: Dict[object, float] = {}
+            if retry.timeout is not None:
+                now = time.monotonic()
+                deadlines = {future: now + retry.timeout for future in futures}
+            pending = set(futures)
+            while pending:
+                wait_timeout = None
+                if deadlines:
+                    wait_timeout = max(
+                        0.0,
+                        min(deadlines[f] for f in pending) - time.monotonic(),
+                    )
+                done, pending = wait(
+                    pending, timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    index = futures.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as exc:
+                        budget_attempt(index, f"failed ({type(exc).__name__}: {exc})")
+                        _sleep(retry.backoff(attempts[index] - 1))
+                        replacement = pool.submit(execute_sim_job, jobs_list[index])
+                        futures[replacement] = index
+                        pending.add(replacement)
+                        if retry.timeout is not None:
+                            deadlines[replacement] = time.monotonic() + retry.timeout
+                        continue
+                    unfinished.discard(index)
+                    done_count += 1
+                    logger.info(
+                        "job %d/%d %s done in %.2fs (pid %d)",
+                        done_count, total, result.job.key,
+                        result.wall_time, result.worker_pid,
+                    )
+                    _finish(index, result, results, checkpoint, progress)
+                if not deadlines:
+                    continue
+                now = time.monotonic()
+                overdue = [f for f in pending if deadlines.get(f, now + 1) <= now]
+                for future in overdue:
+                    index = futures[future]
+                    budget_attempt(index, f"timed out after {retry.timeout:.1f}s")
+                    if future.cancel():
+                        # Still queued: retire it here and resubmit.
+                        pending.discard(future)
+                        futures.pop(future)
+                        deadlines.pop(future)
+                        replacement = pool.submit(execute_sim_job, jobs_list[index])
+                        futures[replacement] = index
+                        pending.add(replacement)
+                        deadlines[replacement] = time.monotonic() + retry.timeout
+                    else:
+                        # Already running: the executor API cannot stop a
+                        # live task, so replace the whole pool.
+                        restart = True
+                if restart:
+                    break
+        except BrokenProcessPool as exc:
+            # The executor cannot say which unfinished jobs were mid-run
+            # when it broke, so every one of them is charged an attempt;
+            # with the budget spent this propagates instead of looping
+            # on a pool a poisoned job keeps killing.
+            logger.warning(
+                "process pool broke (%s); restarting with %d unfinished jobs",
+                exc, len(unfinished),
+            )
+            for index in sorted(unfinished):
+                budget_attempt(index, f"was in a pool that broke ({exc})")
+            restart = True
+        finally:
+            if restart:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
 
 
 def run_sim_jobs(
     jobs_list: Sequence[SimJob],
     jobs: Optional[int] = None,
     progress: Optional[Callable[[SimJobResult], None]] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Optional[CampaignCheckpoint] = None,
 ) -> List[SimJobResult]:
     """Execute a batch of simulation jobs; results in submission order.
 
@@ -109,53 +316,56 @@ def run_sim_jobs(
         jobs_list: The campaign's job specs.
         jobs: Worker processes (``None``: ``REPRO_JOBS`` env or 1;
             ``0``: all cores).  ``jobs=1`` runs in-process.
-        progress: Optional callback invoked with each
+        progress: Optional callback invoked with each *freshly computed*
             :class:`SimJobResult` as it completes (completion order
             under parallel execution; call order is *not* deterministic,
-            the returned list is).
+            the returned list is).  Results restored from a checkpoint
+            do not re-trigger it.
+        retry: Bounded-retry/timeout policy; ``None`` means fail fast
+            (``RetryPolicy(max_retries=0)``), the legacy behaviour.
+        checkpoint: Optional campaign checkpoint; completed jobs found
+            in it are reused, fresh completions are persisted to it.
 
     Returns:
         One :class:`SimJobResult` per job, in the order submitted,
-        independent of the worker count.
+        independent of the worker count and of any resume.
     """
     jobs_list = list(jobs_list)
-    workers = min(resolve_jobs(jobs), max(1, len(jobs_list)))
-    if workers <= 1 or len(jobs_list) <= 1:
-        return _run_sequential(jobs_list, progress)
+    retry = retry if retry is not None else RetryPolicy(max_retries=0)
+    results: List[Optional[SimJobResult]] = [None] * len(jobs_list)
 
-    start = time.perf_counter()
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute_sim_job, job): index
-                for index, job in enumerate(jobs_list)
-            }
-            results: List[Optional[SimJobResult]] = [None] * len(jobs_list)
-            pending = set(futures)
-            done_count = 0
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = futures[future]
-                    result = future.result()
-                    results[index] = result
-                    done_count += 1
-                    logger.info(
-                        "job %d/%d %s done in %.2fs (pid %d)",
-                        done_count, len(jobs_list), result.job.key,
-                        result.wall_time, result.worker_pid,
-                    )
-                    if progress is not None:
-                        progress(result)
-    except (OSError, ValueError, TypeError, AttributeError, ImportError) as exc:
-        # Pool creation or job pickling failed (sandboxed platform,
-        # unpicklable payload): degrade gracefully to one process.
-        logger.warning("process pool unavailable (%s); running sequentially", exc)
-        return _run_sequential(jobs_list, progress)
-    logger.info(
-        "campaign of %d jobs finished in %.2fs on %d workers",
-        len(jobs_list), time.perf_counter() - start, workers,
-    )
+    if checkpoint is not None:
+        for index, stored in checkpoint.load_completed(jobs_list).items():
+            results[index] = stored
+        restored = sum(1 for r in results if r is not None)
+        if restored:
+            logger.info(
+                "resumed %d/%d jobs from checkpoint %s",
+                restored, len(jobs_list), checkpoint.directory,
+            )
+
+    remaining = [index for index, r in enumerate(results) if r is None]
+    if remaining:
+        workers = min(resolve_jobs(jobs), max(1, len(remaining)))
+        if workers <= 1 or len(remaining) <= 1:
+            _run_sequential(jobs_list, remaining, results, retry, checkpoint, progress)
+        else:
+            start = time.perf_counter()
+            try:
+                _run_pool(
+                    jobs_list, remaining, results, workers, retry, checkpoint, progress
+                )
+            except _POOL_SETUP_ERRORS as exc:
+                _warn_sequential_fallback("running the campaign", exc)
+                still_missing = [i for i, r in enumerate(results) if r is None]
+                _run_sequential(
+                    jobs_list, still_missing, results, retry, checkpoint, progress
+                )
+            else:
+                logger.info(
+                    "campaign of %d jobs finished in %.2fs on %d workers",
+                    len(remaining), time.perf_counter() - start, workers,
+                )
     return [r for r in results if r is not None]
 
 
@@ -168,7 +378,8 @@ def parallel_map(
 
     ``fn`` must be a module-level callable and every item picklable.
     Falls back to an in-process map when ``jobs`` resolves to 1, the
-    batch is trivial, or the pool cannot be used.
+    batch is trivial, or the pool cannot be used — the latter loudly,
+    with a ``RuntimeWarning`` naming the original exception.
     """
     items = list(items)
     workers = min(resolve_jobs(jobs), max(1, len(items)))
@@ -177,6 +388,6 @@ def parallel_map(
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items))
-    except (OSError, ValueError, TypeError, AttributeError, ImportError) as exc:
-        logger.warning("process pool unavailable (%s); mapping sequentially", exc)
+    except _POOL_SETUP_ERRORS as exc:
+        _warn_sequential_fallback("mapping items", exc)
         return [fn(item) for item in items]

@@ -27,6 +27,8 @@ from repro.channels.manager import NetworkManager
 from repro.channels.records import ManagerStats
 from repro.elastic.policies import AdaptationPolicy
 from repro.errors import SimulationError
+from repro.faults.audit import AuditPolicy, Auditor
+from repro.faults.injectors import FaultConfig, build_injector
 from repro.markov.parameters import MarkovParameters
 from repro.qos.spec import ConnectionQoS
 from repro.sim.engine import EventScheduler
@@ -62,11 +64,20 @@ class SimulationConfig:
         routing: ``dijkstra`` or ``flooding``.
         policy: Adaptation policy; ``None`` means equal share (paper).
         qos_factory: Optional per-request QoS factory.
-        check_invariants_every: Run the full invariant checker every
-            this many events (0 = off; integration tests switch it on).
+        check_invariants_every: Legacy audit knob — run the full
+            invariant checker every this many events (0 = off).  Kept
+            for compatibility; equivalent to
+            ``audit=AuditPolicy(every_n_events=N)`` and ignored when
+            ``audit`` is given.
         record_trace: Attach a :class:`~repro.sim.trace.TraceRecorder`
             covering every churn/failure event (warm-up included) to the
             result.
+        faults: Optional fault-injection setup (failure process +
+            backup-activation faults); ``None`` reproduces the paper's
+            single-link model bit for bit.
+        audit: Optional structured audit policy (periodic and/or
+            after-every-failure invariant checks raising
+            :class:`~repro.errors.AuditError` with an event tail).
     """
 
     qos: ConnectionQoS
@@ -81,6 +92,8 @@ class SimulationConfig:
     qos_factory: Optional[QoSFactory] = None
     check_invariants_every: int = 0
     record_trace: bool = False
+    faults: Optional[FaultConfig] = None
+    audit: Optional[AuditPolicy] = None
 
     def __post_init__(self) -> None:
         if self.offered_connections < 0:
@@ -107,6 +120,10 @@ class SimulationResult:
     topology_nodes: int
     topology_links: int
     trace: Optional[TraceRecorder] = None
+    #: Number of invariant audits the run's :class:`AuditPolicy` executed
+    #: (0 when auditing was off — a passed run with a nonzero count is
+    #: positive evidence the recovery paths kept the books consistent).
+    audit_checks: int = 0
 
     @property
     def average_bandwidth(self) -> float:
@@ -185,16 +202,34 @@ class ElasticQoSSimulator:
         measurement = Measurement(num_levels, occupancy_interval=cfg.sample_interval)
         trace = TraceRecorder() if cfg.record_trace else None
 
+        injector = build_injector(cfg.faults, self.topology, self.workload)
+        if cfg.faults is not None and cfg.faults.activation_fault_prob > 0.0:
+            manager.set_activation_faults(cfg.faults.activation_fault_prob, self.rng)
+        audit_policy = cfg.audit
+        if audit_policy is None and cfg.check_invariants_every:
+            audit_policy = AuditPolicy(every_n_events=cfg.check_invariants_every)
+        auditor = (
+            Auditor(audit_policy, manager)
+            if audit_policy is not None and audit_policy.enabled
+            else None
+        )
+
         total_events = cfg.warmup_events + cfg.measure_events
         next_is_arrival = True
         measuring = False
-        all_links = self.topology.link_ids()
+        state = manager.state
 
         for event_index in range(total_events):
-            alive = self.topology.num_links - len(manager.state.failed_links)
-            delay, category = self.workload.draw_event(
-                alive, len(manager.state.failed_links), manager.num_live
+            # The injector owns the failure/repair rates; the default
+            # single-link injector returns exactly γ·alive and ρ·failed,
+            # so disabled fault injection reproduces the legacy rates
+            # (and rng stream) bit for bit.
+            rates = self.workload.event_rates(
+                state.num_alive, state.num_failed, manager.num_live
             )
+            rates["failure"] = injector.failure_rate(state)
+            rates["repair"] = injector.repair_rate(state)
+            delay, category = self.workload.draw_from_rates(rates)
             self.scheduler.schedule_after(delay, _noop)
             self.scheduler.step()
             now = self.scheduler.now
@@ -218,20 +253,16 @@ class ElasticQoSSimulator:
             if category == "churn":
                 impact, next_is_arrival = self._churn_event(next_is_arrival)
             elif category == "failure":
-                alive_links = [l for l in all_links if not manager.state.is_failed(l)]
-                if alive_links:
-                    impact = manager.fail_link(self.workload.pick_failure(alive_links))
+                impact = injector.inject_failure(manager)
             elif category == "repair":
-                failed = sorted(manager.state.failed_links)
-                if failed:
-                    impact = manager.repair_link(self.workload.pick_repair(failed))
+                impact = injector.inject_repair(manager)
 
             if measuring and impact is not None:
                 estimator.observe(impact, manager, pre_live)
             if trace is not None and impact is not None:
                 trace.record(impact, manager.num_live, manager.average_live_bandwidth())
-            if cfg.check_invariants_every and (event_index + 1) % cfg.check_invariants_every == 0:
-                manager.check_invariants()
+            if auditor is not None:
+                auditor.observe(event_index, category, impact)
 
         # Close the final interval so the last state is weighted too.
         if measuring:
@@ -250,6 +281,7 @@ class ElasticQoSSimulator:
             topology_nodes=self.topology.num_nodes,
             topology_links=self.topology.num_links,
             trace=trace,
+            audit_checks=auditor.checks_run if auditor is not None else 0,
         )
 
     # ------------------------------------------------------------------

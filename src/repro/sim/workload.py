@@ -140,6 +140,16 @@ class Workload:
         ``repair``.
         """
         rates = self.event_rates(num_alive_links, num_failed_links, num_live)
+        return self.draw_from_rates(rates)
+
+    def draw_from_rates(self, rates: dict) -> Tuple[float, str]:
+        """Sample (delay, category) from caller-supplied category rates.
+
+        Fault injectors replace the ``failure``/``repair`` rates with
+        process-specific values; feeding them through this one code path
+        keeps the rng consumption (one exponential + one uniform per
+        event) identical to the plain workload.
+        """
         total = sum(rates.values())
         if total <= 0:
             raise SimulationError("total event rate vanished")

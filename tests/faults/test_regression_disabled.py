@@ -1,0 +1,118 @@
+"""With fault injection disabled the simulator must match main bit for bit.
+
+The expected values below were produced on ``main`` (before the fault
+subsystem existed) by the exact runs coded here.  Exact float equality
+is deliberate: the injector refactor reshuffled *how* failure/repair
+rates and victims are computed, and these tests pin down that the rng
+stream and arithmetic are untouched when injection is off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import paper_connection_qos
+from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig
+from repro.sim.workload import WorkloadConfig
+from repro.topology.waxman import paper_random_network
+
+
+def run_case(capacity, offered, seed, gamma=0.0, rho=1.0):
+    net = paper_random_network(capacity, np.random.default_rng(42), n=24, target_edges=45)
+    config = SimulationConfig(
+        qos=paper_connection_qos(),
+        workload=WorkloadConfig(
+            arrival_rate=0.001,
+            termination_rate=0.001,
+            link_failure_rate=gamma,
+            repair_rate=rho,
+        ),
+        offered_connections=offered,
+        warmup_events=50,
+        measure_events=400,
+        sample_interval=5.0,
+    )
+    return ElasticQoSSimulator(net, config, seed=seed).run()
+
+
+def test_no_failure_run_matches_main_exactly():
+    result = run_case(155_000.0, 80, seed=3)
+    assert result.average_bandwidth == 500.0000000000003
+    assert result.measurement.average_population == 80.52862386091589
+    assert result.end_time == 232394.570368206
+    assert list(result.level_occupancy) == [0.0] * 8 + [1.0]
+    stats = result.manager_stats
+    assert stats.requests == 305
+    assert stats.accepted == 305
+    assert stats.terminated == 225
+    assert stats.link_failures == 0
+    assert result.audit_checks == 0
+
+
+def test_failure_run_matches_main_exactly():
+    result = run_case(155_000.0, 80, seed=11, gamma=2e-4, rho=1.0)
+    assert result.average_bandwidth == 247.9336775429752
+    assert result.measurement.average_population == 6.814063750271312
+    assert result.end_time == 18170.5834132207
+    stats = result.manager_stats
+    assert stats.requests == 97
+    assert stats.accepted == 97
+    assert stats.terminated == 17
+    assert stats.link_failures == 208
+    assert stats.link_repairs == 208
+    assert stats.backups_activated == 39
+    assert stats.connections_dropped == 80
+    assert stats.backups_lost == 49
+    # New counters must stay pure observers of the legacy dynamics.
+    assert stats.node_failures == 0
+    assert stats.double_failure_drops == 40
+    assert stats.activation_faults == 0
+
+
+def test_contended_run_matches_main_exactly():
+    result = run_case(6_000.0, 120, seed=5)
+    assert result.average_bandwidth == 490.4121894025636
+    assert result.measurement.average_population == 120.49755124368187
+    assert result.end_time == 210598.67850106105
+    assert list(result.level_occupancy) == [
+        0.0,
+        0.0,
+        0.0,
+        0.0,
+        0.004150309917355372,
+        0.018262741046831954,
+        0.03920884986225894,
+        0.0419068526170799,
+        0.8964712465564734,
+    ]
+    stats = result.manager_stats
+    assert stats.requests == 345
+    assert stats.accepted == 345
+    assert stats.terminated == 225
+
+
+def test_explicit_single_mode_equals_disabled():
+    """mode='single' must reproduce the config-less run bit for bit."""
+    from repro.faults import FaultConfig
+
+    base = run_case(155_000.0, 80, seed=11, gamma=2e-4, rho=1.0)
+    net = paper_random_network(
+        155_000.0, np.random.default_rng(42), n=24, target_edges=45
+    )
+    config = SimulationConfig(
+        qos=paper_connection_qos(),
+        workload=WorkloadConfig(
+            arrival_rate=0.001,
+            termination_rate=0.001,
+            link_failure_rate=2e-4,
+            repair_rate=1.0,
+        ),
+        offered_connections=80,
+        warmup_events=50,
+        measure_events=400,
+        sample_interval=5.0,
+        faults=FaultConfig(mode="single"),
+    )
+    single = ElasticQoSSimulator(net, config, seed=11).run()
+    assert single.average_bandwidth == base.average_bandwidth
+    assert single.end_time == base.end_time
+    assert single.manager_stats == base.manager_stats

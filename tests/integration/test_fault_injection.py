@@ -1,0 +1,86 @@
+"""Acceptance test for the fault-injection subsystem (ISSUE criteria).
+
+A long fault-heavy run on the paper's Random (Waxman) topology with
+correlated failures, activation faults and the after-every-failure audit
+must complete with zero invariant violations while actually exercising
+the double-failure machinery (nonzero double-failure drops).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import paper_connection_qos
+from repro.faults import AuditPolicy, FaultConfig
+from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig
+from repro.sim.workload import WorkloadConfig
+from repro.topology.waxman import paper_random_network
+
+
+def fault_run(faults, events=50_000, seed=17, gamma=5e-4):
+    net = paper_random_network(
+        155_000.0, np.random.default_rng(42), n=24, target_edges=45
+    )
+    config = SimulationConfig(
+        qos=paper_connection_qos(),
+        workload=WorkloadConfig(
+            arrival_rate=0.001,
+            termination_rate=0.001,
+            link_failure_rate=gamma,
+            repair_rate=1.0,
+        ),
+        offered_connections=120,
+        warmup_events=events // 50,
+        measure_events=events - events // 50,
+        sample_interval=10.0,
+        faults=faults,
+        audit=AuditPolicy(after_failure=True),
+    )
+    return ElasticQoSSimulator(net, config, seed=seed).run()
+
+
+def test_burst_and_activation_faults_survive_50k_events_audited():
+    """The ISSUE's acceptance run: bursts + activation faults, audited."""
+    result = fault_run(
+        FaultConfig(mode="burst", burst_size=3, activation_fault_prob=0.2)
+    )
+    # Completing at all means every after-failure invariant audit passed.
+    assert result.events == 50_000
+    assert result.audit_checks > 1000
+    stats = result.manager_stats
+    assert stats.double_failure_drops > 0
+    assert stats.activation_faults > 0
+    assert stats.backups_activated > 0
+    # Only currently-failed links separate failures from repairs.
+    assert 0 <= stats.link_failures - stats.link_repairs <= 45
+
+
+def test_node_failure_bursts_survive_audited():
+    result = fault_run(
+        FaultConfig(mode="node", activation_fault_prob=0.2),
+        events=20_000,
+        gamma=2e-4,
+    )
+    stats = result.manager_stats
+    assert result.audit_checks > 100
+    assert stats.node_failures > 0
+    assert stats.double_failure_drops > 0
+    assert stats.activation_faults > 0
+
+
+def test_markov_heterogeneous_rates_survive_audited():
+    result = fault_run(
+        FaultConfig(mode="markov", rate_spread=0.8, rate_seed=5),
+        events=20_000,
+    )
+    assert result.audit_checks > 100
+    assert result.manager_stats.link_failures > 0
+    assert result.manager_stats.link_repairs > 0
+
+
+def test_fault_runs_are_seed_deterministic():
+    faults = FaultConfig(mode="burst", burst_size=3, activation_fault_prob=0.2)
+    a = fault_run(faults, events=5_000)
+    b = fault_run(faults, events=5_000)
+    assert a.average_bandwidth == b.average_bandwidth
+    assert a.end_time == b.end_time
+    assert a.manager_stats == b.manager_stats

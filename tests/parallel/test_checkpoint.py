@@ -1,0 +1,365 @@
+"""Crash resilience: atomic writes, retries, timeouts, checkpoint resume."""
+
+import pickle
+import shutil
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.experiments import RunSettings, paper_connection_qos
+from repro.errors import SimulationError
+from repro.parallel import (
+    CampaignCheckpoint,
+    RetryPolicy,
+    SimJob,
+    TopologySpec,
+    atomic_write_bytes,
+    atomic_write_text,
+    derive_seeds,
+    execute_sim_job,
+    run_sim_jobs,
+)
+from repro.parallel import runner as runner_module
+
+TINY = RunSettings(warmup_events=10, measure_events=40, sample_interval=5, seed=3)
+
+
+def tiny_jobs(count: int = 4):
+    seeds = derive_seeds(TINY.seed, 1 + count)
+    topology = TopologySpec("waxman", TINY.capacity, seeds[0], nodes=16, edges=30)
+    qos = paper_connection_qos()
+    return [
+        SimJob.from_settings(("ckpt", i), topology, 30 + 5 * i, qos, TINY, seeds[1 + i])
+        for i in range(count)
+    ]
+
+
+def result_signature(res):
+    """The bitwise-comparable core of one job result."""
+    return (
+        res.key,
+        res.result.average_bandwidth,
+        res.result.end_time,
+        res.result.manager_stats,
+    )
+
+
+class TestAtomicWrites:
+    def test_text_roundtrip_without_tmp_leftover(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_bytes_roundtrip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.timeout is None
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(max_retries=-1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(timeout=0.0)
+
+    def test_bad_backoff_rejected(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(backoff_base=0.5, backoff_factor=2.0)
+        assert [policy.backoff(a) for a in range(3)] == [0.5, 1.0, 2.0]
+
+
+class TestCampaignCheckpoint:
+    def test_record_and_load_roundtrip(self, tmp_path):
+        batch = tiny_jobs(2)
+        checkpoint = CampaignCheckpoint(tmp_path / "camp")
+        first = execute_sim_job(batch[0])
+        checkpoint.record(0, batch[0], first)
+        resumed = CampaignCheckpoint(tmp_path / "camp", resume=True)
+        restored = resumed.load_completed(batch)
+        assert list(restored) == [0]
+        assert result_signature(restored[0]) == result_signature(first)
+
+    def test_without_resume_starts_fresh(self, tmp_path):
+        batch = tiny_jobs(1)
+        checkpoint = CampaignCheckpoint(tmp_path / "camp")
+        checkpoint.record(0, batch[0], execute_sim_job(batch[0]))
+        fresh = CampaignCheckpoint(tmp_path / "camp", resume=False)
+        assert fresh.load_completed(batch) == {}
+
+    def test_spec_mismatch_is_rerun(self, tmp_path):
+        batch = tiny_jobs(1)
+        checkpoint = CampaignCheckpoint(tmp_path / "camp")
+        checkpoint.record(0, batch[0], execute_sim_job(batch[0]))
+        edited = [replace(batch[0], measure_events=batch[0].measure_events + 10)]
+        resumed = CampaignCheckpoint(tmp_path / "camp", resume=True)
+        assert resumed.load_completed(edited) == {}
+
+    def test_corrupt_result_file_is_rerun(self, tmp_path):
+        batch = tiny_jobs(1)
+        checkpoint = CampaignCheckpoint(tmp_path / "camp")
+        checkpoint.record(0, batch[0], execute_sim_job(batch[0]))
+        job_id = CampaignCheckpoint.job_id(0, batch[0])
+        (tmp_path / "camp" / f"{job_id}.pkl").write_bytes(b"garbage")
+        resumed = CampaignCheckpoint(tmp_path / "camp", resume=True)
+        assert resumed.load_completed(batch) == {}
+
+    def test_corrupt_manifest_starts_fresh(self, tmp_path):
+        checkpoint = CampaignCheckpoint(tmp_path / "camp")
+        (tmp_path / "camp" / "manifest.json").write_text("{not json")
+        resumed = CampaignCheckpoint(tmp_path / "camp", resume=True)
+        assert resumed.completed_ids == []
+
+    def test_manifest_never_references_missing_file(self, tmp_path):
+        import json
+
+        batch = tiny_jobs(1)
+        checkpoint = CampaignCheckpoint(tmp_path / "camp")
+        checkpoint.record(0, batch[0], execute_sim_job(batch[0]))
+        manifest = json.loads((tmp_path / "camp" / "manifest.json").read_text())
+        for filename in manifest["jobs"].values():
+            assert (tmp_path / "camp" / filename).exists()
+
+
+class TestInterruptAndResume:
+    """An interrupted campaign resumed later aggregates bitwise identically."""
+
+    def test_resume_matches_uninterrupted_at_any_worker_count(self, tmp_path):
+        batch = tiny_jobs(4)
+        baseline = [result_signature(r) for r in run_sim_jobs(batch, jobs=1)]
+
+        # Interrupt: the progress callback blows up after two completions.
+        seen = []
+
+        def explode(result):
+            seen.append(result)
+            if len(seen) == 2:
+                raise KeyboardInterrupt("simulated ctrl-C")
+
+        interrupt_dir = tmp_path / "interrupted"
+        with pytest.raises(KeyboardInterrupt):
+            run_sim_jobs(
+                batch,
+                jobs=1,
+                progress=explode,
+                checkpoint=CampaignCheckpoint(interrupt_dir),
+            )
+        partial = CampaignCheckpoint(interrupt_dir, resume=True)
+        assert len(partial.load_completed(batch)) == 2
+
+        # Resume sequentially and in a pool, from identical partial state.
+        pool_dir = tmp_path / "interrupted-pool"
+        shutil.copytree(interrupt_dir, pool_dir)
+        seq = run_sim_jobs(
+            batch, jobs=1, checkpoint=CampaignCheckpoint(interrupt_dir, resume=True)
+        )
+        par = run_sim_jobs(
+            batch, jobs=2, checkpoint=CampaignCheckpoint(pool_dir, resume=True)
+        )
+        assert [result_signature(r) for r in seq] == baseline
+        assert [result_signature(r) for r in par] == baseline
+
+    def test_restored_results_do_not_retrigger_progress(self, tmp_path):
+        batch = tiny_jobs(2)
+        checkpoint_dir = tmp_path / "camp"
+        run_sim_jobs(batch, jobs=1, checkpoint=CampaignCheckpoint(checkpoint_dir))
+        seen = []
+        results = run_sim_jobs(
+            batch,
+            jobs=1,
+            progress=lambda r: seen.append(r.key),
+            checkpoint=CampaignCheckpoint(checkpoint_dir, resume=True),
+        )
+        assert seen == []
+        assert [r.key for r in results] == [j.key for j in batch]
+
+
+class TestSequentialRetries:
+    def test_flaky_job_retried_with_backoff(self, monkeypatch):
+        batch = tiny_jobs(1)
+        failures = {"left": 2}
+        real = execute_sim_job
+
+        def flaky(job):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("transient")
+            return real(job)
+
+        sleeps = []
+        monkeypatch.setattr(runner_module, "execute_sim_job", flaky)
+        monkeypatch.setattr(runner_module, "_sleep", sleeps.append)
+        results = run_sim_jobs(
+            batch, jobs=1, retry=RetryPolicy(max_retries=2, backoff_base=0.5)
+        )
+        assert len(results) == 1
+        assert sleeps == [0.5, 1.0]
+
+    def test_budget_exhausted_raises(self, monkeypatch):
+        batch = tiny_jobs(1)
+
+        def always_fails(job):
+            raise OSError("persistent")
+
+        monkeypatch.setattr(runner_module, "execute_sim_job", always_fails)
+        monkeypatch.setattr(runner_module, "_sleep", lambda s: None)
+        with pytest.raises(OSError):
+            run_sim_jobs(batch, jobs=1, retry=RetryPolicy(max_retries=1))
+
+    def test_default_policy_fails_fast(self, monkeypatch):
+        batch = tiny_jobs(1)
+        calls = {"n": 0}
+
+        def fails_once(job):
+            calls["n"] += 1
+            raise OSError("boom")
+
+        monkeypatch.setattr(runner_module, "execute_sim_job", fails_once)
+        with pytest.raises(OSError):
+            run_sim_jobs(batch, jobs=1)
+        assert calls["n"] == 1
+
+
+class TestSequentialFallbackWarning:
+    def test_pool_failure_warns_and_matches_sequential(self, monkeypatch, tmp_path):
+        batch = tiny_jobs(3)
+        baseline = [result_signature(r) for r in run_sim_jobs(batch, jobs=1)]
+
+        class NoPool:
+            def __init__(self, max_workers=None):
+                raise OSError("no process support here")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", NoPool)
+        with pytest.warns(RuntimeWarning, match="running sequentially"):
+            results = run_sim_jobs(batch, jobs=2)
+        assert [result_signature(r) for r in results] == baseline
+
+
+class _FakePoolBase:
+    """Minimal stand-in for ProcessPoolExecutor; subclasses set behaviour."""
+
+    created = 0
+
+    def __init__(self, max_workers=None):
+        type(self).created += 1
+        self.instance = type(self).created
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestBrokenPoolRecovery:
+    def make_pool_class(self):
+        class FlakyPool(_FakePoolBase):
+            created = 0
+
+            def submit(self, fn, job):
+                future = Future()
+                if self.instance == 1:
+                    future.set_exception(BrokenProcessPool("worker died"))
+                else:
+                    future.set_result(fn(job))
+                return future
+
+        return FlakyPool
+
+    def test_pool_rebuilt_and_jobs_rerun(self, monkeypatch):
+        batch = tiny_jobs(2)
+        baseline = [result_signature(r) for r in run_sim_jobs(batch, jobs=1)]
+        FlakyPool = self.make_pool_class()
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", FlakyPool)
+        monkeypatch.setattr(runner_module, "_sleep", lambda s: None)
+        results = run_sim_jobs(
+            batch, jobs=2, retry=RetryPolicy(max_retries=1, backoff_base=0.0)
+        )
+        assert FlakyPool.created == 2
+        assert [result_signature(r) for r in results] == baseline
+
+    def test_broken_pool_charges_attempts(self, monkeypatch):
+        batch = tiny_jobs(2)
+        FlakyPool = self.make_pool_class()
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", FlakyPool)
+        with pytest.raises(SimulationError, match="exhausted 1 attempts"):
+            run_sim_jobs(batch, jobs=2, retry=RetryPolicy(max_retries=0))
+
+
+class TestJobTimeout:
+    def test_hung_job_replaced_after_pool_restart(self, monkeypatch):
+        batch = tiny_jobs(2)
+        baseline = [result_signature(r) for r in run_sim_jobs(batch, jobs=1)]
+
+        class HangingPool(_FakePoolBase):
+            created = 0
+
+            def submit(self, fn, job):
+                future = Future()
+                if self.instance == 1:
+                    # Mark running so cancel() fails, like a live worker.
+                    future.set_running_or_notify_cancel()
+                else:
+                    future.set_result(fn(job))
+                return future
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", HangingPool)
+        monkeypatch.setattr(runner_module, "_sleep", lambda s: None)
+        results = run_sim_jobs(
+            batch,
+            jobs=2,
+            retry=RetryPolicy(max_retries=1, timeout=0.05, backoff_base=0.0),
+        )
+        assert HangingPool.created == 2
+        assert [result_signature(r) for r in results] == baseline
+
+    def test_hung_job_with_no_retries_raises(self, monkeypatch):
+        batch = tiny_jobs(2)
+
+        class HangingPool(_FakePoolBase):
+            created = 0
+
+            def submit(self, fn, job):
+                future = Future()
+                future.set_running_or_notify_cancel()
+                return future
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", HangingPool)
+        with pytest.raises(SimulationError, match="timed out"):
+            run_sim_jobs(
+                batch, jobs=2, retry=RetryPolicy(max_retries=0, timeout=0.05)
+            )
+
+
+class TestCheckpointedPoolRun:
+    def test_pool_run_checkpoints_every_job(self, tmp_path):
+        batch = tiny_jobs(3)
+        checkpoint_dir = tmp_path / "camp"
+        run_sim_jobs(batch, jobs=2, checkpoint=CampaignCheckpoint(checkpoint_dir))
+        resumed = CampaignCheckpoint(checkpoint_dir, resume=True)
+        restored = resumed.load_completed(batch)
+        assert sorted(restored) == [0, 1, 2]
+        # Stored pickles round-trip to the same results.
+        direct = run_sim_jobs(batch, jobs=1)
+        assert [result_signature(restored[i]) for i in range(3)] == [
+            result_signature(r) for r in direct
+        ]
