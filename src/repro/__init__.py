@@ -37,6 +37,8 @@ Quickstart::
     print(result.average_bandwidth, model.average_bandwidth())
 """
 
+from __future__ import annotations
+
 from repro.analysis import (
     RunSettings,
     ideal_average_bandwidth,

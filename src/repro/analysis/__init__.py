@@ -1,5 +1,7 @@
 """Experiment runners, the ideal-bandwidth formula, and report rendering."""
 
+from __future__ import annotations
+
 from repro.analysis.experiments import (
     Figure2Result,
     Figure2Row,

@@ -34,7 +34,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.analysis.ideal import ideal_average_bandwidth
 from repro.markov.model import ElasticQoSMarkovModel

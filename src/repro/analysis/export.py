@@ -13,7 +13,7 @@ import dataclasses
 import io
 import json
 from pathlib import Path
-from typing import Any, Iterable, List, Mapping, Sequence, Union
+from typing import Any, List, Mapping, Sequence, Union
 
 from repro.errors import ReproError
 from repro.parallel.checkpoint import atomic_write_text

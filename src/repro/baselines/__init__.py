@@ -1,5 +1,7 @@
 """Baseline schemes (single-value QoS, no backup) and comparison tools."""
 
+from __future__ import annotations
+
 from repro.baselines.compare import SchemeOutcome, compare_schemes, multiplexing_savings
 from repro.baselines.contracts import no_backup_contract, single_value_contract
 

@@ -1,5 +1,7 @@
 """DR-connection records and the central network manager."""
 
+from __future__ import annotations
+
 from repro.channels.manager import ROUTING_ENGINES, NetworkManager
 from repro.channels.records import (
     ConnectionState,

@@ -414,6 +414,20 @@ def cmd_chaining(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Determinism-aware static analysis (delegates to ``repro.lint``)."""
+    from repro.lint.cli import main as lint_main
+
+    forwarded: List[str] = list(args.paths)
+    if args.select:
+        forwarded += ["--select", args.select]
+    if args.lint_format != "text":
+        forwarded += ["--format", args.lint_format]
+    if args.list_rules:
+        forwarded += ["--list-rules"]
+    return lint_main(forwarded)
+
+
 def cmd_topology(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     if args.kind == "waxman":
@@ -506,6 +520,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--kind", choices=("waxman", "transit-stub"), default="waxman")
     p.set_defaults(func=cmd_topology)
+
+    p = sub.add_parser(
+        "lint", help="determinism-aware static analysis (RNG/DET/ART/FLT rules)"
+    )
+    p.add_argument("paths", nargs="*", default=["src", "tests"],
+                   help="files or directories to lint (default: src tests)")
+    p.add_argument("--select", default=None,
+                   help="comma-separated rule ids or families (e.g. RNG,DET002)")
+    p.add_argument("--format", dest="lint_format", choices=("text", "json"),
+                   default="text", help="report format")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -1,5 +1,7 @@
 """Elastic QoS run-time: adaptation policies and redistribution engine."""
 
+from __future__ import annotations
+
 from repro.elastic.policies import (
     AdaptationPolicy,
     EqualShare,

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Protocol, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Set, Tuple
 
 from repro.elastic.policies import AdaptationPolicy, EqualShare
 from repro.network.link_state import EPSILON
@@ -33,11 +33,20 @@ from repro.topology.graph import LinkId
 
 
 class ElasticParticipant(Protocol):
-    """What the engine needs to know about a primary channel."""
+    """What the engine needs to know about a primary channel.
+
+    ``link_state_memo`` is the redistribution fast path's per-record
+    cache: ``(primary_links, LinkState objects, their primary_extra
+    dicts, max_level, delta, threshold)``, validated by identity
+    against ``primary_links`` (which is replaced wholesale on reroute).
+    Bare participants may omit it — the engine falls back to resolving
+    the path per event (``AttributeError`` duck-typing).
+    """
 
     conn_id: int
     primary_links: List[LinkId]
     level: int
+    link_state_memo: Optional[Tuple]
 
     @property
     def elastic_qos(self) -> ElasticQoS:  # pragma: no cover - protocol
@@ -99,7 +108,12 @@ def redistribute(
     # and method dispatch on the hundred-thousand-call scale of a single
     # simulation dominates the fill's run time.
     resolve_link = state.link
-    qos_scalars: Dict[int, Tuple[int, float, float]] = {}
+    # Scalar cache keyed on the QoS contract *value* (ElasticQoS is a
+    # frozen, hashable dataclass): populations share a handful of
+    # contracts, so most candidates hit the cache, and unlike an
+    # ``id()`` key the mapping is stable across processes and cannot
+    # alias when a contract object is garbage-collected mid-campaign.
+    qos_scalars: Dict[ElasticQoS, Tuple[int, float, float]] = {}
     granted: Dict[int, int] = defaultdict(int)
     equal_share = type(policy) is EqualShare
     buckets: Dict[int, List[Tuple]] = {}
@@ -114,11 +128,11 @@ def redistribute(
             _lids, links, extras, max_level, delta, threshold = memo
         else:
             qos = chan.elastic_qos
-            scalars = qos_scalars.get(id(qos))
+            scalars = qos_scalars.get(qos)
             if scalars is None:
                 delta = qos.increment
                 scalars = (qos.max_level, delta, delta - EPSILON)
-                qos_scalars[id(qos)] = scalars
+                qos_scalars[qos] = scalars
             max_level, delta, threshold = scalars
             lids = chan.primary_links
             links = [resolve_link(lid) for lid in lids]

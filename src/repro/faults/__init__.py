@@ -10,6 +10,8 @@ Public surface:
   invariant auditing with post-mortem event tails.
 """
 
+from __future__ import annotations
+
 from repro.faults.audit import AuditPolicy, AuditTrailEntry, Auditor
 from repro.faults.injectors import (
     BURST_KERNELS,

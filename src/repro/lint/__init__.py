@@ -1,0 +1,48 @@
+"""Determinism-aware static analysis for the repro codebase.
+
+The dynamic test suite pins reproducibility *after* the fact (bitwise
+campaign regression tests, twin-manager equivalence properties); this
+package defends the same contracts *statically*, before code merges:
+
+* **RNG discipline** (``RNG001``–``RNG003``) — no process-global
+  ``random`` / legacy ``numpy.random`` state; stochastic components
+  accept an injected, seeded generator.
+* **Determinism hazards** (``DET001``–``DET003``) — no unordered set
+  iteration into order-sensitive paths, no ``id()`` keying, no
+  wall-clock reads inside simulation logic.
+* **Artifact discipline** (``ART001``) — artifact writes go through the
+  atomic tmp-then-rename primitives.
+* **Float discipline** (``FLT001``) — invariant/audit code never
+  compares floats with ``==`` against non-integral literals.
+
+Run it with ``python -m repro.lint [paths...]`` or ``repro lint``;
+suppress deliberate uses with ``# repro-lint: disable=RULE — reason``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    PARSE_ERROR_RULE,
+    collect_suppressions,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules import FAMILIES, RULES, RULES_BY_ID, Rule, expand_rule_selection
+
+__all__ = [
+    "FAMILIES",
+    "Finding",
+    "PARSE_ERROR_RULE",
+    "RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "collect_suppressions",
+    "expand_rule_selection",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

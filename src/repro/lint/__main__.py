@@ -1,10 +1,10 @@
-"""``python -m repro`` — dispatch to the command-line interface."""
+"""``python -m repro.lint`` entry point."""
 
 from __future__ import annotations
 
 import sys
 
-from repro.cli import main
+from repro.lint.cli import main
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,106 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro lint``.
+
+Exit codes: 0 — clean; 1 — findings (or unparseable files); 2 — bad
+invocation.  ``--format json`` emits a machine-readable artifact (one
+object with the rule catalogue version and the findings list) for CI
+annotation; the default text format is one finding per block with the
+fix hint indented beneath it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import lint_paths
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, expand_rule_selection
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "Determinism-aware static analysis for the repro codebase: RNG "
+            "discipline, determinism hazards, atomic-artifact discipline and "
+            "float-equality checks."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids or families to run (e.g. RNG,DET002)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def _render_text(findings: List[Finding]) -> str:
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"repro.lint: {len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def _render_json(findings: List[Finding], paths: Sequence[str]) -> str:
+    return json.dumps(
+        {
+            "tool": "repro.lint",
+            "paths": list(paths),
+            "findings": [finding.to_json() for finding in findings],
+            "count": len(findings),
+        },
+        indent=2,
+    )
+
+
+def _render_rules() -> str:
+    lines = ["repro.lint rule catalogue:", ""]
+    for rule in RULES:
+        lines.append(f"{rule.id}  {rule.name}")
+        lines.append(f"    {rule.summary}")
+        lines.append(f"    fix: {rule.hint}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_render_rules())
+        return 0
+    select = None
+    if args.select:
+        try:
+            select = expand_rule_selection(tuple(args.select.split(",")))
+        except ValueError as exc:
+            parser.error(str(exc))
+    findings = lint_paths(args.paths, select=select)
+    if args.format == "json":
+        print(_render_json(findings, args.paths))
+    elif findings:
+        print(_render_text(findings))
+    else:
+        print("repro.lint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""Lint engine: file discovery, suppression comments, orchestration.
+
+Suppression contract (mirrors the dynamic suite's "explain every
+exemption" policy):
+
+* ``# repro-lint: disable=RULE1,RULE2`` on the offending line silences
+  exactly those rules on exactly that line (``all`` silences every
+  rule).  Anything after the rule list (``— reason``) is free text; by
+  convention every suppression carries one.
+* ``# repro-lint: disable-file=RULE1,...`` anywhere in a file (top of
+  the module by convention) silences the rules for the whole file —
+  reserved for modules whose *job* is the exempted behaviour (e.g. the
+  atomic-write primitive performing the underlying raw write).
+
+Suppressions are parsed from real tokenizer comments, never from string
+literals, so documentation quoting a directive does not disable it.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.checkers import check_tree
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, RULES_BY_ID
+
+#: Pseudo-rule id attached to unparseable files; cannot be suppressed.
+PARSE_ERROR_RULE = "LNT000"
+
+_DIRECTIVE = "repro-lint:"
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories, sorted.
+
+    Deterministic order (the lint pass holds itself to its own rules):
+    explicit arguments in argument order, directory walks sorted.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(sub.parts):
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+class _Suppressions:
+    """Per-line and per-file suppression directives of one source file."""
+
+    def __init__(self, line_rules: Dict[int, Set[str]], file_rules: Set[str]) -> None:
+        self.line_rules = line_rules
+        self.file_rules = file_rules
+
+    def allows(self, finding: Finding) -> bool:
+        if finding.rule == PARSE_ERROR_RULE:
+            return True
+        if _covers(self.file_rules, finding.rule):
+            return False
+        return not _covers(self.line_rules.get(finding.line, set()), finding.rule)
+
+
+def _covers(rules: Set[str], rule_id: str) -> bool:
+    return "all" in rules or rule_id in rules
+
+
+def _parse_directive(comment: str) -> Optional[Tuple[str, Set[str]]]:
+    """Split one comment into (scope, rule ids) if it is a directive.
+
+    Unknown rule ids inside a directive are kept verbatim — a typo'd
+    suppression then fails to match, surfacing the finding instead of
+    silently widening the exemption.
+    """
+    text = comment.lstrip("#").strip()
+    if not text.startswith(_DIRECTIVE):
+        return None
+    text = text[len(_DIRECTIVE):].strip()
+    for scope in ("disable-file", "disable"):
+        if text.startswith(scope):
+            remainder = text[len(scope):].lstrip()
+            if not remainder.startswith("="):
+                return None
+            value = remainder[1:]
+            # Free-text reason after the rule list: cut at first space run
+            # that follows the comma-separated ids.
+            value = value.split("—")[0].split(" -- ")[0]
+            ids = {token.strip() for token in value.split(",")}
+            ids = {t.split()[0] if t else t for t in ids if t}
+            normalised = {t if t == "all" else t.upper() for t in ids if t}
+            if normalised:
+                return scope, normalised
+            return None
+    return None
+
+
+def collect_suppressions(source: str) -> _Suppressions:
+    """Extract suppression directives from real comment tokens."""
+    line_rules: Dict[int, Set[str]] = {}
+    file_rules: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            parsed = _parse_directive(token.string)
+            if parsed is None:
+                continue
+            scope, ids = parsed
+            if scope == "disable-file":
+                file_rules.update(ids)
+            else:
+                line_rules.setdefault(token.start[0], set()).update(ids)
+    except tokenize.TokenError:
+        pass  # the parse-error finding covers the broken file
+    return _Suppressions(line_rules, file_rules)
+
+
+def lint_source(
+    source: str, path: str, select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint one in-memory module; ``path`` decides rule applicability."""
+    posix = path.replace("\\", "/")
+    enabled = {
+        rule.id
+        for rule in RULES
+        if (select is None or rule.id in set(select)) and rule.applies_to(posix)
+    }
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_ERROR_RULE,
+                message=f"file does not parse: {exc.msg}",
+                hint="fix the syntax error; nothing else was checked",
+            )
+        ]
+    findings = check_tree(tree, path, enabled)
+    suppressions = collect_suppressions(source)
+    kept = [finding for finding in findings if suppressions.allows(finding)]
+    kept.sort()
+    return kept
+
+
+def lint_file(path: Path, select: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint one on-disk file."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=1,
+                col=0,
+                rule=PARSE_ERROR_RULE,
+                message=f"file cannot be read: {exc}",
+                hint="",
+            )
+        ]
+    return lint_source(source, str(path), select=select)
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint every python file under ``paths`` and return sorted findings."""
+    select_set = None if select is None else set(select)
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, select=select_set))
+    findings.sort()
+    return findings
+
+
+def unknown_suppressed_rules(source: str) -> Set[str]:
+    """Rule ids referenced by directives that do not exist (QA helper)."""
+    suppressions = collect_suppressions(source)
+    referenced: Set[str] = set(suppressions.file_rules)
+    for rules in suppressions.line_rules.values():
+        referenced.update(rules)
+    referenced.discard("all")
+    return {rule for rule in referenced if rule not in RULES_BY_ID}

@@ -1,0 +1,190 @@
+"""Rule catalogue of the determinism lint pass.
+
+Every rule defends one of the reproducibility contracts the test suite
+pins dynamically (bitwise-identical campaign output at any worker
+count, same-seed retries, generation-invalidated route caches) — the
+lint pass makes the same contracts hold *statically*, at commit time.
+
+Rule families:
+
+``RNG``  RNG discipline — every stochastic component must draw from an
+         injected, seeded generator; process-global RNG state is banned.
+``DET``  Determinism hazards — unordered iteration, ``id()`` keying and
+         wall-clock reads that can silently change simulator output.
+``ART``  Artifact discipline — result files must go through the atomic
+         tmp-then-rename write primitives so a crash never truncates.
+``FLT``  Float discipline — invariant/audit code must not compare
+         floats with ``==`` against non-integral literals.
+
+Each rule knows which paths it applies to: wall-clock reads are the
+whole point of the timing infrastructure under ``repro/parallel`` and
+``benchmarks/``, and bitwise regression *tests* legitimately pin exact
+float values, so those combinations are exempt by construction instead
+of needing suppression comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+
+def _always(path: str) -> bool:
+    return True
+
+
+def _not_timing_infra(path: str) -> bool:
+    """Wall-clock reads are legitimate in the timing/benchmark layers."""
+    return not (
+        "/parallel/" in path
+        or path.startswith("benchmarks/")
+        or "/benchmarks/" in path
+    )
+
+
+def _src_only(path: str) -> bool:
+    """Bitwise regression tests pin exact floats on purpose."""
+    parts = path.split("/")
+    return "tests" not in parts and not parts[-1].startswith("test_")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identity, rationale, and path applicability."""
+
+    id: str
+    name: str
+    summary: str
+    hint: str
+    applies: Callable[[str], bool] = _always
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule is checked at all for ``path`` (posix form)."""
+        return self.applies(path.replace("\\", "/"))
+
+
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        id="RNG001",
+        name="stdlib-global-random",
+        summary=(
+            "call to a process-global `random` module function; stochastic "
+            "code must draw from an injected `random.Random(seed)` instance"
+        ),
+        hint=(
+            "accept a seeded `random.Random` (or numpy Generator) parameter "
+            "and call its bound methods instead"
+        ),
+    ),
+    Rule(
+        id="RNG002",
+        name="numpy-legacy-global-random",
+        summary=(
+            "call into numpy's legacy global RNG (`np.random.<fn>`); every "
+            "stochastic component must accept a `numpy.random.Generator` "
+            "spawned from the campaign `SeedSequence`"
+        ),
+        hint=(
+            "thread a `numpy.random.Generator` (from `default_rng(seed)` or "
+            "`SeedSequence.spawn`) through the call chain"
+        ),
+    ),
+    Rule(
+        id="RNG003",
+        name="legacy-randomstate",
+        summary=(
+            "construction of legacy `numpy.random.RandomState`; the campaign "
+            "seeding contract is built on `Generator`/`SeedSequence`"
+        ),
+        hint="use `numpy.random.default_rng(seed)`",
+    ),
+    Rule(
+        id="DET001",
+        name="unordered-set-iteration",
+        summary=(
+            "iteration over an unordered set expression in an order-sensitive "
+            "context; set order depends on PYTHONHASHSEED and insertion "
+            "history, so anything event-ordered built from it is unstable"
+        ),
+        hint="wrap the set in `sorted(...)` before iterating",
+    ),
+    Rule(
+        id="DET002",
+        name="id-as-key",
+        summary=(
+            "`id(...)` call; object ids are allocation addresses — keying a "
+            "cache or memo on them breaks across processes and silently "
+            "aliases once an object is garbage-collected"
+        ),
+        hint=(
+            "key on a stable identity (conn_id, a frozen dataclass, an "
+            "explicit token); for debug-only prints, suppress with "
+            "`# repro-lint: disable=DET002`"
+        ),
+    ),
+    Rule(
+        id="DET003",
+        name="wall-clock-in-sim",
+        summary=(
+            "wall-clock read in simulation logic; simulated time must come "
+            "from the event clock, and timestamps in results break bitwise "
+            "reproducibility"
+        ),
+        hint=(
+            "use the simulator's event time, or move timing measurement into "
+            "`repro.parallel` / the benchmark layer"
+        ),
+        applies=_not_timing_infra,
+    ),
+    Rule(
+        id="ART001",
+        name="raw-artifact-write",
+        summary=(
+            "raw file write (`open(.., 'w')` / `Path.write_*`); a crash "
+            "mid-write leaves a truncated artifact that poisons `--resume`"
+        ),
+        hint=(
+            "route the write through `repro.parallel.atomic_write_text` / "
+            "`atomic_write_bytes`"
+        ),
+    ),
+    Rule(
+        id="FLT001",
+        name="float-literal-equality",
+        summary=(
+            "`==`/`!=` against a non-integral float literal in invariant/"
+            "audit code; accumulated float state rarely equals a decimal "
+            "literal exactly, so the check is either dead or flaky"
+        ),
+        hint=(
+            "compare against an epsilon (`abs(x - 0.3) < EPSILON`) or an "
+            "exactly-representable quantity"
+        ),
+        applies=_src_only,
+    ),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
+
+#: Rule ids grouped by family prefix, for `--select RNG` style filters.
+FAMILIES: Tuple[str, ...] = ("RNG", "DET", "ART", "FLT")
+
+
+def expand_rule_selection(tokens: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Expand a mix of rule ids and family prefixes into rule ids.
+
+    Raises:
+        ValueError: on a token that is neither a rule id nor a family.
+    """
+    selected = []
+    for token in tokens:
+        token = token.strip().upper()
+        if not token:
+            continue
+        if token in RULES_BY_ID:
+            selected.append(token)
+        elif token in FAMILIES:
+            selected.extend(r.id for r in RULES if r.id.startswith(token))
+        else:
+            raise ValueError(f"unknown rule or family: {token!r}")
+    return tuple(dict.fromkeys(selected))

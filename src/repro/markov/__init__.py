@@ -1,5 +1,7 @@
 """Markov modelling: generic CTMC solvers + the paper's elastic-QoS model."""
 
+from __future__ import annotations
+
 from repro.markov.ctmc import (
     expected_value,
     is_irreducible,

@@ -18,7 +18,6 @@ extension benchmark) uses uniformisation with a Poisson series.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

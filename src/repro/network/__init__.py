@@ -1,5 +1,7 @@
 """Run-time resource accounting: per-link and network-wide reservations."""
 
+from __future__ import annotations
+
 from repro.network.link_state import EPSILON, LinkState
 from repro.network.state import NetworkState
 

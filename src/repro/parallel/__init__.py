@@ -19,6 +19,8 @@ Determinism rests on two rules (DESIGN.md §12):
   topology seed, so a worker process never depends on parent state.
 """
 
+from __future__ import annotations
+
 from repro.parallel.checkpoint import (
     CampaignCheckpoint,
     RetryPolicy,

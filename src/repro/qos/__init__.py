@@ -1,5 +1,7 @@
 """QoS contracts: traffic specs, elastic performance QoS, dependability QoS."""
 
+from __future__ import annotations
+
 from repro.qos.interval import (
     IntervalQoS,
     IntervalRegulator,

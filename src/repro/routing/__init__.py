@@ -6,7 +6,9 @@ generation-invalidated candidate cache used by the network manager
 lives in :mod:`repro.routing.cache`.
 """
 
-from repro.routing.cache import NO_ROUTE, RouteCache
+from __future__ import annotations
+
+from repro.routing.cache import NO_ROUTE, RouteAnswer, RouteCache
 from repro.routing.disjoint import (
     disjoint_path,
     maximally_disjoint_path,
@@ -37,6 +39,7 @@ from repro.routing.shortest import (
 
 __all__ = [
     "NO_ROUTE",
+    "RouteAnswer",
     "RouteCache",
     "bfs_path_rows",
     "dijkstra_path_rows",

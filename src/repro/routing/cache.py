@@ -40,12 +40,25 @@ from repro.routing.ksp import paths_iter_rows
 from repro.routing.shortest import bfs_path_rows
 from repro.topology.graph import LinkId, Network, link_id
 
+class _NoRouteType:
+    """Sentinel type of :data:`NO_ROUTE` (keeps lookups precisely typed)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "NO_ROUTE"
+
+
 #: Definitive answer: no admissible route exists between the endpoints
 #: (the raw enumeration was exhausted without an admission hit).
-NO_ROUTE = object()
+NO_ROUTE = _NoRouteType()
 
 #: One cached candidate: (node path, link ids, live link states).
 Candidate = Tuple[List[int], List[LinkId], List[LinkState]]
+
+#: ``primary_route`` answer: a (path, links) hit, the definitive
+#: :data:`NO_ROUTE` sentinel, or ``None`` ("unknown, fall back").
+RouteAnswer = Optional[Tuple[List[int], List[LinkId]] | _NoRouteType]
 
 #: Admission predicate over a live link state (load-dependent part).
 AdmitFn = Callable[[LinkState], bool]
@@ -137,7 +150,9 @@ class RouteCache:
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------
-    def primary_route(self, source: int, destination: int, admit: AdmitFn):
+    def primary_route(
+        self, source: int, destination: int, admit: AdmitFn
+    ) -> RouteAnswer:
         """First raw candidate passing ``admit`` on every link.
 
         Returns ``(path, links)`` copies on a hit, :data:`NO_ROUTE` when

@@ -20,7 +20,6 @@ cost against centralized Dijkstra.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 

@@ -90,9 +90,9 @@ def paths_iter_rows(
             def spur_ok(
                 lid: LinkId,
                 payload: object,
-                _removed=removed_links,
-                _banned=banned_nodes,
-                _base=edge_ok,
+                _removed: Set[LinkId] = removed_links,
+                _banned: Set[int] = banned_nodes,
+                _base: Optional[EdgeFilter] = edge_ok,
             ) -> bool:
                 if lid in _removed:
                     return False

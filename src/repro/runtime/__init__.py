@@ -6,6 +6,8 @@ packet scheduling per link, traffic sources, and a single-link
 simulation tying in the interval-QoS regulators.
 """
 
+from __future__ import annotations
+
 from repro.runtime.link_sim import LinkSimulation, LinkSimulationReport
 from repro.runtime.path_sim import PathSimulation, PathSimulationReport
 from repro.runtime.packets import ChannelDeliveryStats, Delivery, Packet

@@ -1,5 +1,7 @@
 """Discrete-event simulation of DR-connections with elastic QoS."""
 
+from __future__ import annotations
+
 from repro.sim.engine import EventScheduler
 from repro.sim.estimation import TransitionEstimator
 from repro.sim.simulator import (

@@ -12,7 +12,7 @@ Markov chain's stationary π, used to validate the model state by state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

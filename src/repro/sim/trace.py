@@ -16,7 +16,7 @@ purposes:
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.channels.records import EventImpact, EventKind

@@ -6,6 +6,8 @@ This package replaces the paper's use of the GT-ITM topology package:
 Table 1.  See DESIGN.md substitution 1 for the beta-calibration story.
 """
 
+from __future__ import annotations
+
 from repro.topology.graph import Link, LinkId, Network, link_id, network_from_edges
 from repro.topology.metrics import (
     average_degree,

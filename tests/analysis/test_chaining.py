@@ -10,7 +10,7 @@ from repro.analysis.chaining import (
 )
 from repro.channels.manager import NetworkManager
 from repro.errors import EstimationError
-from repro.topology.regular import dumbbell_network, line_network, ring_network
+from repro.topology.regular import dumbbell_network, line_network
 
 
 class TestSnapshot:

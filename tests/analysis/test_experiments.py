@@ -5,7 +5,6 @@ each runner produces structurally correct, internally consistent output
 fast enough for the unit-test suite.
 """
 
-import pytest
 
 from repro.analysis.experiments import (
     RunSettings,

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import SimulationError
 from repro.analysis.ideal import clamped_ideal, ideal_average_bandwidth, ideal_for_network
 from repro.topology.graph import Network
-from repro.topology.regular import complete_network, ring_network
+from repro.topology.regular import ring_network
 
 
 class TestFormula:

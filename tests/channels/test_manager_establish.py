@@ -6,7 +6,7 @@ from repro.channels.manager import NetworkManager
 from repro.channels.records import ConnectionState, EventKind
 from repro.errors import SimulationError
 from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS
-from repro.topology.regular import dumbbell_network, line_network, ring_network
+from repro.topology.regular import dumbbell_network, line_network
 
 
 class TestBasicEstablishment:

@@ -1,6 +1,5 @@
 """Unit tests for link failures, backup activation and recovery."""
 
-import pytest
 
 from repro.channels.manager import NetworkManager
 from repro.channels.records import ConnectionState, EventKind

@@ -5,7 +5,7 @@ import pytest
 
 from repro.channels.manager import NetworkManager
 from repro.errors import ReservationError
-from repro.topology.regular import complete_network, line_network, ring_network
+from repro.topology.regular import line_network, ring_network
 
 
 class TestBulkSetupMode:

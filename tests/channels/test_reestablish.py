@@ -1,10 +1,8 @@
 """Unit tests for the backup re-establishment extension."""
 
-import pytest
 
 from repro.channels.manager import NetworkManager
 from repro.topology.graph import Network
-from repro.topology.regular import complete_network, ring_network
 
 
 def theta_network(capacity=1000.0):

@@ -1,9 +1,8 @@
 """Unit tests for the water-filling redistribution engine."""
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
-import pytest
 
 from repro.elastic.policies import EqualShare, MaxUtility, UtilityProportional
 from repro.elastic.redistribute import (
@@ -169,6 +168,72 @@ class TestLocality:
         redistribute(state, channels, {1}, EqualShare())
         # Global maximality holds even though channel 2 was not a candidate.
         assert is_maximal(state, channels, channels.keys())
+
+
+class TestScalarCacheKeying:
+    """Regression: the redistribute scalar cache keys on the QoS contract
+    *value* (frozen dataclass), not ``id(...)`` (repro.lint DET002).
+
+    An ``id()`` key is allocation-dependent: equal contracts born as
+    distinct objects miss the cache, and a collected contract's address
+    can be reused by a different one.  These tests prove the value key
+    changes nothing observable: grants, levels and per-link extras are
+    identical whether contracts are aliased, duplicated, or mixed."""
+
+    def _run(self, make_qos):
+        state = NetworkState(line_network(4, 700.0))
+        channels = {}
+        routes = [[(0, 1), (1, 2)], [(1, 2), (2, 3)], [(0, 1)]]
+        for cid, links in enumerate(routes):
+            chan = FakeChannel(conn_id=cid, primary_links=list(links),
+                               qos=make_qos(cid))
+            state.reserve_primary_path(cid, chan.primary_links, chan.qos.b_min)
+            channels[cid] = chan
+        granted = redistribute(state, channels, sorted(channels), EqualShare())
+        return state, channels, granted
+
+    def _snapshot(self, state, channels, granted):
+        levels = {cid: chan.level for cid, chan in channels.items()}
+        extras = {
+            lid: dict(state.link(lid).primary_extra)
+            for lid in state.topology.link_ids()
+        }
+        return granted, levels, extras
+
+    def test_distinct_equal_contracts_match_shared_contract(self):
+        shared = qos()
+        aliased = self._snapshot(*self._run(lambda cid: shared))
+        # Equal value, a brand-new contract object per channel: under an
+        # ``id()`` key every one of these missed the cache.
+        distinct = self._snapshot(*self._run(lambda cid: qos()))
+        assert aliased == distinct
+
+    def test_mixed_contracts_never_alias(self):
+        """Channels with *different* contracts each use their own scalars
+        even when the contract objects are allocated back-to-back (the
+        aliasing an ``id()`` key risks once an object is collected)."""
+        contracts = {
+            0: ElasticQoS(b_min=100.0, b_max=500.0, increment=50.0),
+            1: ElasticQoS(b_min=100.0, b_max=300.0, increment=100.0),
+            2: ElasticQoS(b_min=100.0, b_max=500.0, increment=50.0),
+        }
+        state, channels, granted = self._run(lambda cid: contracts[cid])
+        _, levels, _ = self._snapshot(state, channels, granted)
+        # Channel 1's coarser contract caps it at (300-100)/100 = 2 levels.
+        assert levels[1] <= 2
+        assert is_maximal(state, channels, channels.keys())
+
+    def test_grants_bitwise_pinned(self):
+        """Exact output pinned so a future cache change that alters
+        redistribution shows up as a diff, not a silent drift."""
+        granted, levels, extras = self._snapshot(*self._run(lambda cid: qos()))
+        assert granted == {0: 5, 1: 5, 2: 5}
+        assert levels == {0: 5, 1: 5, 2: 5}
+        assert extras == {
+            (0, 1): {0: 250.0, 2: 250.0},
+            (1, 2): {0: 250.0, 1: 250.0},
+            (2, 3): {1: 250.0},
+        }
 
 
 class GenericEqualShare(EqualShare):

@@ -8,7 +8,6 @@ stream and arithmetic are untouched when injection is off.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.experiments import paper_connection_qos
 from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig

@@ -7,7 +7,6 @@ the double-failure machinery (nonzero double-failure drops).
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.experiments import paper_connection_qos
 from repro.faults import AuditPolicy, FaultConfig

@@ -1,0 +1,161 @@
+"""Engine, CLI, and repo-wide meta-tests for ``repro.lint``."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    PARSE_ERROR_RULE,
+    RULES,
+    RULES_BY_ID,
+    expand_rule_selection,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSuppressionDirectives:
+    def test_line_directive_only_covers_its_line(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # repro-lint: disable=DET003 — demo\n"
+            "b = time.time()\n"
+        )
+        findings = lint_source(src, "src/repro/sim/x.py")
+        assert [(f.rule, f.line) for f in findings] == [("DET003", 3)]
+
+    def test_line_directive_is_rule_specific(self):
+        src = "import time\nt = time.time()  # repro-lint: disable=DET002\n"
+        assert [f.rule for f in lint_source(src, "src/repro/sim/x.py")] == ["DET003"]
+
+    def test_disable_all_on_line(self):
+        src = "cache[id(x)] = time.time()  # repro-lint: disable=all\nimport time\n"
+        assert lint_source(src, "src/repro/sim/x.py") == []
+
+    def test_file_directive_covers_whole_file(self):
+        src = (
+            "# repro-lint: disable-file=DET003 — clock shim module\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()\n"
+        )
+        assert lint_source(src, "src/repro/sim/x.py") == []
+
+    def test_file_directive_leaves_other_rules_armed(self):
+        src = (
+            "# repro-lint: disable-file=DET003\n"
+            "import time\n"
+            "a = time.time()\n"
+            "cache[id(x)] = a\n"
+        )
+        assert [f.rule for f in lint_source(src, "src/repro/sim/x.py")] == ["DET002"]
+
+    def test_directive_inside_string_literal_is_ignored(self):
+        src = (
+            'doc = "suppress with # repro-lint: disable=DET002"\n'
+            "cache[id(x)] = 1\n"
+        )
+        assert [f.rule for f in lint_source(src, "src/repro/sim/x.py")] == ["DET002"]
+
+    def test_typoed_rule_id_does_not_suppress(self):
+        src = "cache[id(x)] = 1  # repro-lint: disable=DET002X\n"
+        assert [f.rule for f in lint_source(src, "src/repro/sim/x.py")] == ["DET002"]
+
+
+class TestEngineBasics:
+    def test_parse_error_becomes_finding(self):
+        findings = lint_source("def broken(:\n", "src/repro/sim/x.py")
+        assert [f.rule for f in findings] == [PARSE_ERROR_RULE]
+
+    def test_findings_sorted_and_structured(self):
+        src = "import time\nb = time.time()\ncache[id(x)] = b\n"
+        findings = lint_source(src, "src/repro/sim/x.py")
+        assert [(f.rule, f.line) for f in findings] == [("DET003", 2), ("DET002", 3)]
+        for finding in findings:
+            assert finding.path == "src/repro/sim/x.py"
+            assert finding.hint
+            data = finding.to_json()
+            assert set(data) == {"path", "line", "col", "rule", "message", "hint"}
+
+    def test_select_narrows_rules(self):
+        src = "import time\nb = time.time()\ncache[id(x)] = b\n"
+        findings = lint_source(src, "src/repro/sim/x.py", select={"DET002"})
+        assert [f.rule for f in findings] == ["DET002"]
+
+    def test_family_expansion(self):
+        assert expand_rule_selection(("RNG",)) == ("RNG001", "RNG002", "RNG003")
+        assert expand_rule_selection(("det002", "ART")) == ("DET002", "ART001")
+        with pytest.raises(ValueError):
+            expand_rule_selection(("NOPE",))
+
+    def test_discovery_is_sorted_and_skips_pycache(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")  # repro-lint: disable=ART001 — fixture setup
+        (tmp_path / "a.py").write_text("x = 1\n")  # repro-lint: disable=ART001 — fixture setup
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "z.py").write_text("x = 1\n")  # repro-lint: disable=ART001 — fixture setup
+        found = [p.name for p in iter_python_files([str(tmp_path)])]
+        assert found == ["a.py", "b.py"]
+
+    def test_rule_catalogue_consistency(self):
+        assert len(RULES) >= 8
+        families = {rule.id[:3] for rule in RULES}
+        assert {"RNG", "DET", "ART", "FLT"} <= families
+        assert all(RULES_BY_ID[rule.id] is rule for rule in RULES)
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")  # repro-lint: disable=ART001 — fixture setup
+        assert lint_main([str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_hint(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("cache[id(x)] = 1\n")  # repro-lint: disable=ART001 — fixture setup
+        assert lint_main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out and "hint:" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\nt = time.time()\n")  # repro-lint: disable=ART001 — fixture setup
+        assert lint_main([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "DET003"
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule.id in out
+
+    def test_module_entry_point(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text("from random import shuffle\nshuffle(x)\n")  # repro-lint: disable=ART001 — fixture setup
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(target)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "RNG001" in proc.stdout
+
+
+class TestRepoIsClean:
+    """The commit-time gate, asserted from inside the test suite too."""
+
+    def test_src_and_tests_lint_clean(self):
+        findings = lint_paths([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+        assert findings == [], "\n".join(f.render() for f in findings)

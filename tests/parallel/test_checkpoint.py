@@ -1,6 +1,5 @@
 """Crash resilience: atomic writes, retries, timeouts, checkpoint resume."""
 
-import pickle
 import shutil
 from concurrent.futures import Future
 from concurrent.futures.process import BrokenProcessPool
@@ -55,7 +54,7 @@ class TestAtomicWrites:
 
     def test_overwrites_existing(self, tmp_path):
         path = tmp_path / "artifact.txt"
-        path.write_text("old")
+        path.write_text("old")  # repro-lint: disable=ART001 — seeding a pre-existing file
         atomic_write_text(path, "new")
         assert path.read_text() == "new"
 
@@ -122,13 +121,13 @@ class TestCampaignCheckpoint:
         checkpoint = CampaignCheckpoint(tmp_path / "camp")
         checkpoint.record(0, batch[0], execute_sim_job(batch[0]))
         job_id = CampaignCheckpoint.job_id(0, batch[0])
-        (tmp_path / "camp" / f"{job_id}.pkl").write_bytes(b"garbage")
+        (tmp_path / "camp" / f"{job_id}.pkl").write_bytes(b"garbage")  # repro-lint: disable=ART001 — deliberate corruption
         resumed = CampaignCheckpoint(tmp_path / "camp", resume=True)
         assert resumed.load_completed(batch) == {}
 
     def test_corrupt_manifest_starts_fresh(self, tmp_path):
         checkpoint = CampaignCheckpoint(tmp_path / "camp")
-        (tmp_path / "camp" / "manifest.json").write_text("{not json")
+        (tmp_path / "camp" / "manifest.json").write_text("{not json")  # repro-lint: disable=ART001 — deliberate corruption
         resumed = CampaignCheckpoint(tmp_path / "camp", resume=True)
         assert resumed.completed_ids == []
 

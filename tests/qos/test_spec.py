@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import QoSSpecError
 from repro.qos.spec import (
-    ConnectionQoS,
     DependabilityQoS,
     ElasticQoS,
     TrafficSpec,

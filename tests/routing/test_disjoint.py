@@ -1,10 +1,8 @@
 """Unit tests for link-disjoint backup routing."""
 
-import pytest
 
 from repro.routing.disjoint import disjoint_path, paths_link_disjoint, shared_links
 from repro.topology.graph import Network
-from repro.topology.regular import line_network, ring_network
 
 
 class TestDisjointPath:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import RoutingError
 from repro.routing.flooding import bounded_flood, flooding_route_pair
-from repro.topology.regular import grid_network, line_network, ring_network
 
 
 def unlimited(link):

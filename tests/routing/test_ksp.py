@@ -10,7 +10,7 @@ from repro.routing.ksp import (
 )
 from repro.routing.shortest import path_hops
 from repro.topology.graph import Network
-from repro.topology.regular import grid_network, ring_network
+from repro.topology.regular import grid_network
 
 
 class TestKShortestPaths:

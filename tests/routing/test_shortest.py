@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import RoutingError
 from repro.routing.shortest import path_cost, path_hops, shortest_path
-from repro.topology.regular import grid_network, line_network, ring_network
+from repro.topology.regular import grid_network
 
 
 class TestBfsPath:

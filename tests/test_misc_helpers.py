@@ -5,7 +5,7 @@ import pytest
 from repro.errors import TopologyError
 from repro.routing.shortest import reachable_filterless
 from repro.topology.graph import Network, iter_adjacent
-from repro.topology.regular import line_network, ring_network
+from repro.topology.regular import line_network
 
 
 class TestIterAdjacent:
