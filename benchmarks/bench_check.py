@@ -1,0 +1,153 @@
+"""Benchmark regression gate over the ``BENCH_core_ops.json`` artifact.
+
+Deterministic CI check: no benchmarks are (re)run here.  The artifact is
+the record; this script verifies that its **latest run** does not
+regress more than a tolerance against its baseline, and fails the build
+if it does.  Keeping the gate a pure JSON diff makes it flake-free on
+shared CI machines — the noisy part (recording) happens once, on the
+developer's machine, and is reviewed with the PR like any other diff.
+
+Baseline selection.  Runs carry a ``core`` field (``array`` | ``object``
+— runs recorded before the field existed are the historical ``object``
+core).  The baseline for the latest run is the nearest *earlier* run
+with the same core: comparing the SoA core's first recording against an
+object-core run would conflate an architecture swap with a regression.
+A run with no same-core predecessor becomes the lineage's baseline and
+passes vacuously.
+
+Environment normalization.  Each run records ``calib_us`` — the median
+of a fixed numpy workload on the recording machine (see
+``bench_to_json.machine_calibration``).  When both runs carry it, the
+baseline's medians are scaled by the calibration ratio before the
+tolerance is applied, so a slower (or thermally throttled) recording
+machine is not misread as a code regression.  Runs predating the field
+compare unscaled.
+
+Exit status: 0 when every tracked median is within tolerance, 1
+otherwise (with a per-metric report either way).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_ARTIFACT = REPO_ROOT / "BENCH_core_ops.json"
+
+#: Allowed fractional regression of any tracked median (15%).
+DEFAULT_TOLERANCE = 0.15
+
+#: The historical core of runs recorded before the ``core`` field.
+_LEGACY_CORE = "object"
+
+
+def load_runs(path: Path) -> list[dict]:
+    artifact = json.loads(path.read_text())
+    runs = artifact.get("runs", [])
+    if not runs:
+        raise SystemExit(f"{path}: artifact contains no runs")
+    return runs
+
+
+def run_core(run: dict) -> str:
+    return run.get("core", _LEGACY_CORE)
+
+
+def find_run(runs: list[dict], label: str) -> dict:
+    for run in runs:
+        if run.get("label") == label:
+            return run
+    raise SystemExit(f"no run labelled {label!r} in the artifact")
+
+
+def baseline_for(runs: list[dict], candidate: dict) -> Optional[dict]:
+    """Nearest earlier run with the candidate's core, or None."""
+    core = run_core(candidate)
+    index = runs.index(candidate)
+    for run in reversed(runs[:index]):
+        if run_core(run) == core:
+            return run
+    return None
+
+
+def check(candidate: dict, baseline: dict, tolerance: float) -> int:
+    """Compare tracked medians; return the number of regressions."""
+    scale = 1.0
+    cand_calib = candidate.get("calib_us")
+    base_calib = baseline.get("calib_us")
+    if cand_calib and base_calib:
+        scale = cand_calib / base_calib
+        print(
+            f"calibration: candidate {cand_calib} µs / baseline {base_calib} µs"
+            f" -> machine factor {scale:.3f}"
+        )
+    else:
+        print("calibration: unavailable on one side; comparing unscaled")
+
+    failures = 0
+    shared = sorted(set(candidate["results"]) & set(baseline["results"]))
+    if not shared:
+        raise SystemExit("runs share no benchmarks; nothing to compare")
+    for name in shared:
+        cand_med = candidate["results"][name]["median_us"]
+        base_med = baseline["results"][name]["median_us"]
+        limit = base_med * scale * (1.0 + tolerance)
+        ok = cand_med <= limit
+        verdict = "ok" if ok else "REGRESSION"
+        print(
+            f"  {name}: {cand_med:.1f} µs vs baseline {base_med:.1f} µs"
+            f" (limit {limit:.1f}) {verdict}"
+        )
+        if not ok:
+            failures += 1
+    return failures
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifact", type=Path, default=DEFAULT_ARTIFACT,
+        help=f"artifact path (default {DEFAULT_ARTIFACT})",
+    )
+    parser.add_argument(
+        "--candidate", default=None,
+        help="label of the run under test (default: the artifact's last run)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="label to compare against (default: nearest earlier same-core run)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"allowed fractional regression (default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+
+    runs = load_runs(args.artifact)
+    candidate = find_run(runs, args.candidate) if args.candidate else runs[-1]
+    if args.baseline:
+        baseline = find_run(runs, args.baseline)
+    else:
+        baseline = baseline_for(runs, candidate)
+    print(f"candidate: {candidate['label']} (core={run_core(candidate)})")
+    if baseline is None:
+        print(
+            "no earlier run with this core: this recording becomes the"
+            " lineage baseline; nothing to gate"
+        )
+        return 0
+    print(f"baseline:  {baseline['label']} (core={run_core(baseline)})")
+    failures = check(candidate, baseline, args.tolerance)
+    if failures:
+        print(f"FAILED: {failures} benchmark(s) regressed > {args.tolerance:.0%}")
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

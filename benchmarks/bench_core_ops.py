@@ -11,11 +11,13 @@ regressed.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.analysis.experiments import paper_connection_qos
-from repro.channels.manager import NetworkManager
+from repro.channels import make_manager
 from repro.markov.model import ElasticQoSMarkovModel
 from repro.markov.parameters import (
     MarkovParameters,
@@ -30,7 +32,9 @@ def loaded_manager(n_connections: int, seed: int = 11):
     """A manager pre-loaded with ``n_connections`` on a 60-node network."""
     rng = np.random.default_rng(seed)
     net = paper_random_network(PAPER_LINK_CAPACITY, rng, n=60, target_edges=130)
-    manager = NetworkManager(net)
+    # Defaults to the array core; REPRO_BENCH_CORE=object records the
+    # object-core twin on the same machine (environment recalibration).
+    manager = make_manager(net, core=os.environ.get("REPRO_BENCH_CORE", "array"))
     qos = paper_connection_qos()
     nodes = np.array(net.nodes())
     pair_rng = np.random.default_rng(seed + 1)

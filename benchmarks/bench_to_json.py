@@ -35,6 +35,32 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core_ops.json"
 _US = 1e6
 
 
+def machine_calibration(reps: int = 15) -> float:
+    """Median µs of a fixed numpy workload — a machine-speed canary.
+
+    Recorded alongside each run so cross-machine (or throttled-CPU)
+    comparisons can be normalized instead of misread as regressions:
+    ``bench_check`` scales a baseline's medians by the ratio of the two
+    runs' calibrations before applying its tolerance.
+    """
+    import time
+
+    import numpy as np
+
+    rng = np.random.default_rng(12345)
+    a = rng.standard_normal((160, 160))
+    a = a @ a.T + 160.0 * np.eye(160)
+    b = rng.standard_normal(160)
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        np.linalg.solve(a, b)
+        np.sort(rng.standard_normal(200_000))
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return round(times[len(times) // 2] * _US, 1)
+
+
 def run_benchmarks(quick: bool, extra_args: list[str]) -> Dict[str, dict]:
     """Run bench_core_ops under pytest-benchmark; return name -> stats."""
     env = dict(os.environ)
@@ -103,6 +129,8 @@ def merge_run(output: Path, label: str, results: Dict[str, dict]) -> dict:
             ),
             "git": git_revision(),
             "python": platform.python_version(),
+            "core": os.environ.get("REPRO_BENCH_CORE", "array"),
+            "calib_us": machine_calibration(),
             "results": results,
         }
     )

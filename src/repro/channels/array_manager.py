@@ -1,0 +1,1137 @@
+"""Array-backed network manager over struct-of-arrays state.
+
+:class:`ArrayNetworkManager` is the SoA twin of
+:class:`~repro.channels.manager.NetworkManager`: the same operational
+rules (§3.1 of the paper), the same public surface, the same event
+semantics — but every reservation lives in the NumPy columns of a
+:class:`~repro.network.link_table.LinkTable` and every connection in a
+:class:`~repro.channels.conn_table.ConnectionTable` row addressed by an
+integer handle.  The hot per-event sweeps (extras reclamation, the
+elastic water-fill, candidate collection, measurement reductions) are
+vectorized; cold control flow (backup multiplexing, failover decisions)
+stays scalar and mirrors the object core statement for statement.
+
+Equivalence contract: driven through an identical event sequence, this
+manager and the object manager produce **bitwise-identical** routes,
+grants, drops, statistics and per-link float state (twin-manager tests
+pin this, with fault injection on and off).  The contract is exact on
+the paper's dyadic bandwidth grid; see :mod:`repro.elastic.array_fill`
+for the one caveat on off-grid bandwidths.
+
+The object manager remains the reference oracle; this class is the
+default simulation core (see ``repro.channels.make_manager``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.channels.conn_table import CODE_STATE, STATE_CODE, ConnectionTable
+from repro.channels.manager import _UNIVERSAL_CONFLICT, ROUTING_ENGINES
+from repro.channels.records import (
+    ConnectionState,
+    EventImpact,
+    EventKind,
+    ManagerStats,
+)
+from repro.elastic.array_fill import (
+    _gather,
+    drop_to_minimum_soa,
+    redistribute_soa,
+)
+from repro.elastic.policies import AdaptationPolicy, EqualShare
+from repro.errors import (
+    AdmissionError,
+    FaultInjectionError,
+    ReservationError,
+    SimulationError,
+)
+from repro.network.link_state import EPSILON
+from repro.network.link_table import LinkTable
+from repro.qos.spec import ConnectionQoS, ElasticQoS
+from repro.routing.cache import NO_ROUTE, ArrayAdjacencyRows, ArrayRouteCache
+from repro.routing.disjoint import disjoint_path, maximally_disjoint_path
+from repro.routing.flooding import flooding_route_pair
+from repro.routing.shortest import _check_endpoints, bfs_path_rows
+from repro.topology.graph import Link, LinkId, Network
+
+_ACTIVE = STATE_CODE[ConnectionState.ACTIVE]
+_FAILED_OVER = STATE_CODE[ConnectionState.FAILED_OVER]
+
+
+class ArrayLinkView:
+    """Read-only per-link view over the :class:`LinkTable` columns.
+
+    Duck-type compatible with the aggregate properties of
+    :class:`~repro.network.link_state.LinkState` (diagnostics, tests);
+    the per-connection dicts of the object core have no SoA equivalent.
+    """
+
+    __slots__ = ("_t", "_i", "link")
+
+    def __init__(self, table: LinkTable, index: int) -> None:
+        self._t = table
+        self._i = index
+        self.link = table.link_ids[index]
+
+    @property
+    def capacity(self) -> float:
+        return float(self._t.capacity[self._i])
+
+    @property
+    def failed(self) -> bool:
+        return bool(self._t.failed[self._i])
+
+    @property
+    def primary_min_total(self) -> float:
+        return float(self._t.primary_min[self._i])
+
+    @property
+    def primary_extra_total(self) -> float:
+        return float(self._t.primary_extra[self._i])
+
+    @property
+    def activated_total(self) -> float:
+        return float(self._t.activated[self._i])
+
+    @property
+    def backup_reserved(self) -> float:
+        return float(self._t.backup_reserved[self._i])
+
+    @property
+    def used(self) -> float:
+        return self.primary_min_total + self.primary_extra_total + self.activated_total
+
+    @property
+    def spare_for_extras(self) -> float:
+        return self._t.spare_at(self._i)
+
+    @property
+    def admission_headroom(self) -> float:
+        return self._t.headroom_at(self._i)
+
+    def can_admit_primary(self, b_min: float) -> bool:
+        return not self.failed and b_min <= self.admission_headroom + EPSILON
+
+
+class ArrayNetworkState:
+    """Failure bookkeeping + compat facade over a :class:`LinkTable`.
+
+    Mirrors the parts of :class:`~repro.network.state.NetworkState` the
+    simulator, the fault injectors and the route layer consume:
+    generation counter, sorted alive/failed link lists (incrementally
+    maintained, bitwise-deterministic victim picks), adjacency rows —
+    here carrying the **dense link index** as the row payload.
+    """
+
+    def __init__(self, topology: Network, table: LinkTable) -> None:
+        self.topology = topology
+        self.table = table
+        self._failed: Set[LinkId] = set()
+        self._alive_list: List[LinkId] = sorted(table.index)
+        self._failed_list: List[LinkId] = []
+        self.generation: int = 0
+        self._rows: ArrayAdjacencyRows = {
+            node: [(nbr, lid, table.index[lid]) for nbr, lid, _link in row]
+            for node, row in topology.adjacency_rows().items()
+        }
+
+    # -- link access ----------------------------------------------------
+    def link(self, lid: LinkId) -> ArrayLinkView:
+        """Per-link diagnostic view (compat with ``NetworkState.link``)."""
+        return ArrayLinkView(self.table, self.table.index_of(lid))
+
+    def adjacency_rows(self) -> ArrayAdjacencyRows:
+        """node -> ``[(neighbor, link_id, dense_index)]`` rows."""
+        return self._rows
+
+    @property
+    def failed_links(self) -> FrozenSet[LinkId]:
+        return frozenset(self._failed)
+
+    def is_failed(self, lid: LinkId) -> bool:
+        return lid in self._failed
+
+    def alive_link_list(self) -> List[LinkId]:
+        return self._alive_list
+
+    def failed_link_list(self) -> List[LinkId]:
+        return self._failed_list
+
+    @property
+    def num_alive(self) -> int:
+        return len(self._alive_list)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self._failed_list)
+
+    # -- failures -------------------------------------------------------
+    def fail_link(self, lid: LinkId) -> None:
+        self.table.fail(self.table.index_of(lid))
+        self._failed.add(lid)
+        self._alive_list.pop(bisect_left(self._alive_list, lid))
+        insort(self._failed_list, lid)
+        self.generation += 1
+
+    def repair_link(self, lid: LinkId) -> None:
+        self.table.repair(self.table.index_of(lid))
+        self._failed.discard(lid)
+        self._failed_list.pop(bisect_left(self._failed_list, lid))
+        insort(self._alive_list, lid)
+        self.generation += 1
+
+    # -- diagnostics ----------------------------------------------------
+    def total_used(self) -> float:
+        return float(np.sum(self.table.used()))
+
+    def total_capacity(self) -> float:
+        return float(np.sum(self.table.capacity))
+
+    def utilization(self) -> float:
+        cap = self.total_capacity()
+        return self.total_used() / cap if cap > 0 else 0.0
+
+
+class ArrayConnView:
+    """DRConnection-shaped read view of one connection table row.
+
+    Valid while the connection is live; once the handle is freed (drop
+    or termination) the view goes stale and must not be dereferenced.
+    """
+
+    __slots__ = ("_m", "_h", "conn_id")
+
+    def __init__(self, manager: "ArrayNetworkManager", handle: int) -> None:
+        self._m = manager
+        self._h = handle
+        self.conn_id = int(manager.conns.conn_id[handle])
+
+    @property
+    def source(self) -> int:
+        return int(self._m.conns.source[self._h])
+
+    @property
+    def destination(self) -> int:
+        return int(self._m.conns.destination[self._h])
+
+    @property
+    def qos(self) -> ConnectionQoS:
+        qos = self._m.conns.qos[self._h]
+        assert qos is not None
+        return qos
+
+    @property
+    def elastic_qos(self) -> ElasticQoS:
+        return self.qos.performance
+
+    @property
+    def level(self) -> int:
+        return int(self._m.conns.level[self._h])
+
+    @property
+    def state(self) -> ConnectionState:
+        return CODE_STATE[int(self._m.conns.state[self._h])]
+
+    @property
+    def on_backup(self) -> bool:
+        return bool(self._m.conns.on_backup[self._h])
+
+    @property
+    def established_at(self) -> float:
+        return float(self._m.conns.established_at[self._h])
+
+    @property
+    def backup_overlap(self) -> int:
+        return int(self._m.conns.backup_overlap[self._h])
+
+    @property
+    def primary_path(self) -> List[int]:
+        return self._m.conns.pnode_slice(self._h).tolist()
+
+    @property
+    def primary_links(self) -> List[LinkId]:
+        return self._m.conns.primary_links_of(self._h, self._m.links.link_ids)
+
+    @property
+    def backup_path(self) -> Optional[List[int]]:
+        if not self._m.conns.bk_len[self._h]:
+            return None
+        return self._m.conns.bnode_slice(self._h).tolist()
+
+    @property
+    def backup_links(self) -> Optional[List[LinkId]]:
+        return self._m.conns.backup_links_of(self._h, self._m.links.link_ids)
+
+    @property
+    def is_live(self) -> bool:
+        return int(self._m.conns.state[self._h]) <= _FAILED_OVER
+
+    @property
+    def has_backup(self) -> bool:
+        return bool(self._m.conns.bk_len[self._h]) and not self.on_backup
+
+    @property
+    def is_elastic_participant(self) -> bool:
+        c = self._m.conns
+        return (
+            int(c.state[self._h]) == _ACTIVE
+            and not c.on_backup[self._h]
+            and bool(c.elastic[self._h])
+        )
+
+    @property
+    def bandwidth(self) -> float:
+        c = self._m.conns
+        if c.on_backup[self._h]:
+            return float(c.b_min[self._h])
+        return float(c.b_min[self._h] + c.level[self._h] * c.increment[self._h])
+
+    @property
+    def live_links(self) -> List[LinkId]:
+        if self.on_backup:
+            links = self.backup_links
+            assert links is not None
+            return links
+        return self.primary_links
+
+
+class _ConnMapView:
+    """``manager.connections``-shaped mapping of conn id -> view."""
+
+    __slots__ = ("_m",)
+
+    def __init__(self, manager: "ArrayNetworkManager") -> None:
+        self._m = manager
+
+    def __len__(self) -> int:
+        return len(self._m._h_of)
+
+    def __contains__(self, cid: object) -> bool:
+        return cid in self._m._h_of
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._m._h_of)
+
+    def __getitem__(self, cid: int) -> ArrayConnView:
+        return ArrayConnView(self._m, self._m._h_of[cid])
+
+    def get(self, cid: int, default: Optional[ArrayConnView] = None) -> Optional[ArrayConnView]:
+        h = self._m._h_of.get(cid)
+        if h is None:
+            return default
+        return ArrayConnView(self._m, h)
+
+    def keys(self) -> List[int]:
+        return list(self._m._h_of)
+
+    def values(self) -> List[ArrayConnView]:
+        return [ArrayConnView(self._m, h) for h in self._m._h_of.values()]
+
+    def items(self) -> List[Tuple[int, ArrayConnView]]:
+        return [(cid, ArrayConnView(self._m, h)) for cid, h in self._m._h_of.items()]
+
+
+class _LinkSetsView:
+    """``channels_on_link``-shaped read view: LinkId -> set of conn ids.
+
+    Internally the manager indexes by dense link index and stores
+    *handles*; this view translates both on access (estimator/test
+    compatibility — only touched on sampled events).
+    """
+
+    __slots__ = ("_m", "_sets")
+
+    def __init__(self, manager: "ArrayNetworkManager", sets: List[Set[int]]) -> None:
+        self._m = manager
+        self._sets = sets
+
+    def _cids(self, li: int) -> Set[int]:
+        conn_id = self._m.conns.conn_id
+        return {int(conn_id[h]) for h in self._sets[li]}
+
+    def get(self, lid: LinkId, default: FrozenSet[int] = frozenset()) -> Set[int] | FrozenSet[int]:
+        li = self._m.links.index.get(lid)
+        if li is None or not self._sets[li]:
+            return default
+        return self._cids(li)
+
+    def __getitem__(self, lid: LinkId) -> Set[int]:
+        return self._cids(self._m.links.index_of(lid))
+
+    def __contains__(self, lid: object) -> bool:
+        return lid in self._m.links.index
+
+    def items(self) -> Iterator[Tuple[LinkId, Set[int]]]:
+        for li, handles in enumerate(self._sets):
+            if handles:
+                yield self._m.links.link_ids[li], self._cids(li)
+
+
+class ArrayNetworkManager:
+    """Central DR-connection manager over struct-of-arrays state."""
+
+    def __init__(
+        self,
+        topology: Network,
+        policy: Optional[AdaptationPolicy] = None,
+        routing: str = "dijkstra",
+        flood_hop_bound: int = 16,
+        multiplex_backups: bool = True,
+        reestablish_backups: bool = False,
+        route_cache_probe: int = 4,
+    ) -> None:
+        if routing not in ROUTING_ENGINES:
+            raise SimulationError(
+                f"unknown routing engine {routing!r}; choose from {ROUTING_ENGINES}"
+            )
+        self.topology = topology
+        self.links = LinkTable(topology)
+        self.conns = ConnectionTable()
+        self.state = ArrayNetworkState(topology, self.links)
+        self.policy = policy if policy is not None else EqualShare()
+        self.routing = routing
+        self.flood_hop_bound = flood_hop_bound
+        self.multiplex_backups = multiplex_backups
+        self.reestablish_backups = reestablish_backups
+        self.route_cache: Optional[ArrayRouteCache] = (
+            ArrayRouteCache(
+                topology,
+                self.links,
+                self.state.adjacency_rows(),
+                probe_limit=route_cache_probe,
+            )
+            if route_cache_probe > 0
+            else None
+        )
+        n = len(self.links)
+        #: Dense link index -> handles of ACTIVE primaries / inactive
+        #: backups / activated backups traversing it.
+        self._prims_on: List[Set[int]] = [set() for _ in range(n)]
+        self._backups_on: List[Set[int]] = [set() for _ in range(n)]
+        self._active_on: List[Set[int]] = [set() for _ in range(n)]
+        #: conn id -> live handle.
+        self._h_of: Dict[int, int] = {}
+        self.stats = ManagerStats()
+        self.now = 0.0
+        self._next_id = 0
+        self.activation_fault_prob: float = 0.0
+        self._fault_rng = None
+        self.auto_redistribute = True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def connections(self) -> _ConnMapView:
+        """Live connections by id (read view over the table)."""
+        return _ConnMapView(self)
+
+    @property
+    def channels_on_link(self) -> _LinkSetsView:
+        """link -> ids of ACTIVE primaries traversing it (read view)."""
+        return _LinkSetsView(self, self._prims_on)
+
+    @property
+    def backups_on_link(self) -> _LinkSetsView:
+        """link -> ids of inactive backups traversing it (read view)."""
+        return _LinkSetsView(self, self._backups_on)
+
+    @property
+    def active_backups_on_link(self) -> _LinkSetsView:
+        """link -> ids of activated backups traversing it (read view)."""
+        return _LinkSetsView(self, self._active_on)
+
+    def connection(self, conn_id: int) -> ArrayConnView:
+        """The live connection ``conn_id`` (raises when not live)."""
+        try:
+            return ArrayConnView(self, self._h_of[conn_id])
+        except KeyError:
+            raise ReservationError(f"connection {conn_id} is not live") from None
+
+    def live_connection_ids(self) -> List[int]:
+        """Ids of all live connections, sorted (masked reduction)."""
+        return self.conns.live_connection_ids()
+
+    @property
+    def num_live(self) -> int:
+        return len(self._h_of)
+
+    def average_live_bandwidth(self) -> float:
+        """Mean bandwidth per live connection (masked reduction)."""
+        return self.conns.average_live_bandwidth()
+
+    def level_histogram(self, num_levels: int) -> List[int]:
+        """Count of ACTIVE elastic primaries at each level (bincount)."""
+        return self.conns.level_histogram(num_levels)
+
+    # ------------------------------------------------------------------
+    # establishment
+    # ------------------------------------------------------------------
+    def request_connection(
+        self, source: int, destination: int, qos: ConnectionQoS
+    ) -> Tuple[Optional[ArrayConnView], EventImpact]:
+        """Try to establish a DR-connection; returns (connection, impact)."""
+        impact = EventImpact(kind=EventKind.ARRIVAL, time=self.now)
+        if qos.dependability.num_backups > 1:
+            raise SimulationError(
+                "this manager implements the paper's scheme of one backup "
+                f"channel per DR-connection; got num_backups="
+                f"{qos.dependability.num_backups}"
+            )
+        self.stats.requests += 1
+        b_min = qos.performance.b_min
+
+        primary_path, backup_path, primary_links, primary_link_set = self._select_routes(
+            source, destination, qos
+        )
+        if primary_path is None or primary_links is None or primary_link_set is None:
+            self.stats.rejected_no_primary += 1
+            impact.accepted = False
+            return None, impact
+        if qos.dependability.wants_backup and backup_path is None:
+            self.stats.rejected_no_backup += 1
+            impact.accepted = False
+            return None, impact
+
+        primary_set = self._conflict_set(primary_link_set)
+        conn_id = self._next_id
+        self._next_id += 1
+        impact.conn_id = conn_id
+
+        prim_idx = self.links.indices_of(primary_links)
+        affected: Set[int] = set(prim_idx.tolist())
+        direct_ids = self._reclaim_direct(prim_idx, affected, impact)
+
+        self._reserve_primary_checked(prim_idx, b_min)
+
+        backup_links: Optional[List[LinkId]] = None
+        bk_idx: Optional[np.ndarray] = None
+        overlap = 0
+        if backup_path is not None:
+            backup_links = self.topology.path_links(backup_path)
+            overlap = sum(1 for lid in backup_links if lid in primary_link_set)
+            bk_idx = self.links.indices_of(backup_links)
+            if not all(
+                self.links.can_admit_backup(int(li), b_min, primary_set)
+                for li in bk_idx
+            ):
+                # The primary's own reservation consumed the headroom the
+                # backup needed (only possible with overlapping routes).
+                self.links.primary_min[prim_idx] -= b_min
+                self._redistribute(affected, impact, direct_ids)
+                self.stats.rejected_no_backup += 1
+                impact.accepted = False
+                return None, impact
+            for li in bk_idx.tolist():
+                self.links.add_backup(li, b_min, primary_set)
+
+        h = self.conns.allocate(
+            conn_id,
+            source,
+            destination,
+            qos,
+            prim_idx,
+            np.asarray(primary_path, dtype=np.int64),
+            self.now,
+        )
+        if bk_idx is not None:
+            assert backup_path is not None
+            self.conns.set_backup(
+                h, bk_idx, np.asarray(backup_path, dtype=np.int64), overlap
+            )
+            for li in bk_idx.tolist():
+                self._backups_on[li].add(h)
+        self._h_of[conn_id] = h
+        for li in prim_idx.tolist():
+            self._prims_on[li].add(h)
+
+        self._redistribute(affected, impact, direct_ids)
+        self.stats.accepted += 1
+        return ArrayConnView(self, h), impact
+
+    def _reserve_primary_checked(self, prim_idx: np.ndarray, b_min: float) -> None:
+        """Reserve a primary's minimum with the object core's guards."""
+        t = self.links
+        headroom = (
+            t.capacity[prim_idx]
+            - t.primary_min[prim_idx]
+            - t.backup_reserved[prim_idx]
+            - t.activated[prim_idx]
+        )
+        if bool((b_min > headroom + EPSILON).any()):
+            raise AdmissionError(
+                f"primary reservation of {b_min} Kb/s overcommits a link "
+                f"(headroom {float(headroom.min()):.3f})"
+            )
+        used = t.primary_min[prim_idx] + t.primary_extra[prim_idx] + t.activated[prim_idx]
+        if bool((used + b_min > t.capacity[prim_idx] + EPSILON).any()):
+            raise AdmissionError("primary reservation would exceed usage capacity")
+        t.primary_min[prim_idx] += b_min
+
+    def _reclaim_direct(
+        self, prim_idx: np.ndarray, affected: Set[int], impact: EventImpact
+    ) -> Set[int]:
+        """Drop every directly-chained channel to its minimum (vectorized).
+
+        The per-link extras columns accumulate the reclamations in
+        ascending conn-id order (``np.add.at`` is sequential in array
+        order), matching the object core's sorted per-channel loop.
+        """
+        sets = self._prims_on
+        groups = [sets[li] for li in prim_idx.tolist() if sets[li]]
+        if not groups:
+            return set()
+        hset: Set[int] = set().union(*groups)
+        conns = self.conns
+        arr = np.fromiter(hset, np.int64, len(hset))
+        hs = arr[np.argsort(conns.conn_id[arr])]
+        cids = conns.conn_id[hs]
+        before = conns.level[hs]
+        extras = conns.conn_extra[hs]
+        dropping = extras != 0.0
+        if bool(dropping.any()):
+            sub = hs[dropping]
+            sub_extras = extras[dropping]
+            flat, _starts = _gather(conns, sub)
+            rep = np.repeat(sub_extras, conns.prim_len[sub])
+            np.add.at(self.links.primary_extra, flat, -rep)
+            conns.conn_extra[sub] = 0.0
+            affected.update(flat[rep > EPSILON].tolist())
+        conns.level[hs] = 0
+        direct = impact.direct
+        for cid, lvl in zip(cids.tolist(), before.tolist()):
+            direct[cid] = (lvl, 0)
+        return set(cids.tolist())
+
+    # ------------------------------------------------------------------
+    # route selection
+    # ------------------------------------------------------------------
+    def _select_routes(
+        self, source: int, destination: int, qos: ConnectionQoS
+    ) -> Tuple[
+        Optional[List[int]],
+        Optional[List[int]],
+        Optional[List[LinkId]],
+        Optional[FrozenSet[LinkId]],
+    ]:
+        """Pick routes with the configured engine (see the object core)."""
+        _check_endpoints(self.topology, source, destination)
+        b_min = qos.performance.b_min
+        t = self.links
+
+        if self.routing == "flooding":
+            index = t.index
+
+            def allowance(link: Link) -> float:
+                li = index[link.id]
+                if t.failed[li]:
+                    return 0.0
+                return max(0.0, t.headroom_at(li))
+
+            primary, backup = flooding_route_pair(
+                self.topology,
+                source,
+                destination,
+                b_min,
+                allowance,
+                backup_allowance=allowance,
+                hop_bound=self.flood_hop_bound,
+            )
+            if primary is None:
+                return None, None, None, None
+            primary_links = self.topology.path_links(primary)
+            primary_link_set = frozenset(primary_links)
+            if qos.dependability.wants_backup and backup is None:
+                backup = self._centralized_backup(primary, b_min, qos, primary_link_set)
+            return primary, backup, primary_links, primary_link_set
+
+        admit_mask = t.primary_admission_mask(b_min)
+        primary: Optional[List[int]] = None
+        primary_links = None
+        if self.route_cache is not None:
+            found = self.route_cache.primary_route(
+                source, destination, admit_mask, self.state.generation
+            )
+            if found is NO_ROUTE:
+                return None, None, None, None
+            if found is not None and not isinstance(found, tuple):  # pragma: no cover
+                raise SimulationError("unexpected route-cache answer")
+            if found is not None:
+                primary, primary_links = found
+        if primary is None:
+            primary = bfs_path_rows(
+                self.state.adjacency_rows(),
+                source,
+                destination,
+                lambda lid, li: bool(admit_mask[li]),
+            )
+            if primary is None:
+                return None, None, None, None
+            primary_links = self.topology.path_links(primary)
+        assert primary_links is not None
+        primary_link_set = frozenset(primary_links)
+        backup = None
+        if qos.dependability.wants_backup:
+            backup = self._centralized_backup(primary, b_min, qos, primary_link_set)
+        return primary, backup, primary_links, primary_link_set
+
+    def _conflict_set(self, primary_set: FrozenSet[LinkId]) -> FrozenSet[LinkId]:
+        """The failure-conflict set a backup reservation is keyed on."""
+        return primary_set if self.multiplex_backups else _UNIVERSAL_CONFLICT
+
+    def _conflict_of(self, h: int) -> FrozenSet[LinkId]:
+        """The conflict set handle ``h``'s backup was reserved under."""
+        if not self.multiplex_backups:
+            return _UNIVERSAL_CONFLICT
+        return self.conns.conflict_set_of(h, self.links.link_ids)
+
+    def _centralized_backup(
+        self,
+        primary: List[int],
+        b_min: float,
+        qos: ConnectionQoS,
+        primary_set: FrozenSet[LinkId],
+    ) -> Optional[List[int]]:
+        conflict_set = self._conflict_set(primary_set)
+        allow_partial = not qos.dependability.require_link_disjoint
+        t = self.links
+        index = t.index
+
+        def backup_ok(link: Link) -> bool:
+            return t.can_admit_backup(index[link.id], b_min, conflict_set)
+
+        if self.route_cache is not None:
+            raw = self.route_cache.raw_disjoint_backup(
+                primary[0],
+                primary[-1],
+                tuple(primary),
+                primary_set,
+                self.state.generation,
+            )
+            if raw is None:
+                if not allow_partial:
+                    return None
+                found = maximally_disjoint_path(
+                    self.topology, primary[0], primary[-1], primary_set, backup_ok
+                )
+                return found[0] if found is not None else None
+            path, _links, idx = raw
+            if all(t.can_admit_backup(int(li), b_min, conflict_set) for li in idx):
+                return list(path)
+
+        found2 = disjoint_path(
+            self.topology,
+            primary[0],
+            primary[-1],
+            avoid=primary_set,
+            link_filter=backup_ok,
+            allow_partial=allow_partial,
+        )
+        if found2 is None:
+            return None
+        path2, _overlap = found2
+        return path2
+
+    # ------------------------------------------------------------------
+    # termination
+    # ------------------------------------------------------------------
+    def terminate_connection(self, conn_id: int) -> EventImpact:
+        """Release one live connection and redistribute the freed capacity."""
+        impact = EventImpact(kind=EventKind.TERMINATION, time=self.now, conn_id=conn_id)
+        h = self._h_of.pop(conn_id, None)
+        if h is None:
+            raise ReservationError(f"connection {conn_id} is not live")
+        conns = self.conns
+        t = self.links
+        affected: Set[int] = set()
+        scode = int(conns.state[h])
+        b_min = float(conns.b_min[h])
+
+        if scode == _ACTIVE:
+            prim_idx = conns.prim_slice(h).copy()
+            direct_ids = self._record_direct_levels(prim_idx, impact, skip=h)
+            for li in prim_idx.tolist():
+                self._prims_on[li].discard(h)
+            t.primary_min[prim_idx] -= b_min
+            t.primary_extra[prim_idx] -= conns.conn_extra[h]
+            affected.update(prim_idx[~t.failed[prim_idx]].tolist())
+            if conns.bk_len[h]:
+                conflict = self._conflict_of(h)
+                for li in conns.bk_slice(h).tolist():
+                    t.remove_backup(li, b_min, conflict)
+                    self._backups_on[li].discard(h)
+        elif scode == _FAILED_OVER:
+            bk_idx = conns.bk_slice(h).copy()
+            direct_ids = self._record_direct_levels(bk_idx, impact, skip=h)
+            t.activated[bk_idx] -= b_min
+            for li in bk_idx.tolist():
+                self._active_on[li].discard(h)
+            affected.update(bk_idx[~t.failed[bk_idx]].tolist())
+        else:  # pragma: no cover - defensive
+            raise ReservationError(f"connection {conn_id} is not live")
+
+        conns.free(h, ConnectionState.TERMINATED)
+        self._redistribute(affected, impact, direct_ids)
+        self.stats.terminated += 1
+        return impact
+
+    def _record_direct_levels(
+        self, path_idx: np.ndarray, impact: EventImpact, skip: int
+    ) -> Set[int]:
+        """Record the pre-event level of every directly-chained channel."""
+        sets = self._prims_on
+        groups = [sets[li] for li in path_idx.tolist() if sets[li]]
+        if not groups:
+            return set()
+        hset: Set[int] = set().union(*groups)
+        hset.discard(skip)
+        if not hset:
+            return set()
+        conns = self.conns
+        arr = np.fromiter(hset, np.int64, len(hset))
+        order = np.argsort(conns.conn_id[arr])
+        hs = arr[order]
+        cids = conns.conn_id[hs].tolist()
+        levels = conns.level[hs].tolist()
+        direct = impact.direct
+        for cid, lvl in zip(cids, levels):
+            direct[cid] = (lvl, lvl)
+        return set(cids)
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def set_activation_faults(self, probability: float, rng) -> None:
+        """Enable injected backup-activation faults (see the object core)."""
+        if not 0.0 <= probability <= 1.0:
+            raise FaultInjectionError(
+                f"activation fault probability must be in [0, 1], got {probability}"
+            )
+        if probability > 0.0 and rng is None:
+            raise FaultInjectionError("activation faults need an RNG")
+        self.activation_fault_prob = probability
+        self._fault_rng = rng
+
+    def fail_link(self, lid: LinkId) -> EventImpact:
+        """Fail one link: activate backups, drop unrecoverable connections."""
+        impact = EventImpact(kind=EventKind.FAILURE, time=self.now, failed_link=lid)
+        return self._apply_failure([lid], impact)
+
+    def fail_links(self, lids) -> EventImpact:
+        """Fail several links as one atomic failure event (burst)."""
+        unique = sorted(set(lids))
+        if not unique:
+            raise FaultInjectionError("fail_links needs at least one link")
+        for lid in unique:
+            if self.state.is_failed(lid):
+                raise FaultInjectionError(f"link {lid} is already failed")
+        impact = EventImpact(
+            kind=EventKind.FAILURE,
+            time=self.now,
+            failed_link=unique[0] if len(unique) == 1 else None,
+        )
+        return self._apply_failure(unique, impact)
+
+    def fail_node(self, node: int) -> EventImpact:
+        """Atomically fail every alive link incident to ``node``."""
+        alive = [
+            link.id
+            for link in self.topology.incident_links(node)
+            if not self.state.is_failed(link.id)
+        ]
+        if not alive:
+            raise FaultInjectionError(
+                f"node {node} has no alive incident links to fail"
+            )
+        impact = EventImpact(
+            kind=EventKind.FAILURE,
+            time=self.now,
+            failed_link=alive[0] if len(alive) == 1 else None,
+            failed_node=node,
+        )
+        self.stats.node_failures += 1
+        return self._apply_failure(alive, impact)
+
+    def _sorted_by_cid(self, handles: Set[int]) -> List[int]:
+        if not handles:
+            return []
+        conn_id = self.conns.conn_id
+        return sorted(handles, key=lambda h: int(conn_id[h]))
+
+    def _apply_failure(self, lids: List[LinkId], impact: EventImpact) -> EventImpact:
+        """Shared failure machinery over an atomic set of failed links."""
+        t = self.links
+        conns = self.conns
+        for lid in lids:
+            self.state.fail_link(lid)
+            self.stats.link_failures += 1
+        impact.failed_links = list(lids)
+        affected: Set[int] = set()
+        li_list = [t.index[lid] for lid in lids]
+
+        primary_victim_set: Set[int] = set()
+        inactive_victim_set: Set[int] = set()
+        live_victim_set: Set[int] = set()
+        for li in li_list:
+            primary_victim_set |= self._prims_on[li]
+            inactive_victim_set |= self._backups_on[li]
+            live_victim_set |= self._active_on[li]
+        primary_victims = self._sorted_by_cid(primary_victim_set)
+        inactive_backup_victims = self._sorted_by_cid(
+            inactive_victim_set - primary_victim_set
+        )
+        live_backup_victims = self._sorted_by_cid(live_victim_set)
+
+        # Connections that only lost their (inactive) backup stay up,
+        # unprotected, at their current bandwidth.
+        for h in inactive_backup_victims:
+            cid = int(conns.conn_id[h])
+            b_min = float(conns.b_min[h])
+            conflict = self._conflict_of(h)
+            for li in conns.bk_slice(h).tolist():
+                t.remove_backup(li, b_min, conflict)
+                self._backups_on[li].discard(h)
+            conns.clear_backup(h)
+            impact.lost_backup.append(cid)
+            self.stats.backups_lost += 1
+            if self.reestablish_backups:
+                self._try_reestablish_backup(h)
+
+        # Connections already running on a backup have no further
+        # protection: losing the backup path drops them.
+        for h in live_backup_victims:
+            cid = int(conns.conn_id[h])
+            b_min = float(conns.b_min[h])
+            bk_idx = conns.bk_slice(h).copy()
+            t.activated[bk_idx] -= b_min
+            for li in bk_idx.tolist():
+                self._active_on[li].discard(h)
+            del self._h_of[cid]
+            conns.free(h, ConnectionState.DROPPED)
+            impact.dropped.append(cid)
+            self.stats.connections_dropped += 1
+            self.stats.double_failure_drops += 1
+            affected.update(bk_idx[~t.failed[bk_idx]].tolist())
+
+        # Primaries through the failed link: release, then try failover.
+        for h in primary_victims:
+            cid = int(conns.conn_id[h])
+            b_min = float(conns.b_min[h])
+            before_level = int(conns.level[h])
+            prim_idx = conns.prim_slice(h).copy()
+            for li in prim_idx.tolist():
+                self._prims_on[li].discard(h)
+            t.primary_min[prim_idx] -= b_min
+            t.primary_extra[prim_idx] -= conns.conn_extra[h]
+            conns.conn_extra[h] = 0.0
+            conns.level[h] = 0
+            affected.update(prim_idx[~t.failed[prim_idx]].tolist())
+            impact.direct[cid] = (before_level, 0)
+
+            had_backup = bool(conns.bk_len[h])
+            bk_idx = conns.bk_slice(h).copy() if had_backup else None
+            usable_backup = (
+                had_backup
+                and bk_idx is not None
+                and not bool(t.failed[bk_idx].any())
+                and all(t.can_activate_backup(int(li), b_min) for li in bk_idx)
+            )
+            if (
+                usable_backup
+                and self.activation_fault_prob > 0.0
+                and self._fault_rng is not None
+                and float(self._fault_rng.random()) < self.activation_fault_prob
+            ):
+                usable_backup = False
+                impact.activation_faults.append(cid)
+                self.stats.activation_faults += 1
+            if usable_backup:
+                assert bk_idx is not None
+                # Retreat rule: primaries sharing the backup's links give
+                # up their extras before the backup goes live.
+                for bli in bk_idx.tolist():
+                    for other in self._sorted_by_cid(self._prims_on[bli]):
+                        other_cid = int(conns.conn_id[other])
+                        prev, freed = drop_to_minimum_soa(t, conns, other)
+                        affected.update(freed.tolist())
+                        if other_cid not in impact.direct:
+                            impact.direct[other_cid] = (prev, 0)
+                conflict = self._conflict_of(h)
+                for li in bk_idx.tolist():
+                    t.activate_backup(li, b_min, conflict)
+                    self._backups_on[li].discard(h)
+                    self._active_on[li].add(h)
+                conns.on_backup[h] = True
+                conns.state[h] = _FAILED_OVER
+                impact.activated.append(cid)
+                self.stats.backups_activated += 1
+            else:
+                if had_backup and bk_idx is not None:
+                    conflict = self._conflict_of(h)
+                    for li in bk_idx.tolist():
+                        t.remove_backup(li, b_min, conflict)
+                        self._backups_on[li].discard(h)
+                del self._h_of[cid]
+                conns.free(h, ConnectionState.DROPPED)
+                impact.dropped.append(cid)
+                self.stats.connections_dropped += 1
+                if had_backup:
+                    self.stats.double_failure_drops += 1
+
+        direct_ids = set(impact.direct)
+        self._redistribute(affected, impact, direct_ids)
+        return impact
+
+    def repair_link(self, lid: LinkId) -> EventImpact:
+        """Return a failed link to service (no fail-back, as the paper)."""
+        impact = EventImpact(kind=EventKind.REPAIR, time=self.now, failed_link=lid)
+        self.state.repair_link(lid)
+        self.stats.link_repairs += 1
+        return impact
+
+    def _try_reestablish_backup(self, h: int) -> bool:
+        """Route and reserve a replacement backup for ``h`` (extension)."""
+        conns = self.conns
+        t = self.links
+        qos = conns.qos[h]
+        assert qos is not None
+        b_min = float(conns.b_min[h])
+        primary_links = conns.primary_links_of(h, t.link_ids)
+        primary_link_set = frozenset(primary_links)
+        path = self._centralized_backup(
+            conns.pnode_slice(h).tolist(), b_min, qos, primary_link_set
+        )
+        if path is None:
+            return False
+        links = self.topology.path_links(path)
+        primary_set = self._conflict_set(primary_link_set)
+        bk_idx = t.indices_of(links)
+        if not all(t.can_admit_backup(int(li), b_min, primary_set) for li in bk_idx):
+            return False
+        for li in bk_idx.tolist():
+            t.add_backup(li, b_min, primary_set)
+            self._backups_on[li].add(h)
+        overlap = sum(1 for lid in links if lid in primary_link_set)
+        self.conns.set_backup(h, bk_idx, np.asarray(path, dtype=np.int64), overlap)
+        self.stats.backups_reestablished += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def redistribute_all(self) -> Dict[int, int]:
+        """Global water-fill over every ACTIVE elastic primary."""
+        conns = self.conns
+        mask = (
+            conns.alloc
+            & (conns.state == _ACTIVE)
+            & ~conns.on_backup
+            & conns.elastic
+        )
+        hs = np.flatnonzero(mask)
+        if not len(hs):
+            return {}
+        hs = hs[np.argsort(conns.conn_id[hs])]
+        return redistribute_soa(self.links, conns, hs, self.policy)
+
+    def _redistribute(
+        self, affected: Set[int], impact: EventImpact, direct_ids: Set[int]
+    ) -> None:
+        """Water-fill the affected links and fold the result into ``impact``."""
+        if not affected or not self.auto_redistribute:
+            self._finalize_direct(impact, direct_ids)
+            return
+        sets = self._prims_on
+        groups = [sets[li] for li in affected if sets[li]]
+        granted: Dict[int, int] = {}
+        if groups:
+            hset: Set[int] = set().union(*groups)
+            conns = self.conns
+            arr = np.fromiter(hset, np.int64, len(hset))
+            hs = arr[np.argsort(conns.conn_id[arr])]
+            granted = redistribute_soa(self.links, conns, hs, self.policy)
+        level = self.conns.level
+        h_of = self._h_of
+        for cid, inc in granted.items():
+            if cid not in direct_ids:
+                h = h_of.get(cid)
+                if h is not None:
+                    after = int(level[h])
+                    impact.indirect_changed[cid] = (after - inc, after)
+        self._finalize_direct(impact, direct_ids)
+
+    def _finalize_direct(self, impact: EventImpact, direct_ids: Set[int]) -> None:
+        """Set the post-redistribution level of every direct observation."""
+        level = self.conns.level
+        h_of = self._h_of
+        for cid in direct_ids:
+            h = h_of.get(cid)
+            if h is None:
+                continue  # dropped during a failure event: censored
+            before, _ = impact.direct[cid]
+            impact.direct[cid] = (before, int(level[h]))
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Recompute link columns from the raw connection rows and
+        cross-check, then audit the index structures.
+
+        The link-level pass hands :meth:`LinkTable.check_invariants` the
+        raw per-connection contributions — it never trusts a maintained
+        column, mirroring the object core's cache-vs-recount discipline
+        at whole-array granularity.
+        """
+        conns = self.conns
+        t = self.links
+        strict = not self.state.failed_links and self.stats.link_failures == 0
+        live = np.flatnonzero(conns.alloc)
+        primaries = []
+        backups = []
+        activated = []
+        for h in live.tolist():
+            b_min = float(conns.b_min[h])
+            if int(conns.state[h]) == _ACTIVE:
+                primaries.append((conns.prim_slice(h), b_min, float(conns.conn_extra[h])))
+                if conns.bk_len[h]:
+                    backups.append(
+                        (conns.bk_slice(h), b_min, self._conflict_of(h))
+                    )
+            elif conns.on_backup[h]:
+                activated.append((conns.bk_slice(h), b_min))
+        t.check_invariants(primaries, backups, activated, strict_reservation=strict)
+
+        for name, sets, member in (
+            ("primary", self._prims_on, "prim"),
+            ("backup", self._backups_on, "bk"),
+            ("activated backup", self._active_on, "bk"),
+        ):
+            starts = conns.prim_start if member == "prim" else conns.bk_start
+            lens = conns.prim_len if member == "prim" else conns.bk_len
+            arena = conns.links_arena.data
+            for li, handles in enumerate(sets):
+                for h in handles:
+                    s = int(starts[h])
+                    if li not in arena[s : s + int(lens[h])]:
+                        raise ReservationError(
+                            f"index says handle {h} has a {name} on link "
+                            f"{t.link_ids[li]} but its route disagrees"
+                        )
+        for cid, h in self._h_of.items():
+            if int(conns.conn_id[h]) != cid or not conns.alloc[h]:
+                raise ReservationError(f"handle map out of sync for connection {cid}")
+            if int(conns.state[h]) == _ACTIVE:
+                qos = conns.qos[h]
+                assert qos is not None
+                expected = qos.performance.level_bandwidth(int(conns.level[h]))
+                actual = float(conns.b_min[h] + conns.conn_extra[h])
+                if abs(actual - expected) > 1e-6:
+                    raise ReservationError(
+                        f"connection {cid}: reserved {actual} but level "
+                        f"{int(conns.level[h])} implies {expected}"
+                    )

@@ -1,0 +1,338 @@
+"""Struct-of-arrays connection records with integer handles.
+
+:class:`ConnectionTable` is the array-backed twin of the per-object
+:class:`~repro.channels.records.DRConnection` dictionary: every scalar a
+record carries (level, ``B_min``, increment, lifecycle state, …) becomes
+one preallocated NumPy column indexed by an integer **handle**, and the
+variable-length routes become CSR-style flat index arrays (one shared
+arena per path kind plus per-handle ``start``/``len`` columns).  Handles
+are recycled through a free list, so a steady-state churn campaign
+touches a bounded region of memory no matter how many connections pass
+through; the arena is append-only and compacted wholesale once the
+garbage left behind by freed handles outweighs the live payload.
+
+Path links are stored as **dense link indices** (positions in the
+owning :class:`~repro.network.link_table.LinkTable`), not ``LinkId``
+tuples: the hot sweeps (reclaim, water-fill, failure victim processing)
+gather straight into the link columns with integer fancy indexing.  The
+``LinkId`` views tests and the estimator want are derived on demand.
+
+The aggregate queries the manager answers per measurement sample —
+``live_connection_ids``, ``average_live_bandwidth``,
+``level_histogram`` — are masked array reductions over these columns
+instead of per-record attribute walks.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.channels.records import ConnectionState
+from repro.qos.spec import ConnectionQoS
+from repro.topology.graph import LinkId
+
+__all__ = ["ConnectionTable", "STATE_CODE", "CODE_STATE"]
+
+#: Lifecycle states as int8 codes (column ``state``).
+STATE_CODE = {
+    ConnectionState.ACTIVE: 0,
+    ConnectionState.FAILED_OVER: 1,
+    ConnectionState.DROPPED: 2,
+    ConnectionState.TERMINATED: 3,
+}
+CODE_STATE = {code: state for state, code in STATE_CODE.items()}
+
+_F8 = np.float64
+_I8 = np.int64
+
+
+class _Arena:
+    """One append-only CSR arena of int64 payload with bulk compaction."""
+
+    __slots__ = ("data", "used", "garbage")
+
+    def __init__(self, capacity: int) -> None:
+        self.data = np.zeros(capacity, dtype=_I8)
+        self.used = 0
+        self.garbage = 0
+
+    def append(self, values: np.ndarray) -> int:
+        """Append ``values``; returns their start offset."""
+        n = len(values)
+        if self.used + n > len(self.data):
+            new_cap = max(len(self.data) * 2, self.used + n)
+            grown = np.zeros(new_cap, dtype=_I8)
+            grown[: self.used] = self.data[: self.used]
+            self.data = grown
+        start = self.used
+        self.data[start : start + n] = values
+        self.used += n
+        return start
+
+
+class ConnectionTable:
+    """Dense array-backed registry of DR-connection records."""
+
+    #: Handles the table starts with; doubles on exhaustion.
+    INITIAL_CAPACITY = 256
+    #: Arena slots per initial handle (typical paths are a few hops).
+    ARENA_FACTOR = 8
+
+    def __init__(self, capacity: int = INITIAL_CAPACITY) -> None:
+        n = max(capacity, 16)
+        self.capacity = n
+        # -- scalar columns, one row per handle -------------------------
+        self.conn_id = np.full(n, -1, dtype=_I8)
+        self.level = np.zeros(n, dtype=_I8)
+        self.b_min = np.zeros(n, dtype=_F8)
+        self.b_max = np.zeros(n, dtype=_F8)
+        self.increment = np.zeros(n, dtype=_F8)
+        #: ``increment - EPSILON``: the water-fill's spare threshold.
+        self.threshold = np.zeros(n, dtype=_F8)
+        self.max_level = np.zeros(n, dtype=_I8)
+        self.state = np.full(n, STATE_CODE[ConnectionState.TERMINATED], dtype=np.int8)
+        self.on_backup = np.zeros(n, dtype=np.bool_)
+        self.elastic = np.zeros(n, dtype=np.bool_)
+        self.alloc = np.zeros(n, dtype=np.bool_)
+        self.established_at = np.zeros(n, dtype=_F8)
+        self.backup_overlap = np.zeros(n, dtype=_I8)
+        self.source = np.zeros(n, dtype=_I8)
+        self.destination = np.zeros(n, dtype=_I8)
+        #: Accumulated elastic extra per *path link* (uniform along the
+        #: path by construction); tracks the exact float trajectory of
+        #: the object core's per-link ``primary_extra[cid]`` entries.
+        self.conn_extra = np.zeros(n, dtype=_F8)
+        # -- CSR paths (dense link indices / node ids) ------------------
+        self.prim_start = np.zeros(n, dtype=_I8)
+        self.prim_len = np.zeros(n, dtype=_I8)
+        self.bk_start = np.zeros(n, dtype=_I8)
+        self.bk_len = np.zeros(n, dtype=_I8)  # 0 = no backup route
+        self.pnode_start = np.zeros(n, dtype=_I8)
+        self.pnode_len = np.zeros(n, dtype=_I8)
+        self.bnode_start = np.zeros(n, dtype=_I8)
+        self.bnode_len = np.zeros(n, dtype=_I8)
+        self.links_arena = _Arena(n * self.ARENA_FACTOR)
+        self.nodes_arena = _Arena(n * self.ARENA_FACTOR)
+        # -- per-handle Python payload ----------------------------------
+        #: QoS contract objects (shared, frozen dataclasses).
+        self.qos: List[Optional[ConnectionQoS]] = [None] * n
+        self._free: List[int] = list(range(n - 1, -1, -1))
+        self.num_allocated = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+        for name in (
+            "conn_id", "level", "b_min", "b_max", "increment", "threshold",
+            "max_level", "state", "on_backup", "elastic", "alloc",
+            "established_at", "backup_overlap", "source", "destination",
+            "conn_extra", "prim_start", "prim_len", "bk_start", "bk_len",
+            "pnode_start", "pnode_len", "bnode_start", "bnode_len",
+        ):
+            col = getattr(self, name)
+            grown = np.zeros(new, dtype=col.dtype)
+            grown[:old] = col
+            setattr(self, name, grown)
+        self.conn_id[old:] = -1
+        self.state[old:] = STATE_CODE[ConnectionState.TERMINATED]
+        self.qos.extend([None] * old)
+        self._free.extend(range(new - 1, old - 1, -1))
+        self.capacity = new
+
+    def allocate(
+        self,
+        conn_id: int,
+        source: int,
+        destination: int,
+        qos: ConnectionQoS,
+        prim_idx: np.ndarray,
+        prim_nodes: np.ndarray,
+        established_at: float,
+    ) -> int:
+        """Claim a handle for a new ACTIVE connection; returns the handle."""
+        if not self._free:
+            self._grow()
+        h = self._free.pop()
+        perf = qos.performance
+        self.conn_id[h] = conn_id
+        self.level[h] = 0
+        self.b_min[h] = perf.b_min
+        self.b_max[h] = perf.b_max
+        self.increment[h] = perf.increment
+        self.threshold[h] = perf.increment - 1e-6  # EPSILON, see link_state
+        self.max_level[h] = perf.max_level
+        self.state[h] = STATE_CODE[ConnectionState.ACTIVE]
+        self.on_backup[h] = False
+        self.elastic[h] = perf.is_elastic()
+        self.alloc[h] = True
+        self.established_at[h] = established_at
+        self.backup_overlap[h] = 0
+        self.source[h] = source
+        self.destination[h] = destination
+        self.conn_extra[h] = 0.0
+        self.prim_start[h] = self.links_arena.append(prim_idx)
+        self.prim_len[h] = len(prim_idx)
+        self.pnode_start[h] = self.nodes_arena.append(prim_nodes)
+        self.pnode_len[h] = len(prim_nodes)
+        self.bk_len[h] = 0
+        self.bnode_len[h] = 0
+        self.qos[h] = qos
+        self.num_allocated += 1
+        return h
+
+    def set_backup(self, h: int, bk_idx: np.ndarray, bk_nodes: np.ndarray, overlap: int) -> None:
+        """Attach (or replace) the backup route of handle ``h``."""
+        if self.bk_len[h]:
+            self.links_arena.garbage += int(self.bk_len[h])
+            self.nodes_arena.garbage += int(self.bnode_len[h])
+        self.bk_start[h] = self.links_arena.append(bk_idx)
+        self.bk_len[h] = len(bk_idx)
+        self.bnode_start[h] = self.nodes_arena.append(bk_nodes)
+        self.bnode_len[h] = len(bk_nodes)
+        self.backup_overlap[h] = overlap
+
+    def clear_backup(self, h: int) -> None:
+        """Detach the backup route of handle ``h`` (lost to a failure)."""
+        self.links_arena.garbage += int(self.bk_len[h])
+        self.nodes_arena.garbage += int(self.bnode_len[h])
+        self.bk_len[h] = 0
+        self.bnode_len[h] = 0
+
+    def free(self, h: int, final_state: ConnectionState) -> None:
+        """Release handle ``h`` back to the free list."""
+        self.state[h] = STATE_CODE[final_state]
+        self.alloc[h] = False
+        self.conn_id[h] = -1
+        self.qos[h] = None
+        self.links_arena.garbage += int(self.prim_len[h] + self.bk_len[h])
+        self.nodes_arena.garbage += int(self.pnode_len[h] + self.bnode_len[h])
+        self.prim_len[h] = 0
+        self.bk_len[h] = 0
+        self.pnode_len[h] = 0
+        self.bnode_len[h] = 0
+        self._free.append(h)
+        self.num_allocated -= 1
+        self._maybe_compact()
+
+    # ------------------------------------------------------------------
+    # CSR access
+    # ------------------------------------------------------------------
+    def prim_slice(self, h: int) -> np.ndarray:
+        """Dense link indices of ``h``'s primary route (arena view)."""
+        s = self.prim_start[h]
+        return self.links_arena.data[s : s + self.prim_len[h]]
+
+    def bk_slice(self, h: int) -> np.ndarray:
+        """Dense link indices of ``h``'s backup route (empty when none)."""
+        s = self.bk_start[h]
+        return self.links_arena.data[s : s + self.bk_len[h]]
+
+    def pnode_slice(self, h: int) -> np.ndarray:
+        """Node ids of ``h``'s primary route."""
+        s = self.pnode_start[h]
+        return self.nodes_arena.data[s : s + self.pnode_len[h]]
+
+    def bnode_slice(self, h: int) -> np.ndarray:
+        """Node ids of ``h``'s backup route (empty when none)."""
+        s = self.bnode_start[h]
+        return self.nodes_arena.data[s : s + self.bnode_len[h]]
+
+    def _maybe_compact(self) -> None:
+        """Compact the arenas once freed garbage outweighs live payload."""
+        for arena, starts_lens in (
+            (self.links_arena, ((self.prim_start, self.prim_len), (self.bk_start, self.bk_len))),
+            (self.nodes_arena, ((self.pnode_start, self.pnode_len), (self.bnode_start, self.bnode_len))),
+        ):
+            live = arena.used - arena.garbage
+            if arena.garbage <= 4096 or arena.garbage <= live:
+                continue
+            packed = np.zeros(len(arena.data), dtype=_I8)
+            cursor = 0
+            handles = np.flatnonzero(self.alloc)
+            for starts, lens in starts_lens:
+                for h in handles:
+                    n = int(lens[h])
+                    if not n:
+                        continue
+                    s = int(starts[h])
+                    packed[cursor : cursor + n] = arena.data[s : s + n]
+                    starts[h] = cursor
+                    cursor += n
+            arena.data = packed
+            arena.used = cursor
+            arena.garbage = 0
+
+    # ------------------------------------------------------------------
+    # masked reductions
+    # ------------------------------------------------------------------
+    def live_mask(self) -> np.ndarray:
+        """Handles currently carrying traffic (ACTIVE or FAILED_OVER)."""
+        return self.alloc & (self.state <= STATE_CODE[ConnectionState.FAILED_OVER])
+
+    def live_connection_ids(self) -> List[int]:
+        """Sorted ids of all live connections (masked reduction)."""
+        ids = self.conn_id[self.live_mask()]
+        ids.sort()
+        return ids.tolist()
+
+    def average_live_bandwidth(self) -> float:
+        """Mean reserved bandwidth per live connection.
+
+        Exact-equality contract with the object core: NumPy's pairwise
+        summation and the object's sequential ``sum()`` agree bitwise
+        whenever all bandwidths lie on the paper's dyadic grid
+        (multiples of 50 Kb/s) — every sum is then exact in float64.
+        """
+        mask = self.live_mask()
+        count = int(np.count_nonzero(mask))
+        if not count:
+            return 0.0
+        bw = self.b_min[mask] + self.level[mask] * self.increment[mask]
+        np.copyto(bw, self.b_min[mask], where=self.on_backup[mask])
+        return float(np.sum(bw)) / count
+
+    def level_histogram(self, num_levels: int) -> List[int]:
+        """Count of ACTIVE elastic primaries at each level (state S_i)."""
+        mask = (
+            self.alloc
+            & (self.state == STATE_CODE[ConnectionState.ACTIVE])
+            & ~self.on_backup
+        )
+        clipped = np.minimum(self.level[mask], num_levels - 1)
+        return np.bincount(clipped, minlength=num_levels).tolist()
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def primary_links_of(self, h: int, link_ids: List[LinkId]) -> List[LinkId]:
+        """``LinkId`` view of a primary route (derived from CSR)."""
+        return [link_ids[i] for i in self.prim_slice(h)]
+
+    def backup_links_of(self, h: int, link_ids: List[LinkId]) -> Optional[List[LinkId]]:
+        """``LinkId`` view of a backup route, ``None`` when detached."""
+        if not self.bk_len[h]:
+            return None
+        return [link_ids[i] for i in self.bk_slice(h)]
+
+    def conflict_set_of(self, h: int, link_ids: List[LinkId]) -> FrozenSet[LinkId]:
+        """The primary-route failure-conflict set of handle ``h``."""
+        return frozenset(link_ids[i] for i in self.prim_slice(h))
+
+    def nbytes(self) -> Tuple[int, int]:
+        """(column bytes, arena bytes) — memory benchmark hook."""
+        cols = 0
+        for name in (
+            "conn_id", "level", "b_min", "b_max", "increment", "threshold",
+            "max_level", "state", "on_backup", "elastic", "alloc",
+            "established_at", "backup_overlap", "source", "destination",
+            "conn_extra", "prim_start", "prim_len", "bk_start", "bk_len",
+            "pnode_start", "pnode_len", "bnode_start", "bnode_len",
+        ):
+            cols += getattr(self, name).nbytes
+        arenas = self.links_arena.data.nbytes + self.nodes_arena.data.nbytes
+        return cols, arenas

@@ -7,9 +7,10 @@ package defends the same contracts *statically*, before code merges:
 * **RNG discipline** (``RNG001``–``RNG003``) — no process-global
   ``random`` / legacy ``numpy.random`` state; stochastic components
   accept an injected, seeded generator.
-* **Determinism hazards** (``DET001``–``DET003``) — no unordered set
+* **Determinism hazards** (``DET001``–``DET004``) — no unordered set
   iteration into order-sensitive paths, no ``id()`` keying, no
-  wall-clock reads inside simulation logic.
+  wall-clock reads inside simulation logic, no ``.item()``-laundered
+  float accumulation inside the bitwise-pinned numeric packages.
 * **Artifact discipline** (``ART001``) — artifact writes go through the
   atomic tmp-then-rename primitives.
 * **Float discipline** (``FLT001``) — invariant/audit code never

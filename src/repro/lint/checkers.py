@@ -290,6 +290,21 @@ class DeterminismVisitor(ast.NodeVisitor):
             self._report("DET001", node.value, "`*<set>` unpacking")
         self.generic_visit(node)
 
+    # -- float accumulation drift (DET004) ------------------------------
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            for sub in ast.walk(node.value):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "item"
+                    and not sub.args
+                    and not sub.keywords
+                ):
+                    self._report("DET004", node, "`.item()` in `+=`/`-=`")
+                    break
+        self.generic_visit(node)
+
     # -- float equality (FLT001) ----------------------------------------
     def visit_Compare(self, node: ast.Compare) -> None:
         operands = [node.left, *node.comparators]

@@ -48,6 +48,16 @@ def _src_only(path: str) -> bool:
     return "tests" not in parts and not parts[-1].startswith("test_")
 
 
+#: Packages whose float trajectories the validation contract pins
+#: bitwise (they also carry strict mypy settings — see pyproject.toml).
+_PINNED_PACKAGES = ("repro/markov/", "repro/routing/", "repro/network/", "repro/elastic/")
+
+
+def _pinned_packages_only(path: str) -> bool:
+    """Only the bitwise-pinned numeric packages."""
+    return any(pkg in path for pkg in _PINNED_PACKAGES)
+
+
 @dataclass(frozen=True)
 class Rule:
     """One lint rule: identity, rationale, and path applicability."""
@@ -135,6 +145,23 @@ RULES: Tuple[Rule, ...] = (
             "`repro.parallel` / the benchmark layer"
         ),
         applies=_not_timing_infra,
+    ),
+    Rule(
+        id="DET004",
+        name="item-accumulation-drift",
+        summary=(
+            "`+=`/`-=` accumulation whose right-hand side extracts a "
+            "scalar via `.item()`; in a bitwise-pinned package the "
+            "dtype-laundered Python float can drift from the column "
+            "arithmetic it mirrors, so the scalar and vectorized "
+            "trajectories silently diverge"
+        ),
+        hint=(
+            "accumulate in the array column itself (or on values read "
+            "without `.item()`) so scalar and vector paths share one "
+            "float trajectory"
+        ),
+        applies=_pinned_packages_only,
     ),
     Rule(
         id="ART001",

@@ -1,0 +1,400 @@
+"""Struct-of-arrays (SoA) link reservation state.
+
+:class:`LinkTable` is the array-backed twin of the per-object
+:class:`~repro.network.link_state.LinkState` dictionary world: every
+aggregate a :class:`LinkState` maintains as a cached Python float
+(``primary_min_total``, ``primary_extra_total``, ``activated_total``,
+``backup_reserved``) becomes one preallocated NumPy ``float64`` column
+indexed by a **dense link index** (the position of the link in
+``topology.links()`` order).  Per-event mutations touch a handful of
+scalar cells; the hot *reads* — admission masks over the whole network,
+spare-capacity sweeps over redistribution candidates — become single
+vectorized expressions instead of per-link property chains.
+
+Bitwise contract (the twin-manager tests pin this): every float the
+object core computes is reproduced by the *same* sequence of float
+operations.  ``admission_headroom`` is ``((capacity - primary_min) -
+backup_reserved) - activated`` exactly as ``LinkState`` evaluates it
+left to right; extras are granted by adding the same ``Δ`` in the same
+order (NumPy ``ufunc.at`` is unbuffered and applies element operations
+in array order).  The backup *multiplexing* bookkeeping — the per-link
+``failure link -> demand`` map — stays a dict-of-floats per link: it is
+sparse, keyed by topology identity, and only touched on backup
+reserve/release, never in the vectorized sweeps.
+
+``check_invariants`` deliberately ignores every maintained column and
+recomputes the aggregates from the raw per-connection data handed in by
+the caller (the :class:`~repro.channels.conn_table.ConnectionTable`),
+then cross-checks the columns against the recomputation — the same
+"caches must match a from-scratch sum" discipline the object core's
+``LinkState.check_invariants`` applies, at whole-array granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AdmissionError, ReservationError, TopologyError
+from repro.network.link_state import EPSILON
+from repro.topology.graph import LinkId, Network
+
+__all__ = ["LinkTable"]
+
+#: Float column type used for all bandwidth accounting.
+_F8 = np.float64
+
+
+class LinkTable:
+    """Dense array-backed reservation state for every link of a topology.
+
+    Attributes:
+        link_ids: Link identity of each dense index (topology order).
+        index: ``LinkId -> dense index`` mapping.
+        capacity: Installed bandwidth per link (Kb/s), immutable.
+        primary_min: Sum of primary-minimum reservations per link.
+        primary_extra: Sum of granted elastic extras per link.
+        activated: Bandwidth consumed by activated backups per link.
+        backup_reserved: Multiplexed backup reservation per link (the
+            worst single-failure demand).
+        failed: Boolean failure mask per link.
+        backup_demand: Per-link sparse ``failure link -> total backup
+            bandwidth`` maps backing the multiplexing rule.
+    """
+
+    __slots__ = (
+        "link_ids",
+        "index",
+        "capacity",
+        "primary_min",
+        "primary_extra",
+        "activated",
+        "backup_reserved",
+        "failed",
+        "backup_demand",
+        "_num_links",
+    )
+
+    def __init__(self, topology: Network) -> None:
+        links = topology.links()
+        n = len(links)
+        self._num_links = n
+        self.link_ids: List[LinkId] = [link.id for link in links]
+        self.index: Dict[LinkId, int] = {lid: i for i, lid in enumerate(self.link_ids)}
+        self.capacity = np.array([link.capacity for link in links], dtype=_F8)
+        self.primary_min = np.zeros(n, dtype=_F8)
+        self.primary_extra = np.zeros(n, dtype=_F8)
+        self.activated = np.zeros(n, dtype=_F8)
+        self.backup_reserved = np.zeros(n, dtype=_F8)
+        self.failed = np.zeros(n, dtype=np.bool_)
+        self.backup_demand: List[Dict[LinkId, float]] = [dict() for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_links
+
+    def index_of(self, lid: LinkId) -> int:
+        """Dense index of ``lid``.
+
+        Raises:
+            TopologyError: for a link not present in the topology.
+        """
+        try:
+            return self.index[lid]
+        except KeyError:
+            raise TopologyError(f"link {lid} is not part of the topology") from None
+
+    def indices_of(self, lids: Sequence[LinkId]) -> np.ndarray:
+        """Dense indices of a link-id path (int64 array)."""
+        idx = self.index
+        return np.array([idx[lid] for lid in lids], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # vectorized aggregate views
+    # ------------------------------------------------------------------
+    def spare_for_extras(self) -> np.ndarray:
+        """Extra-pool headroom per link (full-network vector).
+
+        Evaluates ``capacity - primary_min - activated - primary_extra``
+        left to right — the exact expression (and float trajectory) of
+        ``LinkState.spare_for_extras``.
+        """
+        return self.capacity - self.primary_min - self.activated - self.primary_extra
+
+    def admission_headroom(self) -> np.ndarray:
+        """Guaranteed-commitment headroom per link (invariant 2 view)."""
+        return self.capacity - self.primary_min - self.backup_reserved - self.activated
+
+    def used(self) -> np.ndarray:
+        """Bandwidth actually consumed per link."""
+        return self.primary_min + self.primary_extra + self.activated
+
+    def primary_admission_mask(self, b_min: float) -> np.ndarray:
+        """Boolean per-link mask of ``LinkState.can_admit_primary``.
+
+        ``True`` where a new primary with minimum ``b_min`` fits: the
+        link is alive and ``b_min <= admission_headroom + EPSILON``.
+        """
+        return (~self.failed) & (b_min <= self.admission_headroom() + EPSILON)
+
+    # ------------------------------------------------------------------
+    # scalar reads (compat views, flooding allowances, diagnostics)
+    # ------------------------------------------------------------------
+    def headroom_at(self, li: int) -> float:
+        """Scalar ``admission_headroom`` of one dense index."""
+        return float(
+            self.capacity[li]
+            - self.primary_min[li]
+            - self.backup_reserved[li]
+            - self.activated[li]
+        )
+
+    def spare_at(self, li: int) -> float:
+        """Scalar ``spare_for_extras`` of one dense index."""
+        return float(
+            self.capacity[li]
+            - self.primary_min[li]
+            - self.activated[li]
+            - self.primary_extra[li]
+        )
+
+    # ------------------------------------------------------------------
+    # primary path mutations
+    # ------------------------------------------------------------------
+    def reserve_primary(self, path_idx: np.ndarray, b_min: float) -> None:
+        """Reserve a primary's minimum along dense path indices.
+
+        The caller performed the admission test (mask or scalar); a
+        violation here is a programming error, mirroring
+        ``LinkState.add_primary``.
+        """
+        if b_min <= 0:
+            raise ReservationError(f"primary minimum must be positive, got {b_min}")
+        col = self.primary_min
+        for li in path_idx:
+            col[li] += b_min
+
+    def release_primary(self, path_idx: np.ndarray, b_min: float, extra: float) -> float:
+        """Release a primary (min + its extras); returns bandwidth freed."""
+        mins = self.primary_min
+        extras = self.primary_extra
+        freed = 0.0
+        for li in path_idx:
+            mins[li] -= b_min
+            if extra:
+                extras[li] -= extra
+            freed += b_min + extra
+        return freed
+
+    def drop_extra(self, path_idx: np.ndarray, extra: float) -> None:
+        """Reclaim one connection's extras along its path."""
+        if extra:
+            col = self.primary_extra
+            for li in path_idx:
+                col[li] -= extra
+
+    # ------------------------------------------------------------------
+    # backup reservations (multiplexed)
+    # ------------------------------------------------------------------
+    def backup_reserved_with(
+        self, li: int, b_min: float, primary_links: FrozenSet[LinkId]
+    ) -> float:
+        """Reservation link ``li`` would need after adding this backup."""
+        worst = float(self.backup_reserved[li])
+        demand = self.backup_demand[li]
+        for f in primary_links:
+            cand = demand.get(f, 0.0) + b_min
+            if cand > worst:
+                worst = cand
+        return worst
+
+    def can_admit_backup(
+        self, li: int, b_min: float, primary_links: FrozenSet[LinkId]
+    ) -> bool:
+        """Scalar twin of ``LinkState.can_admit_backup`` (invariant 2)."""
+        if self.failed[li]:
+            return False
+        growth = self.backup_reserved_with(li, b_min, primary_links) - float(
+            self.backup_reserved[li]
+        )
+        return growth <= self.headroom_at(li) + EPSILON
+
+    def add_backup(
+        self, li: int, b_min: float, primary_links: FrozenSet[LinkId]
+    ) -> None:
+        """Fold one backup into link ``li``'s multiplexed reservation."""
+        if not primary_links:
+            raise ReservationError("backup has an empty primary-conflict set")
+        demand = self.backup_demand[li]
+        worst = float(self.backup_reserved[li])
+        for f in primary_links:
+            new_demand = demand.get(f, 0.0) + b_min
+            demand[f] = new_demand
+            if new_demand > worst:
+                worst = new_demand
+        self.backup_reserved[li] = worst
+
+    def remove_backup(
+        self, li: int, b_min: float, primary_links: FrozenSet[LinkId]
+    ) -> None:
+        """Drop one backup's share from link ``li``'s reservation."""
+        demand = self.backup_demand[li]
+        reserved = float(self.backup_reserved[li])
+        recompute = False
+        for f in primary_links:
+            old = demand[f]
+            remaining = old - b_min
+            if old >= reserved - EPSILON:
+                recompute = True
+            if remaining <= EPSILON:
+                del demand[f]
+            else:
+                demand[f] = remaining
+        if recompute:
+            self.backup_reserved[li] = max(demand.values(), default=0.0)
+
+    # ------------------------------------------------------------------
+    # backup activation
+    # ------------------------------------------------------------------
+    def can_activate_backup(self, li: int, b_min: float) -> bool:
+        """Whether ``b_min`` fits as live bandwidth on ``li`` right now."""
+        if self.failed[li]:
+            return False
+        return (
+            float(self.primary_min[li]) + float(self.activated[li]) + b_min
+            <= float(self.capacity[li]) + EPSILON
+        )
+
+    def activate_backup(
+        self, li: int, b_min: float, primary_links: FrozenSet[LinkId]
+    ) -> None:
+        """Turn an inactive backup into live bandwidth on ``li``."""
+        if not self.can_activate_backup(li, b_min):
+            raise AdmissionError(
+                f"backup no longer fits on link {self.link_ids[li]}"
+            )
+        self.remove_backup(li, b_min, primary_links)
+        self.activated[li] += b_min
+
+    def release_activated(self, li: int, b_min: float) -> None:
+        """Release a live (previously activated) backup channel."""
+        self.activated[li] -= b_min
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def fail(self, li: int) -> None:
+        """Mark a dense index failed (double failure is a caller bug)."""
+        if self.failed[li]:
+            raise ReservationError(f"link {self.link_ids[li]} is already failed")
+        self.failed[li] = True
+
+    def repair(self, li: int) -> None:
+        """Return a failed dense index to service."""
+        if not self.failed[li]:
+            raise ReservationError(f"link {self.link_ids[li]} is not failed")
+        self.failed[li] = False
+
+    # ------------------------------------------------------------------
+    # invariants: full-array cross-check from raw per-connection data
+    # ------------------------------------------------------------------
+    def check_invariants(
+        self,
+        primary_contribs: Iterable[Tuple[np.ndarray, float, float]],
+        backup_contribs: Iterable[Tuple[np.ndarray, float, FrozenSet[LinkId]]],
+        activated_contribs: Iterable[Tuple[np.ndarray, float]],
+        strict_reservation: bool = True,
+    ) -> None:
+        """Recompute every column from raw connection data and cross-check.
+
+        Args:
+            primary_contribs: ``(path indices, b_min, extra)`` of every
+                live primary channel.
+            backup_contribs: ``(path indices, b_min, conflict set)`` of
+                every inactive backup reservation.
+            activated_contribs: ``(path indices, b_min)`` of every
+                activated (live) backup channel.
+            strict_reservation: Also check invariant 2; disable after
+                failures, where multiplexed reservations only cover the
+                first failure.
+
+        Raises:
+            ReservationError: when a recomputed aggregate disagrees with
+                its maintained column or a capacity invariant fails.
+        """
+        n = self._num_links
+        min_ref = np.zeros(n, dtype=_F8)
+        extra_ref = np.zeros(n, dtype=_F8)
+        act_ref = np.zeros(n, dtype=_F8)
+        demand_ref: List[Dict[LinkId, float]] = [dict() for _ in range(n)]
+        for path_idx, b_min, extra in primary_contribs:
+            np.add.at(min_ref, path_idx, b_min)
+            if extra < -EPSILON:
+                raise ReservationError("negative extra grant")
+            if extra:
+                np.add.at(extra_ref, path_idx, extra)
+        for path_idx, b_min, conflict in backup_contribs:
+            for li in path_idx:
+                demand = demand_ref[int(li)]
+                for f in conflict:
+                    demand[f] = demand.get(f, 0.0) + b_min
+        for path_idx, b_min in activated_contribs:
+            np.add.at(act_ref, path_idx, b_min)
+        reserved_ref = np.array(
+            [max(d.values(), default=0.0) for d in demand_ref], dtype=_F8
+        )
+        for name, column, ref in (
+            ("primary_min", self.primary_min, min_ref),
+            ("primary_extra", self.primary_extra, extra_ref),
+            ("activated", self.activated, act_ref),
+            ("backup_reserved", self.backup_reserved, reserved_ref),
+        ):
+            bad = np.flatnonzero(np.abs(column - ref) > EPSILON)
+            if bad.size:
+                li = int(bad[0])
+                raise ReservationError(
+                    f"link {self.link_ids[li]}: {name} column "
+                    f"{float(column[li])} != recomputed {float(ref[li])}"
+                )
+        for li, demand in enumerate(demand_ref):
+            maintained = self.backup_demand[li]
+            for f, expected in demand.items():
+                if abs(maintained.get(f, 0.0) - expected) > EPSILON:
+                    raise ReservationError(
+                        f"link {self.link_ids[li]}: backup demand for "
+                        f"failure {f} out of sync"
+                    )
+        over = np.flatnonzero(self.used() > self.capacity + EPSILON)
+        if over.size:
+            li = int(over[0])
+            raise ReservationError(
+                f"link {self.link_ids[li]}: usage {float(self.used()[li]):.3f} "
+                f"exceeds capacity {float(self.capacity[li])}"
+            )
+        if strict_reservation:
+            committed = self.primary_min + self.backup_reserved + self.activated
+            over = np.flatnonzero(committed > self.capacity + EPSILON)
+            if over.size:
+                li = int(over[0])
+                raise ReservationError(
+                    f"link {self.link_ids[li]}: commitments "
+                    f"{float(committed[li]):.3f} exceed capacity "
+                    f"{float(self.capacity[li])}"
+                )
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Bytes held by the NumPy columns (memory benchmark hook)."""
+        return int(
+            self.capacity.nbytes
+            + self.primary_min.nbytes
+            + self.primary_extra.nbytes
+            + self.activated.nbytes
+            + self.backup_reserved.nbytes
+            + self.failed.nbytes
+        )

@@ -34,7 +34,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.network.link_state import LinkState
+from repro.network.link_table import LinkTable
 from repro.network.state import NetworkState
 from repro.routing.ksp import paths_iter_rows
 from repro.routing.shortest import bfs_path_rows
@@ -218,6 +221,149 @@ class RouteCache:
     # ------------------------------------------------------------------
     # maintenance / diagnostics
     # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every entry (tests / explicit invalidation)."""
+        self._pairs.clear()
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+
+# ----------------------------------------------------------------------
+# array-core variant: handle-based admission re-check
+# ----------------------------------------------------------------------
+
+#: One cached array candidate: (node path, link ids, dense link indices).
+ArrayCandidate = Tuple[List[int], List[LinkId], np.ndarray]
+
+#: Adjacency rows over dense link indices: node -> [(nbr, lid, index)].
+ArrayAdjacencyRows = Dict[int, List[Tuple[int, LinkId, int]]]
+
+
+class _ArrayPairEntry:
+    """Candidate routes of one (source, destination) pair (array core)."""
+
+    __slots__ = ("generation", "candidates", "producer", "exhausted", "backups")
+
+    def __init__(self, generation: int, producer: Iterator[List[int]]) -> None:
+        self.generation = generation
+        self.producer = producer
+        self.candidates: List[ArrayCandidate] = []
+        self.exhausted = False
+        self.backups: Dict[Tuple[int, ...], Optional[ArrayCandidate]] = {}
+
+
+class ArrayRouteCache:
+    """Candidate-route cache over a :class:`LinkTable` (SoA core).
+
+    Same enumeration, invalidation, and correctness contract as
+    :class:`RouteCache`, but candidates carry **dense link index
+    arrays**, so an arrival's admission re-check is one boolean-mask
+    gather (``mask[idx].all()``) instead of per-link predicate calls.
+    The caller computes the per-link admission mask exactly once per
+    arrival and passes it in, along with its ``generation`` counter
+    (bumped on every fail/repair).
+    """
+
+    def __init__(
+        self,
+        topology: Network,
+        links: LinkTable,
+        rows: ArrayAdjacencyRows,
+        probe_limit: int = 4,
+        max_pairs: int = 65536,
+    ) -> None:
+        if probe_limit < 1:
+            raise ValueError(f"probe_limit must be at least 1, got {probe_limit}")
+        self.topology = topology
+        self.links = links
+        self.rows = rows
+        self.probe_limit = probe_limit
+        self.max_pairs = max_pairs
+        self._pairs: Dict[Tuple[int, int], _ArrayPairEntry] = {}
+        self.hits = 0
+        self.fallbacks = 0
+
+    def _entry(self, source: int, destination: int, generation: int) -> _ArrayPairEntry:
+        key = (source, destination)
+        entry = self._pairs.get(key)
+        if entry is None or entry.generation != generation:
+            if entry is None and len(self._pairs) >= self.max_pairs:
+                self._pairs.clear()
+            failed = self.links.failed
+            edge_ok: Optional[Callable[[LinkId, int], bool]] = None
+            if failed.any():
+                edge_ok = lambda lid, li: not failed[li]  # noqa: E731
+            entry = _ArrayPairEntry(
+                generation, paths_iter_rows(self.rows, source, destination, edge_ok)
+            )
+            self._pairs[key] = entry
+        return entry
+
+    def _candidate(self, entry: _ArrayPairEntry, index: int) -> Optional[ArrayCandidate]:
+        while len(entry.candidates) <= index and not entry.exhausted:
+            path = next(entry.producer, None)
+            if path is None:
+                entry.exhausted = True
+                break
+            links = [link_id(a, b) for a, b in zip(path, path[1:])]
+            idx = self.links.indices_of(links)
+            entry.candidates.append((path, links, idx))
+        if index < len(entry.candidates):
+            return entry.candidates[index]
+        return None
+
+    def primary_route(
+        self, source: int, destination: int, admit_mask: np.ndarray, generation: int
+    ) -> Optional[Tuple[List[int], List[LinkId]] | _NoRouteType]:
+        """First raw candidate whose links all pass ``admit_mask``.
+
+        Same answer contract as :meth:`RouteCache.primary_route`: a
+        ``(path, links)`` hit, :data:`NO_ROUTE` when the exhausted
+        enumeration proves no admissible route exists, or ``None`` when
+        all probed candidates failed (caller falls back to a search).
+        """
+        entry = self._entry(source, destination, generation)
+        for index in range(self.probe_limit):
+            cand = self._candidate(entry, index)
+            if cand is None:
+                return NO_ROUTE
+            path, links, idx = cand
+            if admit_mask[idx].all():
+                self.hits += 1
+                return list(path), list(links)
+        self.fallbacks += 1
+        return None
+
+    def raw_disjoint_backup(
+        self,
+        source: int,
+        destination: int,
+        primary_path: Tuple[int, ...],
+        avoid: FrozenSet[LinkId],
+        generation: int,
+    ) -> Optional[ArrayCandidate]:
+        """Raw-topology fully-disjoint candidate (see :class:`RouteCache`)."""
+        entry = self._entry(source, destination, generation)
+        try:
+            return entry.backups[primary_path]
+        except KeyError:
+            pass
+        if len(entry.backups) >= 64:  # unbounded-primary-key guard
+            entry.backups.clear()
+        failed = self.links.failed
+        if failed.any():
+            edge_ok = lambda lid, li: lid not in avoid and not failed[li]  # noqa: E731
+        else:
+            edge_ok = lambda lid, li: lid not in avoid  # noqa: E731
+        path = bfs_path_rows(self.rows, source, destination, edge_ok)
+        candidate: Optional[ArrayCandidate] = None
+        if path is not None:
+            links = [link_id(a, b) for a, b in zip(path, path[1:])]
+            candidate = (path, links, self.links.indices_of(links))
+        entry.backups[primary_path] = candidate
+        return candidate
+
     def clear(self) -> None:
         """Drop every entry (tests / explicit invalidation)."""
         self._pairs.clear()

@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.channels.manager import NetworkManager
+from repro.channels import MANAGER_CORES, make_manager
 from repro.channels.records import ManagerStats
 from repro.elastic.policies import AdaptationPolicy
 from repro.errors import SimulationError
@@ -62,6 +62,9 @@ class SimulationConfig:
             indirect-chaining classification (Ps / B estimation) and the
             occupancy histogram sample.
         routing: ``dijkstra`` or ``flooding``.
+        core: Manager storage core — ``"array"`` (struct-of-arrays,
+            default) or ``"object"`` (per-object reference core); both
+            are bitwise-equivalent (twin-manager tests).
         policy: Adaptation policy; ``None`` means equal share (paper).
         qos_factory: Optional per-request QoS factory.
         check_invariants_every: Legacy audit knob — run the full
@@ -88,6 +91,7 @@ class SimulationConfig:
     measure_events: int = 2000
     sample_interval: int = 10
     routing: str = "dijkstra"
+    core: str = "array"
     policy: Optional[AdaptationPolicy] = None
     qos_factory: Optional[QoSFactory] = None
     check_invariants_every: int = 0
@@ -104,6 +108,10 @@ class SimulationConfig:
             )
         if self.warmup_events < 0 or self.measure_events < 1:
             raise SimulationError("need warmup_events >= 0 and measure_events >= 1")
+        if self.core not in MANAGER_CORES:
+            raise SimulationError(
+                f"unknown manager core {self.core!r}; choose from {MANAGER_CORES}"
+            )
 
 
 @dataclass
@@ -148,8 +156,8 @@ class ElasticQoSSimulator:
         self.topology = topology
         self.config = config
         self.rng = np.random.default_rng(seed)
-        self.manager = NetworkManager(
-            topology, policy=config.policy, routing=config.routing
+        self.manager = make_manager(
+            topology, core=config.core, policy=config.policy, routing=config.routing
         )
         factory = config.qos_factory or constant_qos(config.qos)
         self.workload = Workload(topology, factory, config.workload, self.rng)

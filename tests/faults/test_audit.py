@@ -114,11 +114,9 @@ class TestMidRunCorruption:
             # primary reservation found; retry until one exists (the lone
             # survivor may briefly be running on its activated backup).
             if calls["n"] > 4 and not calls["corrupted"]:
-                for lid in ring6.link_ids():
-                    ls = manager.state.link(lid)
-                    if ls.primary_min:
-                        cid = next(iter(ls.primary_min))
-                        ls.primary_min[cid] += 333.0
+                for li in range(len(manager.links)):
+                    if manager._prims_on[li]:
+                        manager.links.primary_min[li] += 333.0
                         calls["corrupted"] = True
                         break
             return real_next_request()

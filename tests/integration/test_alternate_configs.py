@@ -71,7 +71,7 @@ class TestReestablishmentUnderChurnAndFailures:
         # lost backups are replaced over the run.
         if stats.backups_lost:
             assert stats.backups_reestablished >= 0
-        sim.manager.state.check_invariants(strict_reservation=False)
+        sim.manager.check_invariants()
 
     def test_unbalanced_churn_with_failures(self, small_net):
         config = SimulationConfig(

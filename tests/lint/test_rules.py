@@ -210,6 +210,48 @@ class TestDET003WallClock:
         assert rules_at(src) == []
 
 
+class TestDET004ItemAccumulationDrift:
+    #: Virtual path inside a bitwise-pinned package: DET004 applies.
+    PINNED = "src/repro/elastic/fixture.py"
+
+    def test_item_in_augadd_flagged(self):
+        src = "total += spare[li].item()\n"
+        assert rules_at(src, path=self.PINNED) == ["DET004"]
+
+    def test_item_in_augsub_flagged(self):
+        src = "extra -= (reserved[li] - used[li]).item()\n"
+        assert rules_at(src, path=self.PINNED) == ["DET004"]
+
+    def test_item_nested_in_expression_flagged(self):
+        src = "acc += 2.0 * demand[i].item() + base\n"
+        assert rules_at(src, path=self.PINNED) == ["DET004"]
+
+    def test_plain_augadd_is_clean(self):
+        src = "total += spare[li]\n"
+        assert rules_at(src, path=self.PINNED) == []
+
+    def test_item_outside_accumulation_is_clean(self):
+        src = "value = spare[li].item()\n"
+        assert rules_at(src, path=self.PINNED) == []
+
+    def test_item_with_args_is_unrelated_method(self):
+        # `.item(key)` is a different API (e.g. a mapping helper).
+        src = "total += row.item(3)\n"
+        assert rules_at(src, path=self.PINNED) == []
+
+    def test_unpinned_package_is_exempt(self):
+        src = "total += spare[li].item()\n"
+        assert rules_at(src, path=SIM_PATH) == []
+        assert rules_at(src, path="src/repro/channels/manager.py") == []
+
+    def test_suppressed(self):
+        src = (
+            "total += spare[li].item()"
+            "  # repro-lint: disable=DET004 — display only\n"
+        )
+        assert rules_at(src, path=self.PINNED) == []
+
+
 class TestART001RawArtifactWrite:
     def test_open_write_flagged(self):
         src = "with open(path, 'w') as fh:\n    fh.write(text)\n"
