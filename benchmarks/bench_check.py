@@ -23,6 +23,23 @@ tolerance is applied, so a slower (or thermally throttled) recording
 machine is not misread as a code regression.  Runs predating the field
 compare unscaled.
 
+The canary resolves machine-*class* differences (different silicon,
+halved clocks), not same-machine jitter: on a contended single-core
+recorder its reading swings up to ~1.3× between otherwise-quiet
+recordings, which is *more* variance than the tracked medians
+themselves show.  Applying such a ratio would inject noise rather than
+remove it, so ratios inside the dead band
+(:data:`CALIBRATION_DEADBAND`) are treated as 1.0 — within the band
+the regression tolerance is the instrument; beyond it the machines are
+genuinely different and scaling engages.
+
+Cross-core supremacy.  Besides the same-core regression gate, the check
+asserts the **array** core's latest run beats (or ties) the **object**
+core's latest run on the admission-path benchmarks
+(:data:`CROSS_CORE_BENCHMARKS`) after calibration scaling — the SoA
+core exists to be faster, and this pins that claim in CI.  Skipped
+(with a notice) while the artifact lacks a run of either core.
+
 Exit status: 0 when every tracked median is within tolerance, 1
 otherwise (with a per-metric report either way).
 """
@@ -43,6 +60,29 @@ DEFAULT_TOLERANCE = 0.15
 
 #: The historical core of runs recorded before the ``core`` field.
 _LEGACY_CORE = "object"
+
+#: Benchmarks where the array core must not lose to the object core.
+CROSS_CORE_BENCHMARKS = ("test_request_connection", "test_failure_and_repair")
+
+#: Calibration ratios within ``[1/(1+x), 1+x]`` of 1.0 are canary
+#: jitter, not a machine difference, and are not applied (see module
+#: docstring).  0.30 is the observed quiet-window spread of the canary
+#: on the project's single-core recorder.
+CALIBRATION_DEADBAND = 0.30
+
+
+def calibration_scale(cand_calib: Optional[float], base_calib: Optional[float]) -> float:
+    """Machine factor to apply to the baseline's medians.
+
+    1.0 when either side lacks a calibration or the ratio sits inside
+    the dead band; the raw ratio otherwise.
+    """
+    if not cand_calib or not base_calib:
+        return 1.0
+    ratio = cand_calib / base_calib
+    if 1.0 / (1.0 + CALIBRATION_DEADBAND) <= ratio <= 1.0 + CALIBRATION_DEADBAND:
+        return 1.0
+    return ratio
 
 
 def load_runs(path: Path) -> list[dict]:
@@ -76,14 +116,14 @@ def baseline_for(runs: list[dict], candidate: dict) -> Optional[dict]:
 
 def check(candidate: dict, baseline: dict, tolerance: float) -> int:
     """Compare tracked medians; return the number of regressions."""
-    scale = 1.0
     cand_calib = candidate.get("calib_us")
     base_calib = baseline.get("calib_us")
+    scale = calibration_scale(cand_calib, base_calib)
     if cand_calib and base_calib:
-        scale = cand_calib / base_calib
         print(
             f"calibration: candidate {cand_calib} µs / baseline {base_calib} µs"
             f" -> machine factor {scale:.3f}"
+            + (" (ratio within dead band)" if scale == 1.0 else "")
         )
     else:
         print("calibration: unavailable on one side; comparing unscaled")
@@ -107,6 +147,57 @@ def check(candidate: dict, baseline: dict, tolerance: float) -> int:
     return failures
 
 
+def latest_run_for_core(runs: list[dict], core: str) -> Optional[dict]:
+    """The most recent run recorded with ``core``, or None."""
+    for run in reversed(runs):
+        if run_core(run) == core:
+            return run
+    return None
+
+
+def check_cross_core(runs: list[dict]) -> int:
+    """Assert the array core beats the object core; return failures.
+
+    Compares the latest run of each core on
+    :data:`CROSS_CORE_BENCHMARKS` after calibration scaling.  The
+    comparison is strict (no tolerance): the runs are recorded
+    back-to-back on one machine, so a loss is a real loss.
+    """
+    array_run = latest_run_for_core(runs, "array")
+    object_run = latest_run_for_core(runs, "object")
+    if array_run is None or object_run is None:
+        print("cross-core: artifact lacks a run of each core; skipping")
+        return 0
+    print(
+        f"cross-core: array {array_run['label']!r} vs"
+        f" object {object_run['label']!r}"
+    )
+    a_calib = array_run.get("calib_us")
+    o_calib = object_run.get("calib_us")
+    scale = calibration_scale(a_calib, o_calib)
+    if a_calib and o_calib:
+        print(
+            f"  calibration: array {a_calib} µs / object {o_calib} µs"
+            f" -> machine factor {scale:.3f}"
+            + (" (ratio within dead band)" if scale == 1.0 else "")
+        )
+    failures = 0
+    for name in CROSS_CORE_BENCHMARKS:
+        a_result = array_run["results"].get(name)
+        o_result = object_run["results"].get(name)
+        if a_result is None or o_result is None:
+            print(f"  {name}: missing from one run; skipping")
+            continue
+        a_med = a_result["median_us"]
+        limit = o_result["median_us"] * scale
+        ok = a_med <= limit
+        verdict = "ok" if ok else "ARRAY SLOWER THAN OBJECT"
+        print(f"  {name}: array {a_med:.1f} µs vs object {limit:.1f} µs {verdict}")
+        if not ok:
+            failures += 1
+    return failures
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -125,6 +216,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         help=f"allowed fractional regression (default {DEFAULT_TOLERANCE})",
     )
+    parser.add_argument(
+        "--no-cross-core", action="store_true",
+        help="skip the array-beats-object supremacy check",
+    )
     args = parser.parse_args(argv)
 
     runs = load_runs(args.artifact)
@@ -139,11 +234,14 @@ def main(argv: Optional[list[str]] = None) -> int:
             "no earlier run with this core: this recording becomes the"
             " lineage baseline; nothing to gate"
         )
-        return 0
-    print(f"baseline:  {baseline['label']} (core={run_core(baseline)})")
-    failures = check(candidate, baseline, args.tolerance)
+        failures = 0
+    else:
+        print(f"baseline:  {baseline['label']} (core={run_core(baseline)})")
+        failures = check(candidate, baseline, args.tolerance)
+    if not args.no_cross_core:
+        failures += check_cross_core(runs)
     if failures:
-        print(f"FAILED: {failures} benchmark(s) regressed > {args.tolerance:.0%}")
+        print(f"FAILED: {failures} benchmark check(s) failed")
         return 1
     print("benchmark gate passed")
     return 0

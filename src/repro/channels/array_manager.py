@@ -52,7 +52,13 @@ from repro.errors import (
 from repro.network.link_state import EPSILON
 from repro.network.link_table import LinkTable
 from repro.qos.spec import ConnectionQoS, ElasticQoS
-from repro.routing.cache import NO_ROUTE, ArrayAdjacencyRows, ArrayRouteCache
+from repro.routing.cache import (
+    NO_ROUTE,
+    ArrayAdjacencyRows,
+    ArrayRouteCache,
+    BackupPlan,
+    RoutePlan,
+)
 from repro.routing.disjoint import disjoint_path, maximally_disjoint_path
 from repro.routing.flooding import flooding_route_pair
 from repro.routing.shortest import _check_endpoints, bfs_path_rows
@@ -83,7 +89,7 @@ class ArrayLinkView:
 
     @property
     def failed(self) -> bool:
-        return bool(self._t.failed[self._i])
+        return self._t.failed_py[self._i]
 
     @property
     def primary_min_total(self) -> float:
@@ -170,15 +176,36 @@ class ArrayNetworkState:
         return len(self._failed_list)
 
     # -- failures -------------------------------------------------------
+    # The column toggles are inlined (rather than calling
+    # ``LinkTable.fail``/``repair``) because a fail/repair pair on an
+    # otherwise idle manager is the hot constant-overhead path of the
+    # failure benchmarks; the extra call layers measurably lose to the
+    # object core's attribute flip.
     def fail_link(self, lid: LinkId) -> None:
-        self.table.fail(self.table.index_of(lid))
+        table = self.table
+        try:
+            li = table.index[lid]
+        except KeyError:
+            li = table.index_of(lid)  # raises TopologyError, unknown link
+        if table.failed_py[li]:
+            raise ReservationError(f"link {lid} is already failed")
+        table.failed[li] = True
+        table.failed_py[li] = True
         self._failed.add(lid)
         self._alive_list.pop(bisect_left(self._alive_list, lid))
         insort(self._failed_list, lid)
         self.generation += 1
 
     def repair_link(self, lid: LinkId) -> None:
-        self.table.repair(self.table.index_of(lid))
+        table = self.table
+        try:
+            li = table.index[lid]
+        except KeyError:
+            li = table.index_of(lid)  # raises TopologyError, unknown link
+        if not table.failed_py[li]:
+            raise ReservationError(f"link {lid} is not failed")
+        table.failed[li] = False
+        table.failed_py[li] = False
         self._failed.discard(lid)
         self._failed_list.pop(bisect_left(self._failed_list, lid))
         insort(self._alive_list, lid)
@@ -415,12 +442,30 @@ class ArrayNetworkManager:
         self._active_on: List[Set[int]] = [set() for _ in range(n)]
         #: conn id -> live handle.
         self._h_of: Dict[int, int] = {}
+        #: handle -> conn id, as a plain Python list (hot-path mirror of
+        #: ``conns.conn_id``: cid-sorting handle sets with a C-level list
+        #: key beats a NumPy gather + argsort at event sizes).  Entries
+        #: of freed handles are stale until the handle is reused; only
+        #: live handles are ever looked up.  (The conn-id mirror itself
+        #: lives on :class:`ConnectionTable` as ``cid_py``.)
+        #: handle -> the primary's link-id frozenset.  A connection's
+        #: primary route is immutable for its lifetime, so the conflict
+        #: set backups are keyed on never needs rebuilding from the
+        #: arena.
+        self._conflict_py: List[FrozenSet[LinkId]] = []
         self.stats = ManagerStats()
         self.now = 0.0
         self._next_id = 0
         self.activation_fault_prob: float = 0.0
         self._fault_rng = None
         self.auto_redistribute = True
+        #: Micro-epoch batching state (see :meth:`begin_micro_epoch`):
+        #: while an epoch is open, ``_epoch_links`` holds the union of
+        #: the deferred events' conflict keys and ``_epoch_affected``
+        #: the links whose water-fill is postponed until the next flush.
+        self._epoch_active = False
+        self._epoch_links: Set[int] = set()
+        self._epoch_affected: Set[int] = set()
 
     # ------------------------------------------------------------------
     # queries
@@ -485,10 +530,8 @@ class ArrayNetworkManager:
         self.stats.requests += 1
         b_min = qos.performance.b_min
 
-        primary_path, backup_path, primary_links, primary_link_set = self._select_routes(
-            source, destination, qos
-        )
-        if primary_path is None or primary_links is None or primary_link_set is None:
+        plan, backup_path, backup_plan = self._select_routes(source, destination, qos)
+        if plan is None:
             self.stats.rejected_no_primary += 1
             impact.accepted = False
             return None, impact
@@ -497,31 +540,40 @@ class ArrayNetworkManager:
             impact.accepted = False
             return None, impact
 
-        primary_set = self._conflict_set(primary_link_set)
+        if self._epoch_active:
+            # Before the first mutation: flush the pending fill unless
+            # this arrival's conflict key is disjoint from the epoch's.
+            self._epoch_guard(plan.idx_list)
+
+        primary_set = self._conflict_set(plan.link_set)
         conn_id = self._next_id
         self._next_id += 1
         impact.conn_id = conn_id
 
-        prim_idx = self.links.indices_of(primary_links)
-        affected: Set[int] = set(prim_idx.tolist())
+        prim_idx = plan.idx
+        affected: Set[int] = set(plan.idx_set)
         direct_ids = self._reclaim_direct(prim_idx, affected, impact)
 
         self._reserve_primary_checked(prim_idx, b_min)
 
-        backup_links: Optional[List[LinkId]] = None
         bk_idx: Optional[np.ndarray] = None
+        bk_nodes: Optional[np.ndarray] = None
         overlap = 0
         if backup_path is not None:
-            backup_links = self.topology.path_links(backup_path)
-            overlap = sum(1 for lid in backup_links if lid in primary_link_set)
-            bk_idx = self.links.indices_of(backup_links)
-            if not all(
-                self.links.can_admit_backup(int(li), b_min, primary_set)
-                for li in bk_idx
-            ):
+            if backup_plan is not None:
+                # Precompiled fully-disjoint candidate: indices and node
+                # array are ready, and overlap is zero by construction.
+                bk_idx = backup_plan.idx
+                bk_nodes = backup_plan.nodes
+            else:
+                backup_links = self.topology.path_links(backup_path)
+                overlap = sum(1 for lid in backup_links if lid in plan.link_set)
+                bk_idx = self.links.indices_of(backup_links)
+                bk_nodes = np.asarray(backup_path, dtype=np.int64)
+            if not self.links.can_admit_backup_bulk(bk_idx, b_min, primary_set):
                 # The primary's own reservation consumed the headroom the
                 # backup needed (only possible with overlapping routes).
-                self.links.primary_min[prim_idx] -= b_min
+                self.links.sub_primary_min(prim_idx, b_min)
                 self._redistribute(affected, impact, direct_ids)
                 self.stats.rejected_no_backup += 1
                 impact.accepted = False
@@ -535,14 +587,18 @@ class ArrayNetworkManager:
             destination,
             qos,
             prim_idx,
-            np.asarray(primary_path, dtype=np.int64),
+            plan.nodes,
             self.now,
         )
-        if bk_idx is not None:
-            assert backup_path is not None
-            self.conns.set_backup(
-                h, bk_idx, np.asarray(backup_path, dtype=np.int64), overlap
+        conflict_py = self._conflict_py
+        if h >= len(conflict_py):
+            conflict_py.extend(
+                [_UNIVERSAL_CONFLICT] * (h + 1 - len(conflict_py))
             )
+        conflict_py[h] = plan.link_set
+        if bk_idx is not None:
+            assert bk_nodes is not None
+            self.conns.set_backup(h, bk_idx, bk_nodes, overlap)
             for li in bk_idx.tolist():
                 self._backups_on[li].add(h)
         self._h_of[conn_id] = h
@@ -556,12 +612,8 @@ class ArrayNetworkManager:
     def _reserve_primary_checked(self, prim_idx: np.ndarray, b_min: float) -> None:
         """Reserve a primary's minimum with the object core's guards."""
         t = self.links
-        headroom = (
-            t.capacity[prim_idx]
-            - t.primary_min[prim_idx]
-            - t.backup_reserved[prim_idx]
-            - t.activated[prim_idx]
-        )
+        t.refresh_aggregates()
+        headroom = t.headroom[prim_idx]
         if bool((b_min > headroom + EPSILON).any()):
             raise AdmissionError(
                 f"primary reservation of {b_min} Kb/s overcommits a link "
@@ -570,7 +622,7 @@ class ArrayNetworkManager:
         used = t.primary_min[prim_idx] + t.primary_extra[prim_idx] + t.activated[prim_idx]
         if bool((used + b_min > t.capacity[prim_idx] + EPSILON).any()):
             raise AdmissionError("primary reservation would exceed usage capacity")
-        t.primary_min[prim_idx] += b_min
+        t.add_primary_min(prim_idx, b_min)
 
     def _reclaim_direct(
         self, prim_idx: np.ndarray, affected: Set[int], impact: EventImpact
@@ -587,9 +639,9 @@ class ArrayNetworkManager:
             return set()
         hset: Set[int] = set().union(*groups)
         conns = self.conns
-        arr = np.fromiter(hset, np.int64, len(hset))
-        hs = arr[np.argsort(conns.conn_id[arr])]
-        cids = conns.conn_id[hs]
+        cid_py = conns.cid_py
+        hs_list = sorted(hset, key=cid_py.__getitem__)
+        hs = np.fromiter(hs_list, np.int64, len(hs_list))
         before = conns.level[hs]
         extras = conns.conn_extra[hs]
         dropping = extras != 0.0
@@ -598,27 +650,33 @@ class ArrayNetworkManager:
             sub_extras = extras[dropping]
             flat, _starts = _gather(conns, sub)
             rep = np.repeat(sub_extras, conns.prim_len[sub])
-            np.add.at(self.links.primary_extra, flat, -rep)
+            self.links.reclaim_extras(flat, rep)
             conns.conn_extra[sub] = 0.0
-            affected.update(flat[rep > EPSILON].tolist())
+            if float(sub_extras.min()) > EPSILON:
+                affected.update(flat.tolist())
+            else:
+                affected.update(flat[rep > EPSILON].tolist())
         conns.level[hs] = 0
         direct = impact.direct
-        for cid, lvl in zip(cids.tolist(), before.tolist()):
-            direct[cid] = (lvl, 0)
-        return set(cids.tolist())
+        for h, lvl in zip(hs_list, before.tolist()):
+            direct[cid_py[h]] = (lvl, 0)
+        return {cid_py[h] for h in hs_list}
 
     # ------------------------------------------------------------------
     # route selection
     # ------------------------------------------------------------------
     def _select_routes(
         self, source: int, destination: int, qos: ConnectionQoS
-    ) -> Tuple[
-        Optional[List[int]],
-        Optional[List[int]],
-        Optional[List[LinkId]],
-        Optional[FrozenSet[LinkId]],
-    ]:
-        """Pick routes with the configured engine (see the object core)."""
+    ) -> Tuple[Optional[RoutePlan], Optional[List[int]], Optional[BackupPlan]]:
+        """Pick routes with the configured engine (see the object core).
+
+        Returns ``(primary plan, backup node path, backup plan)``.  The
+        primary plan is the cache's shared precompiled candidate on a
+        hit, or a transient plan built from the search answer otherwise.
+        The backup plan is only set when the precompiled fully-disjoint
+        candidate passed admission; search fallbacks return just the
+        node path (the caller derives links/indices/overlap as before).
+        """
         _check_endpoints(self.topology, source, destination)
         b_min = qos.performance.b_min
         t = self.links
@@ -628,7 +686,7 @@ class ArrayNetworkManager:
 
             def allowance(link: Link) -> float:
                 li = index[link.id]
-                if t.failed[li]:
+                if t.failed_py[li]:
                     return 0.0
                 return max(0.0, t.headroom_at(li))
 
@@ -642,42 +700,44 @@ class ArrayNetworkManager:
                 hop_bound=self.flood_hop_bound,
             )
             if primary is None:
-                return None, None, None, None
+                return None, None, None
             primary_links = self.topology.path_links(primary)
-            primary_link_set = frozenset(primary_links)
+            plan = RoutePlan(primary, primary_links, t.indices_of(primary_links))
             if qos.dependability.wants_backup and backup is None:
-                backup = self._centralized_backup(primary, b_min, qos, primary_link_set)
-            return primary, backup, primary_links, primary_link_set
+                backup, bplan = self._centralized_backup(plan, b_min, qos)
+                return plan, backup, bplan
+            return plan, backup, None
 
-        admit_mask = t.primary_admission_mask(b_min)
-        primary: Optional[List[int]] = None
-        primary_links = None
+        plan: Optional[RoutePlan] = None
         if self.route_cache is not None:
-            found = self.route_cache.primary_route(
-                source, destination, admit_mask, self.state.generation
+            found = self.route_cache.primary_plan(
+                source, destination, b_min, self.state.generation
             )
             if found is NO_ROUTE:
-                return None, None, None, None
-            if found is not None and not isinstance(found, tuple):  # pragma: no cover
-                raise SimulationError("unexpected route-cache answer")
-            if found is not None:
-                primary, primary_links = found
-        if primary is None:
+                return None, None, None
+            if found is not None and not isinstance(found, RoutePlan):
+                raise SimulationError("unexpected route-cache answer")  # pragma: no cover
+            plan = found
+        if plan is None:
+            # The BFS probes the mask once per examined edge; a plain
+            # list lookup beats a NumPy scalar read at that call rate.
+            # (Built only here — the cache-hit path above probes the
+            # headroom column directly and skips mask construction.)
+            admit_list = t.primary_admission_mask(b_min).tolist()
             primary = bfs_path_rows(
                 self.state.adjacency_rows(),
                 source,
                 destination,
-                lambda lid, li: bool(admit_mask[li]),
+                lambda lid, li: admit_list[li],
             )
             if primary is None:
-                return None, None, None, None
+                return None, None, None
             primary_links = self.topology.path_links(primary)
-        assert primary_links is not None
-        primary_link_set = frozenset(primary_links)
-        backup = None
-        if qos.dependability.wants_backup:
-            backup = self._centralized_backup(primary, b_min, qos, primary_link_set)
-        return primary, backup, primary_links, primary_link_set
+            plan = RoutePlan(primary, primary_links, t.indices_of(primary_links))
+        if not qos.dependability.wants_backup:
+            return plan, None, None
+        backup, bplan = self._centralized_backup(plan, b_min, qos)
+        return plan, backup, bplan
 
     def _conflict_set(self, primary_set: FrozenSet[LinkId]) -> FrozenSet[LinkId]:
         """The failure-conflict set a backup reservation is keyed on."""
@@ -687,15 +747,22 @@ class ArrayNetworkManager:
         """The conflict set handle ``h``'s backup was reserved under."""
         if not self.multiplex_backups:
             return _UNIVERSAL_CONFLICT
-        return self.conns.conflict_set_of(h, self.links.link_ids)
+        return self._conflict_py[h]
 
     def _centralized_backup(
         self,
-        primary: List[int],
+        plan: RoutePlan,
         b_min: float,
         qos: ConnectionQoS,
-        primary_set: FrozenSet[LinkId],
-    ) -> Optional[List[int]]:
+    ) -> Tuple[Optional[List[int]], Optional[BackupPlan]]:
+        """Backup route for ``plan``'s primary.
+
+        Returns ``(node path, backup plan)``; the plan half is only set
+        when the cache's precompiled fully-disjoint candidate passed
+        the load-dependent admission re-check.
+        """
+        primary = plan.path
+        primary_set = plan.link_set
         conflict_set = self._conflict_set(primary_set)
         allow_partial = not qos.dependability.require_link_disjoint
         t = self.links
@@ -714,14 +781,13 @@ class ArrayNetworkManager:
             )
             if raw is None:
                 if not allow_partial:
-                    return None
+                    return None, None
                 found = maximally_disjoint_path(
                     self.topology, primary[0], primary[-1], primary_set, backup_ok
                 )
-                return found[0] if found is not None else None
-            path, _links, idx = raw
-            if all(t.can_admit_backup(int(li), b_min, conflict_set) for li in idx):
-                return list(path)
+                return (found[0] if found is not None else None), None
+            if t.can_admit_backup_bulk(raw.idx, b_min, conflict_set):
+                return raw.path, raw
 
         found2 = disjoint_path(
             self.topology,
@@ -732,9 +798,9 @@ class ArrayNetworkManager:
             allow_partial=allow_partial,
         )
         if found2 is None:
-            return None
+            return None, None
         path2, _overlap = found2
-        return path2
+        return path2, None
 
     # ------------------------------------------------------------------
     # termination
@@ -753,11 +819,12 @@ class ArrayNetworkManager:
 
         if scode == _ACTIVE:
             prim_idx = conns.prim_slice(h).copy()
+            if self._epoch_active:
+                self._epoch_guard(prim_idx.tolist())
             direct_ids = self._record_direct_levels(prim_idx, impact, skip=h)
             for li in prim_idx.tolist():
                 self._prims_on[li].discard(h)
-            t.primary_min[prim_idx] -= b_min
-            t.primary_extra[prim_idx] -= conns.conn_extra[h]
+            t.release_primary_bulk(prim_idx, b_min, float(conns.conn_extra[h]))
             affected.update(prim_idx[~t.failed[prim_idx]].tolist())
             if conns.bk_len[h]:
                 conflict = self._conflict_of(h)
@@ -766,8 +833,10 @@ class ArrayNetworkManager:
                     self._backups_on[li].discard(h)
         elif scode == _FAILED_OVER:
             bk_idx = conns.bk_slice(h).copy()
+            if self._epoch_active:
+                self._epoch_guard(bk_idx.tolist())
             direct_ids = self._record_direct_levels(bk_idx, impact, skip=h)
-            t.activated[bk_idx] -= b_min
+            t.sub_activated(bk_idx, b_min)
             for li in bk_idx.tolist():
                 self._active_on[li].discard(h)
             affected.update(bk_idx[~t.failed[bk_idx]].tolist())
@@ -792,15 +861,14 @@ class ArrayNetworkManager:
         if not hset:
             return set()
         conns = self.conns
-        arr = np.fromiter(hset, np.int64, len(hset))
-        order = np.argsort(conns.conn_id[arr])
-        hs = arr[order]
-        cids = conns.conn_id[hs].tolist()
+        cid_py = conns.cid_py
+        hs_list = sorted(hset, key=cid_py.__getitem__)
+        hs = np.fromiter(hs_list, np.int64, len(hs_list))
         levels = conns.level[hs].tolist()
         direct = impact.direct
-        for cid, lvl in zip(cids, levels):
-            direct[cid] = (lvl, lvl)
-        return set(cids)
+        for h, lvl in zip(hs_list, levels):
+            direct[cid_py[h]] = (lvl, lvl)
+        return {cid_py[h] for h in hs_list}
 
     # ------------------------------------------------------------------
     # failures
@@ -859,10 +927,27 @@ class ArrayNetworkManager:
     def _sorted_by_cid(self, handles: Set[int]) -> List[int]:
         if not handles:
             return []
-        conn_id = self.conns.conn_id
-        return sorted(handles, key=lambda h: int(conn_id[h]))
+        return sorted(handles, key=self.conns.cid_py.__getitem__)
 
     def _apply_failure(self, lids: List[LinkId], impact: EventImpact) -> EventImpact:
+        """Apply an atomic failure; an open micro-epoch is a barrier.
+
+        Failures reshape the candidate sets themselves (drops,
+        fail-overs, backup releases), so they are never deferred: the
+        pending fill is flushed first, the failure runs with immediate
+        sequential fills (its impact is therefore complete even while
+        an epoch is open), and batching resumes afterwards.
+        """
+        if not self._epoch_active:
+            return self._apply_failure_seq(lids, impact)
+        self.flush_micro_epoch()
+        self._epoch_active = False
+        try:
+            return self._apply_failure_seq(lids, impact)
+        finally:
+            self._epoch_active = True
+
+    def _apply_failure_seq(self, lids: List[LinkId], impact: EventImpact) -> EventImpact:
         """Shared failure machinery over an atomic set of failed links."""
         t = self.links
         conns = self.conns
@@ -907,7 +992,7 @@ class ArrayNetworkManager:
             cid = int(conns.conn_id[h])
             b_min = float(conns.b_min[h])
             bk_idx = conns.bk_slice(h).copy()
-            t.activated[bk_idx] -= b_min
+            t.sub_activated(bk_idx, b_min)
             for li in bk_idx.tolist():
                 self._active_on[li].discard(h)
             del self._h_of[cid]
@@ -925,8 +1010,7 @@ class ArrayNetworkManager:
             prim_idx = conns.prim_slice(h).copy()
             for li in prim_idx.tolist():
                 self._prims_on[li].discard(h)
-            t.primary_min[prim_idx] -= b_min
-            t.primary_extra[prim_idx] -= conns.conn_extra[h]
+            t.release_primary_bulk(prim_idx, b_min, float(conns.conn_extra[h]))
             conns.conn_extra[h] = 0.0
             conns.level[h] = 0
             affected.update(prim_idx[~t.failed[prim_idx]].tolist())
@@ -1001,24 +1085,130 @@ class ArrayNetworkManager:
         assert qos is not None
         b_min = float(conns.b_min[h])
         primary_links = conns.primary_links_of(h, t.link_ids)
-        primary_link_set = frozenset(primary_links)
-        path = self._centralized_backup(
-            conns.pnode_slice(h).tolist(), b_min, qos, primary_link_set
+        prim_plan = RoutePlan(
+            conns.pnode_slice(h).tolist(), primary_links, conns.prim_slice(h).copy()
         )
+        path, bplan = self._centralized_backup(prim_plan, b_min, qos)
         if path is None:
             return False
-        links = self.topology.path_links(path)
-        primary_set = self._conflict_set(primary_link_set)
-        bk_idx = t.indices_of(links)
-        if not all(t.can_admit_backup(int(li), b_min, primary_set) for li in bk_idx):
+        primary_set = self._conflict_set(prim_plan.link_set)
+        if bplan is not None:
+            bk_idx = bplan.idx
+            bk_nodes = bplan.nodes
+            overlap = 0
+        else:
+            links_b = self.topology.path_links(path)
+            bk_idx = t.indices_of(links_b)
+            bk_nodes = np.asarray(path, dtype=np.int64)
+            overlap = sum(1 for lid in links_b if lid in prim_plan.link_set)
+        if not t.can_admit_backup_bulk(bk_idx, b_min, primary_set):
             return False
         for li in bk_idx.tolist():
             t.add_backup(li, b_min, primary_set)
             self._backups_on[li].add(h)
-        overlap = sum(1 for lid in links if lid in primary_link_set)
-        self.conns.set_backup(h, bk_idx, np.asarray(path, dtype=np.int64), overlap)
+        self.conns.set_backup(h, bk_idx, bk_nodes, overlap)
         self.stats.backups_reestablished += 1
         return True
+
+    # ------------------------------------------------------------------
+    # micro-epoch batching
+    # ------------------------------------------------------------------
+    def begin_micro_epoch(self) -> None:
+        """Open a micro-epoch: defer the fills of link-disjoint events.
+
+        While an epoch is open, churn events apply their reservations,
+        reclamations and releases immediately but postpone the
+        redistribution water-fill.  Consecutive events whose conflict
+        keys (see :meth:`_epoch_guard`) are pairwise link-disjoint
+        share one batched fill at the next flush point; an event whose
+        key overlaps the epoch's flushes the pending fill *before*
+        mutating anything, so the sequential trajectory is reproduced
+        bit for bit (DESIGN.md gives the commutation argument).
+        Admission and routing are unaffected by an open epoch: they
+        read only extras-free columns (``headroom``), which deferred
+        fills never touch, so accept/reject decisions and routes are
+        exact.  Failures and repairs are epoch barriers and always run
+        with immediate fills.
+
+        Caveat: while an epoch is open, the level trajectories folded
+        into each churn event's :class:`EventImpact` (``direct`` /
+        ``indirect_changed``) reflect the *pre-fill* state, and
+        level-dependent queries (``average_live_bandwidth``,
+        ``level_histogram``) lag the sequential trajectory until the
+        next flush.  Callers that consume those must flush first — the
+        simulator batches only during warm-up with tracing and
+        auditing off.
+        """
+        if self._epoch_active:
+            raise SimulationError("micro-epoch already open")
+        self._epoch_active = True
+        self._epoch_links = set()
+        self._epoch_affected = set()
+
+    def flush_micro_epoch(self) -> Dict[int, int]:
+        """Run the deferred water-fill now; the epoch stays open.
+
+        Returns ``conn_id -> levels granted`` like
+        :meth:`redistribute_all`.  A no-op (empty dict) when no epoch
+        is open or nothing is pending.
+        """
+        if not self._epoch_active or not self._epoch_affected:
+            self._epoch_links = set()
+            self._epoch_affected = set()
+            return {}
+        affected = self._epoch_affected
+        self._epoch_links = set()
+        self._epoch_affected = set()
+        sets = self._prims_on
+        groups = [sets[li] for li in affected if sets[li]]
+        if not groups:
+            return {}
+        hset: Set[int] = set().union(*groups)
+        conns = self.conns
+        hs_list = sorted(hset, key=conns.cid_py.__getitem__)
+        return redistribute_soa(self.links, conns, hs_list, self.policy)
+
+    def end_micro_epoch(self) -> Dict[int, int]:
+        """Flush the deferred fill and close the epoch."""
+        granted = self.flush_micro_epoch()
+        self._epoch_active = False
+        return granted
+
+    def _epoch_guard(self, core: List[int]) -> None:
+        """Flush the pending fill unless this event's key is disjoint.
+
+        The conflict key is the two-step link closure of the event's
+        own (dense) link indices: the paths of every ACTIVE primary
+        touching them, plus the paths of every primary touching *those*
+        links.  That covers everything the event's fill may read or
+        write — reclamation spreads the affected set to the direct
+        channels' full paths, whose fill candidates' paths are one
+        neighbourhood further out.  Two events with disjoint keys
+        therefore have disjoint fill candidate sets and disjoint
+        per-link float sequences: their fills commute bitwise with each
+        other and with the other event's reservations.
+        """
+        sets = self._prims_on
+        path_py = self.conns.path_py
+        key = set(core)
+        chan: Set[int] = set()
+        frontier = key
+        for _ in range(2):
+            groups = [sets[li] for li in frontier if sets[li]]
+            if not groups:
+                break
+            fresh = set().union(*groups) - chan
+            if not fresh:
+                break
+            chan |= fresh
+            frontier = set()
+            for h in fresh:
+                frontier.update(path_py[h])
+            frontier -= key
+            key |= frontier
+        if self._epoch_links and not self._epoch_links.isdisjoint(key):
+            self.flush_micro_epoch()
+        self._epoch_links.update(key)
 
     # ------------------------------------------------------------------
     # internals
@@ -1043,37 +1233,55 @@ class ArrayNetworkManager:
     ) -> None:
         """Water-fill the affected links and fold the result into ``impact``."""
         if not affected or not self.auto_redistribute:
-            self._finalize_direct(impact, direct_ids)
+            return
+        if self._epoch_active:
+            # Deferred: the fill runs at the next flush point.  The
+            # guard already proved this event's conflict key disjoint
+            # from every other deferred event's, so the batched fill
+            # reproduces the sequential fills bit for bit.  The
+            # impact's level trajectory stays pre-fill (documented in
+            # :meth:`begin_micro_epoch`).
+            self._epoch_affected |= affected
             return
         sets = self._prims_on
         groups = [sets[li] for li in affected if sets[li]]
-        granted: Dict[int, int] = {}
-        if groups:
-            hset: Set[int] = set().union(*groups)
-            conns = self.conns
-            arr = np.fromiter(hset, np.int64, len(hset))
-            hs = arr[np.argsort(conns.conn_id[arr])]
-            granted = redistribute_soa(self.links, conns, hs, self.policy)
-        level = self.conns.level
-        h_of = self._h_of
+        if not groups:
+            return
+        hset: Set[int] = set().union(*groups)
+        conns = self.conns
+        hs_list = sorted(hset, key=conns.cid_py.__getitem__)
+        afters: Dict[int, int] = {}
+        granted = redistribute_soa(self.links, conns, hs_list, self.policy, afters)
+        if not granted:
+            return
+        indirect = impact.indirect_changed
         for cid, inc in granted.items():
             if cid not in direct_ids:
-                h = h_of.get(cid)
-                if h is not None:
-                    after = int(level[h])
-                    impact.indirect_changed[cid] = (after - inc, after)
-        self._finalize_direct(impact, direct_ids)
+                after = afters[cid]
+                indirect[cid] = (after - inc, after)
+        self._finalize_direct(impact, direct_ids, granted)
 
-    def _finalize_direct(self, impact: EventImpact, direct_ids: Set[int]) -> None:
-        """Set the post-redistribution level of every direct observation."""
-        level = self.conns.level
-        h_of = self._h_of
+    def _finalize_direct(
+        self, impact: EventImpact, direct_ids: Set[int], granted: Dict[int, int]
+    ) -> None:
+        """Set the post-redistribution level of every direct observation.
+
+        Every ``impact.direct`` writer stores ``(before, level at fill
+        start)``, and only the fill moves a direct channel's level after
+        that — so the post-fill level is the stored second element plus
+        whatever the fill granted.  Dropped-during-failure ids are never
+        fill candidates, so their censored ``(before, 0)`` entry is
+        reproduced unchanged.
+        """
+        if not direct_ids:
+            return
+        get = granted.get
+        direct = impact.direct
         for cid in direct_ids:
-            h = h_of.get(cid)
-            if h is None:
-                continue  # dropped during a failure event: censored
-            before, _ = impact.direct[cid]
-            impact.direct[cid] = (before, int(level[h]))
+            inc = get(cid, 0)
+            if inc:
+                before, at_fill = direct[cid]
+                direct[cid] = (before, at_fill + inc)
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -118,6 +118,19 @@ class ConnectionTable:
         # -- per-handle Python payload ----------------------------------
         #: QoS contract objects (shared, frozen dataclasses).
         self.qos: List[Optional[ConnectionQoS]] = [None] * n
+        # Python-native mirrors of the per-handle facts the water-fill
+        # probes in its inner loop.  All five are immutable for the
+        # lifetime of an allocation (written in ``allocate``, cleared in
+        # ``free``), so they carry no sync protocol — they simply let
+        # the fill read plain ints/floats/lists instead of paying a
+        # NumPy scalar access per probe.
+        self.cid_py: List[int] = [-1] * n
+        self.thr_py: List[float] = [0.0] * n
+        self.delta_py: List[float] = [0.0] * n
+        self.maxl_py: List[int] = [0] * n
+        #: Primary path as a plain list of dense link indices (mirror of
+        #: the CSR ``prim_*`` view; same order).
+        self.path_py: List[List[int]] = [[] for _ in range(n)]
         self._free: List[int] = list(range(n - 1, -1, -1))
         self.num_allocated = 0
 
@@ -141,6 +154,11 @@ class ConnectionTable:
         self.conn_id[old:] = -1
         self.state[old:] = STATE_CODE[ConnectionState.TERMINATED]
         self.qos.extend([None] * old)
+        self.cid_py.extend([-1] * old)
+        self.thr_py.extend([0.0] * old)
+        self.delta_py.extend([0.0] * old)
+        self.maxl_py.extend([0] * old)
+        self.path_py.extend([] for _ in range(old))
         self._free.extend(range(new - 1, old - 1, -1))
         self.capacity = new
 
@@ -159,12 +177,13 @@ class ConnectionTable:
             self._grow()
         h = self._free.pop()
         perf = qos.performance
+        threshold = perf.increment - 1e-6  # EPSILON, see link_state
         self.conn_id[h] = conn_id
         self.level[h] = 0
         self.b_min[h] = perf.b_min
         self.b_max[h] = perf.b_max
         self.increment[h] = perf.increment
-        self.threshold[h] = perf.increment - 1e-6  # EPSILON, see link_state
+        self.threshold[h] = threshold
         self.max_level[h] = perf.max_level
         self.state[h] = STATE_CODE[ConnectionState.ACTIVE]
         self.on_backup[h] = False
@@ -182,6 +201,11 @@ class ConnectionTable:
         self.bk_len[h] = 0
         self.bnode_len[h] = 0
         self.qos[h] = qos
+        self.cid_py[h] = conn_id
+        self.thr_py[h] = threshold
+        self.delta_py[h] = perf.increment
+        self.maxl_py[h] = perf.max_level
+        self.path_py[h] = prim_idx.tolist()
         self.num_allocated += 1
         return h
 
@@ -209,6 +233,8 @@ class ConnectionTable:
         self.alloc[h] = False
         self.conn_id[h] = -1
         self.qos[h] = None
+        self.cid_py[h] = -1
+        self.path_py[h] = []
         self.links_arena.garbage += int(self.prim_len[h] + self.bk_len[h])
         self.nodes_arena.garbage += int(self.pnode_len[h] + self.bnode_len[h])
         self.prim_len[h] = 0

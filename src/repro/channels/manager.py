@@ -119,6 +119,8 @@ class NetworkManager:
         #: When False, events skip the water-fill (bulk setup runs one
         #: global redistribution at the end instead — see the simulator).
         self.auto_redistribute = True
+        #: Parity flag for the array core's micro-epoch API (no-op here).
+        self._epoch_active = False
 
     # ------------------------------------------------------------------
     # queries
@@ -167,6 +169,31 @@ class NetworkManager:
             if conn.state is ConnectionState.ACTIVE and not conn.on_backup:
                 hist[min(conn.level, num_levels - 1)] += 1
         return hist
+
+    # ------------------------------------------------------------------
+    # micro-epoch batching (parity API; sequential core never defers)
+    # ------------------------------------------------------------------
+    def begin_micro_epoch(self) -> None:
+        """Accept the array core's micro-epoch protocol as a no-op.
+
+        Micro-epoch batching is an internal execution strategy of the
+        array core whose observable trajectory is bitwise identical to
+        sequential per-event fills (twin-manager suite), so the
+        reference core implements the same API without deferring
+        anything — callers can drive either core through one code path.
+        """
+        if self._epoch_active:
+            raise SimulationError("micro-epoch already open")
+        self._epoch_active = True
+
+    def flush_micro_epoch(self) -> Dict[int, int]:
+        """Parity no-op: nothing is ever deferred on this core."""
+        return {}
+
+    def end_micro_epoch(self) -> Dict[int, int]:
+        """Close the (no-op) epoch opened by :meth:`begin_micro_epoch`."""
+        self._epoch_active = False
+        return {}
 
     # ------------------------------------------------------------------
     # establishment

@@ -428,6 +428,92 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(forwarded)
 
 
+def _bench_workload(core: str, population: int, seed: int):
+    """The ``bench_core_ops`` fixture workload, rebuilt CLI-side.
+
+    Same topology, seed and population as
+    ``benchmarks/bench_core_ops.loaded_manager`` so profile dumps line
+    up with the pytest-benchmark numbers in BENCH_core_ops.json.
+    """
+    from repro.channels import make_manager
+
+    rng = np.random.default_rng(seed)
+    net = paper_random_network(PAPER_LINK_CAPACITY, rng, n=60, target_edges=130)
+    manager = make_manager(net, core=core)
+    qos = paper_connection_qos()
+    nodes = np.array(net.nodes())
+    pair_rng = np.random.default_rng(seed + 1)
+    while manager.num_live < population:
+        src, dst = pair_rng.choice(nodes, size=2, replace=False)
+        manager.request_connection(int(src), int(dst), qos)
+    return net, manager, qos, pair_rng, nodes
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the hot-path micro-benchmarks, optionally under cProfile."""
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    names = ("request", "failrep") if args.benchmark == "all" else (args.benchmark,)
+    for name in names:
+        net, manager, qos, pair_rng, nodes = _bench_workload(
+            args.core, args.population, args.seed
+        )
+        links = net.link_ids()
+
+        if name == "request":
+
+            def body(events: int) -> None:
+                for _ in range(events):
+                    src, dst = pair_rng.choice(nodes, size=2, replace=False)
+                    conn, _ = manager.request_connection(int(src), int(dst), qos)
+                    if conn is not None:
+                        manager.terminate_connection(conn.conn_id)
+
+        else:
+
+            def body(events: int) -> None:
+                for i in range(events):
+                    lid = links[i % len(links)]
+                    manager.fail_link(lid)
+                    manager.repair_link(lid)
+
+        body(min(50, args.events))  # warm route cache and code paths
+        if args.profile:
+            profiler = cProfile.Profile()
+            # Benchmark layer: wall-clock is the measurement, not sim time.
+            t0 = time.perf_counter()  # repro-lint: disable=DET003
+            profiler.enable()
+            body(args.events)
+            profiler.disable()
+            elapsed = time.perf_counter() - t0  # repro-lint: disable=DET003
+            buf = io.StringIO()
+            pstats.Stats(profiler, stream=buf).strip_dirs().sort_stats(
+                "cumulative"
+            ).print_stats(args.top)
+            header = (
+                f"# repro bench --profile: {name} / {args.core} core\n"
+                f"# {args.events} events, {elapsed * 1e6 / args.events:.1f} "
+                "us/event -- cProfile's per-call overhead inflates "
+                "call-heavy code; compare wall-clock via pytest-benchmark\n"
+            )
+            out = Path(args.out) / f"bench_{name}_{args.core}.prof.txt"
+            atomic_write_text(out, header + buf.getvalue())
+            print(header.rstrip())
+            print(f"profile written to {out}")
+        else:
+            t0 = time.perf_counter()  # repro-lint: disable=DET003
+            body(args.events)
+            elapsed = time.perf_counter() - t0  # repro-lint: disable=DET003
+            print(
+                f"{name:8s} {args.core:6s} {args.events} events: "
+                f"{elapsed * 1e6 / args.events:8.1f} us/event"
+            )
+    return 0
+
+
 def cmd_topology(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     if args.kind == "waxman":
@@ -515,6 +601,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", type=int, default=400, help="connections to establish")
     p.add_argument("--samples", type=int, default=100, help="Monte-Carlo routes")
     p.set_defaults(func=cmd_chaining)
+
+    p = sub.add_parser(
+        "bench", help="hot-path micro-benchmarks (optionally under cProfile)"
+    )
+    p.add_argument("--benchmark", choices=("request", "failrep", "all"),
+                   default="all", help="which hot loop to run")
+    p.add_argument("--core", choices=("array", "object"), default="array",
+                   help="manager storage core")
+    p.add_argument("--events", type=int, default=2000, help="events per loop")
+    p.add_argument("--population", type=int, default=600,
+                   help="pre-loaded connections")
+    p.add_argument("--seed", type=int, default=11,
+                   help="workload seed (11 matches bench_core_ops)")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile and dump top cumulative stats")
+    p.add_argument("--top", type=int, default=40,
+                   help="rows in the profile dump")
+    p.add_argument("--out", default="benchmarks/results",
+                   help="directory for *.prof.txt dumps")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("topology", help="generate and describe a topology")
     _add_common(p)

@@ -28,6 +28,22 @@ the caller (the :class:`~repro.channels.conn_table.ConnectionTable`),
 then cross-checks the columns against the recomputation — the same
 "caches must match a from-scratch sum" discipline the object core's
 ``LinkState.check_invariants`` applies, at whole-array granularity.
+
+Materialized aggregates (PR 7).  ``spare`` and ``headroom`` hold the
+two derived quantities the hot paths interrogate constantly —
+``spare_for_extras`` and ``admission_headroom`` — as ready-to-read
+float64 columns.  They are *never* updated by adding a delta (which
+would be a different float trajectory off the dyadic bandwidth grid);
+every mutation site re-evaluates the exact left-to-right defining
+expression for just the touched cells (``_refresh_cells``), and bulk
+writers that bypass the mutation API (the elastic fill's vectorized
+grant/writeback) call :meth:`mark_aggregates_dirty`, after which the
+next read triggers a full-column recompute.  Elementwise float64
+arithmetic is IEEE-identical whether evaluated per cell, per touched
+slice, or over the whole column, so all three refresh granularities
+produce bitwise-identical values — ``check_invariants`` asserts the
+columns match a from-scratch recompute with ``array_equal`` (no
+tolerance) whenever the table claims to be clean.
 """
 
 from __future__ import annotations
@@ -52,12 +68,16 @@ class LinkTable:
     Attributes:
         link_ids: Link identity of each dense index (topology order).
         index: ``LinkId -> dense index`` mapping.
-        capacity: Installed bandwidth per link (Kb/s), immutable.
+        capacity: Installed bandwidth per link (Kb/s); mutable only via
+            :meth:`set_capacity` (scenario hook).
         primary_min: Sum of primary-minimum reservations per link.
         primary_extra: Sum of granted elastic extras per link.
         activated: Bandwidth consumed by activated backups per link.
         backup_reserved: Multiplexed backup reservation per link (the
             worst single-failure demand).
+        spare: Materialized ``spare_for_extras`` per link (see module
+            docstring for the refresh protocol).
+        headroom: Materialized ``admission_headroom`` per link.
         failed: Boolean failure mask per link.
         backup_demand: Per-link sparse ``failure link -> total backup
             bandwidth`` maps backing the multiplexing rule.
@@ -71,9 +91,13 @@ class LinkTable:
         "primary_extra",
         "activated",
         "backup_reserved",
+        "spare",
+        "headroom",
         "failed",
+        "failed_py",
         "backup_demand",
         "_num_links",
+        "_agg_dirty",
     )
 
     def __init__(self, topology: Network) -> None:
@@ -87,8 +111,16 @@ class LinkTable:
         self.primary_extra = np.zeros(n, dtype=_F8)
         self.activated = np.zeros(n, dtype=_F8)
         self.backup_reserved = np.zeros(n, dtype=_F8)
+        self.spare = np.empty(n, dtype=_F8)
+        self.headroom = np.empty(n, dtype=_F8)
         self.failed = np.zeros(n, dtype=np.bool_)
+        #: Python mirror of ``failed`` for scalar probes: list access is
+        #: several times cheaper than a numpy scalar read, and the
+        #: fail/repair toggles are the column's only writers.
+        self.failed_py: List[bool] = [False] * n
         self.backup_demand: List[Dict[LinkId, float]] = [dict() for _ in range(n)]
+        self._agg_dirty = True
+        self.refresh_aggregates()
 
     # ------------------------------------------------------------------
     # geometry
@@ -113,20 +145,66 @@ class LinkTable:
         return np.array([idx[lid] for lid in lids], dtype=np.int64)
 
     # ------------------------------------------------------------------
+    # materialized-aggregate maintenance
+    # ------------------------------------------------------------------
+    def mark_aggregates_dirty(self) -> None:
+        """Flag the ``spare``/``headroom`` columns stale.
+
+        Bulk writers that mutate base columns directly (the elastic
+        fill's vectorized grants and the Python tail's writeback) call
+        this instead of tracking per-cell refreshes; the next aggregate
+        read recomputes both columns in full.
+        """
+        self._agg_dirty = True
+
+    def refresh_aggregates(self) -> None:
+        """Recompute both materialized columns if flagged stale."""
+        if self._agg_dirty:
+            self.spare[:] = (
+                self.capacity - self.primary_min - self.activated - self.primary_extra
+            )
+            self.headroom[:] = (
+                self.capacity - self.primary_min - self.backup_reserved - self.activated
+            )
+            self._agg_dirty = False
+
+    def _refresh_cell(self, li: int) -> None:
+        """Re-evaluate the defining expressions for one dense index."""
+        cm = self.capacity[li] - self.primary_min[li]
+        act = self.activated[li]
+        self.spare[li] = cm - act - self.primary_extra[li]
+        self.headroom[li] = cm - self.backup_reserved[li] - act
+
+    def refresh_cells(self, idx: np.ndarray) -> None:
+        """Re-evaluate the defining expressions for touched indices.
+
+        Duplicate indices are harmless: the recompute is idempotent.
+        """
+        cm = self.capacity[idx] - self.primary_min[idx]
+        act = self.activated[idx]
+        self.spare[idx] = cm - act - self.primary_extra[idx]
+        self.headroom[idx] = cm - self.backup_reserved[idx] - act
+
+    # ------------------------------------------------------------------
     # vectorized aggregate views
     # ------------------------------------------------------------------
     def spare_for_extras(self) -> np.ndarray:
         """Extra-pool headroom per link (full-network vector).
 
-        Evaluates ``capacity - primary_min - activated - primary_extra``
+        ``capacity - primary_min - activated - primary_extra`` evaluated
         left to right — the exact expression (and float trajectory) of
-        ``LinkState.spare_for_extras``.
+        ``LinkState.spare_for_extras`` — served from the materialized
+        column.  Returns a copy: callers may mutate base columns next.
         """
-        return self.capacity - self.primary_min - self.activated - self.primary_extra
+        if self._agg_dirty:
+            self.refresh_aggregates()
+        return self.spare.copy()
 
     def admission_headroom(self) -> np.ndarray:
         """Guaranteed-commitment headroom per link (invariant 2 view)."""
-        return self.capacity - self.primary_min - self.backup_reserved - self.activated
+        if self._agg_dirty:
+            self.refresh_aggregates()
+        return self.headroom.copy()
 
     def used(self) -> np.ndarray:
         """Bandwidth actually consumed per link."""
@@ -138,28 +216,24 @@ class LinkTable:
         ``True`` where a new primary with minimum ``b_min`` fits: the
         link is alive and ``b_min <= admission_headroom + EPSILON``.
         """
-        return (~self.failed) & (b_min <= self.admission_headroom() + EPSILON)
+        if self._agg_dirty:
+            self.refresh_aggregates()
+        return (~self.failed) & (b_min <= self.headroom + EPSILON)
 
     # ------------------------------------------------------------------
     # scalar reads (compat views, flooding allowances, diagnostics)
     # ------------------------------------------------------------------
     def headroom_at(self, li: int) -> float:
         """Scalar ``admission_headroom`` of one dense index."""
-        return float(
-            self.capacity[li]
-            - self.primary_min[li]
-            - self.backup_reserved[li]
-            - self.activated[li]
-        )
+        if self._agg_dirty:
+            self.refresh_aggregates()
+        return float(self.headroom[li])
 
     def spare_at(self, li: int) -> float:
         """Scalar ``spare_for_extras`` of one dense index."""
-        return float(
-            self.capacity[li]
-            - self.primary_min[li]
-            - self.activated[li]
-            - self.primary_extra[li]
-        )
+        if self._agg_dirty:
+            self.refresh_aggregates()
+        return float(self.spare[li])
 
     # ------------------------------------------------------------------
     # primary path mutations
@@ -176,6 +250,7 @@ class LinkTable:
         col = self.primary_min
         for li in path_idx:
             col[li] += b_min
+        self.refresh_cells(path_idx)
 
     def release_primary(self, path_idx: np.ndarray, b_min: float, extra: float) -> float:
         """Release a primary (min + its extras); returns bandwidth freed."""
@@ -187,6 +262,7 @@ class LinkTable:
             if extra:
                 extras[li] -= extra
             freed += b_min + extra
+        self.refresh_cells(path_idx)
         return freed
 
     def drop_extra(self, path_idx: np.ndarray, extra: float) -> None:
@@ -195,6 +271,47 @@ class LinkTable:
             col = self.primary_extra
             for li in path_idx:
                 col[li] -= extra
+            self.refresh_cells(path_idx)
+
+    def reclaim_extras(self, flat_idx: np.ndarray, amounts: np.ndarray) -> None:
+        """Subtract per-entry extras at (possibly repeated) dense indices.
+
+        ``np.add.at`` is unbuffered and applies the subtractions in
+        array order — the same scalar trajectory as a Python loop over
+        ``(flat_idx, amounts)`` pairs — so batched reclamation stays
+        bitwise-equal to the object core's per-channel ``drop_extra``.
+        """
+        np.add.at(self.primary_extra, flat_idx, -amounts)
+        self.refresh_cells(flat_idx)
+
+    def add_primary_min(self, path_idx: np.ndarray, b_min: float) -> None:
+        """Bulk-reserve a primary minimum along unique dense indices.
+
+        Fancy-indexed ``+=`` over a simple path (no repeated links) is
+        one independent scalar add per cell — the same float trajectory
+        as the object core's per-link loop.
+        """
+        self.primary_min[path_idx] += b_min
+        self.refresh_cells(path_idx)
+
+    def sub_primary_min(self, path_idx: np.ndarray, b_min: float) -> None:
+        """Roll back a bulk reserve (backup-admission rejection path)."""
+        self.primary_min[path_idx] -= b_min
+        self.refresh_cells(path_idx)
+
+    def release_primary_bulk(
+        self, path_idx: np.ndarray, b_min: float, extra: float
+    ) -> None:
+        """Vectorized primary release (termination / failure victims)."""
+        self.primary_min[path_idx] -= b_min
+        if extra:
+            self.primary_extra[path_idx] -= extra
+        self.refresh_cells(path_idx)
+
+    def sub_activated(self, path_idx: np.ndarray, b_min: float) -> None:
+        """Vectorized release of an activated backup along its path."""
+        self.activated[path_idx] -= b_min
+        self.refresh_cells(path_idx)
 
     # ------------------------------------------------------------------
     # backup reservations (multiplexed)
@@ -215,12 +332,42 @@ class LinkTable:
         self, li: int, b_min: float, primary_links: FrozenSet[LinkId]
     ) -> bool:
         """Scalar twin of ``LinkState.can_admit_backup`` (invariant 2)."""
-        if self.failed[li]:
+        if self.failed_py[li]:
             return False
         growth = self.backup_reserved_with(li, b_min, primary_links) - float(
             self.backup_reserved[li]
         )
         return growth <= self.headroom_at(li) + EPSILON
+
+    def can_admit_backup_bulk(
+        self, idx: np.ndarray, b_min: float, primary_links: FrozenSet[LinkId]
+    ) -> bool:
+        """Whether every link in ``idx`` admits this backup.
+
+        Same per-link arithmetic and comparisons as
+        :meth:`can_admit_backup` (the ``max`` over conflict demands is
+        order-free), with one aggregate refresh and the column/method
+        lookups hoisted out of the per-link loop — paths are short, so
+        hoisted scalar reads beat building gather arrays.
+        """
+        self.refresh_aggregates()
+        failed = self.failed_py
+        reserved = self.backup_reserved
+        headroom = self.headroom
+        demands = self.backup_demand
+        for li in idx.tolist():
+            if failed[li]:
+                return False
+            base = float(reserved[li])
+            worst = base
+            demand = demands[li]
+            for f in primary_links:
+                cand = demand.get(f, 0.0) + b_min
+                if cand > worst:
+                    worst = cand
+            if worst - base > float(headroom[li]) + EPSILON:
+                return False
+        return True
 
     def add_backup(
         self, li: int, b_min: float, primary_links: FrozenSet[LinkId]
@@ -236,6 +383,7 @@ class LinkTable:
             if new_demand > worst:
                 worst = new_demand
         self.backup_reserved[li] = worst
+        self._refresh_cell(li)
 
     def remove_backup(
         self, li: int, b_min: float, primary_links: FrozenSet[LinkId]
@@ -255,13 +403,14 @@ class LinkTable:
                 demand[f] = remaining
         if recompute:
             self.backup_reserved[li] = max(demand.values(), default=0.0)
+            self._refresh_cell(li)
 
     # ------------------------------------------------------------------
     # backup activation
     # ------------------------------------------------------------------
     def can_activate_backup(self, li: int, b_min: float) -> bool:
         """Whether ``b_min`` fits as live bandwidth on ``li`` right now."""
-        if self.failed[li]:
+        if self.failed_py[li]:
             return False
         return (
             float(self.primary_min[li]) + float(self.activated[li]) + b_min
@@ -278,25 +427,59 @@ class LinkTable:
             )
         self.remove_backup(li, b_min, primary_links)
         self.activated[li] += b_min
+        self._refresh_cell(li)
 
     def release_activated(self, li: int, b_min: float) -> None:
         """Release a live (previously activated) backup channel."""
         self.activated[li] -= b_min
+        self._refresh_cell(li)
+
+    # ------------------------------------------------------------------
+    # capacity mutation (scenario hook)
+    # ------------------------------------------------------------------
+    def set_capacity(self, li: int, capacity: float) -> None:
+        """Change the installed bandwidth of one link.
+
+        A scenario-authoring hook (capacity upgrades/degradations); the
+        owner of any route cache must bump its generation afterwards,
+        because cached plans embed load-dependent admission decisions.
+
+        Raises:
+            ReservationError: for a non-positive capacity or one below
+                the link's current usage or guaranteed commitments.
+        """
+        if capacity <= 0:
+            raise ReservationError(f"link capacity must be positive, got {capacity}")
+        used = float(
+            self.primary_min[li] + self.primary_extra[li] + self.activated[li]
+        )
+        committed = float(
+            self.primary_min[li] + self.backup_reserved[li] + self.activated[li]
+        )
+        if max(used, committed) > capacity + EPSILON:
+            raise ReservationError(
+                f"link {self.link_ids[li]}: new capacity {capacity} is below "
+                f"current commitments {max(used, committed):.3f}"
+            )
+        self.capacity[li] = capacity
+        self._refresh_cell(li)
 
     # ------------------------------------------------------------------
     # failures
     # ------------------------------------------------------------------
     def fail(self, li: int) -> None:
         """Mark a dense index failed (double failure is a caller bug)."""
-        if self.failed[li]:
+        if self.failed_py[li]:
             raise ReservationError(f"link {self.link_ids[li]} is already failed")
         self.failed[li] = True
+        self.failed_py[li] = True
 
     def repair(self, li: int) -> None:
         """Return a failed dense index to service."""
-        if not self.failed[li]:
+        if not self.failed_py[li]:
             raise ReservationError(f"link {self.link_ids[li]} is not failed")
         self.failed[li] = False
+        self.failed_py[li] = False
 
     # ------------------------------------------------------------------
     # invariants: full-array cross-check from raw per-connection data
@@ -325,6 +508,8 @@ class LinkTable:
             ReservationError: when a recomputed aggregate disagrees with
                 its maintained column or a capacity invariant fails.
         """
+        if self.failed_py != self.failed.tolist():
+            raise ReservationError("failed_py mirror out of sync with column")
         n = self._num_links
         min_ref = np.zeros(n, dtype=_F8)
         extra_ref = np.zeros(n, dtype=_F8)
@@ -367,6 +552,27 @@ class LinkTable:
                         f"link {self.link_ids[li]}: backup demand for "
                         f"failure {f} out of sync"
                     )
+        if not self._agg_dirty:
+            spare_ref = (
+                self.capacity - self.primary_min - self.activated - self.primary_extra
+            )
+            head_ref = (
+                self.capacity - self.primary_min - self.backup_reserved - self.activated
+            )
+            # Bitwise, not tolerance-based: a clean table's materialized
+            # columns are the same expression over the same operands.
+            if not np.array_equal(self.spare, spare_ref):
+                li = int(np.flatnonzero(self.spare != spare_ref)[0])
+                raise ReservationError(
+                    f"link {self.link_ids[li]}: materialized spare "
+                    f"{float(self.spare[li])!r} != {float(spare_ref[li])!r}"
+                )
+            if not np.array_equal(self.headroom, head_ref):
+                li = int(np.flatnonzero(self.headroom != head_ref)[0])
+                raise ReservationError(
+                    f"link {self.link_ids[li]}: materialized headroom "
+                    f"{float(self.headroom[li])!r} != {float(head_ref[li])!r}"
+                )
         over = np.flatnonzero(self.used() > self.capacity + EPSILON)
         if over.size:
             li = int(over[0])
@@ -396,5 +602,7 @@ class LinkTable:
             + self.primary_extra.nbytes
             + self.activated.nbytes
             + self.backup_reserved.nbytes
+            + self.spare.nbytes
+            + self.headroom.nbytes
             + self.failed.nbytes
         )

@@ -36,7 +36,7 @@ from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.network.link_state import LinkState
+from repro.network.link_state import EPSILON, LinkState
 from repro.network.link_table import LinkTable
 from repro.network.state import NetworkState
 from repro.routing.ksp import paths_iter_rows
@@ -233,11 +233,52 @@ class RouteCache:
 # array-core variant: handle-based admission re-check
 # ----------------------------------------------------------------------
 
-#: One cached array candidate: (node path, link ids, dense link indices).
-ArrayCandidate = Tuple[List[int], List[LinkId], np.ndarray]
-
 #: Adjacency rows over dense link indices: node -> [(nbr, lid, index)].
 ArrayAdjacencyRows = Dict[int, List[Tuple[int, LinkId, int]]]
+
+
+class RoutePlan:
+    """Precompiled, admission-ready artifacts of one cached route.
+
+    Everything ``request_connection`` used to derive per arrival —
+    the int64 dense link-index array, the int64 node array (the shape
+    ``ConnectionTable.allocate`` wants), the ``frozenset`` of link ids
+    (conflict-set key), and the dense-index set seeding the affected-
+    link frontier — is computed once when the candidate is materialized
+    and reused until the owning entry's generation is invalidated.
+    Plans are shared: callers must treat every field as immutable
+    (``ConnectionTable`` arenas copy on append, so handing the arrays
+    straight to ``allocate``/``set_backup`` is safe).
+    """
+
+    __slots__ = ("path", "links", "idx", "idx_list", "nodes", "link_set", "idx_set")
+
+    def __init__(self, path: List[int], links: List[LinkId], idx: np.ndarray) -> None:
+        self.path = path
+        self.links = links
+        self.idx = idx
+        self.idx_list: List[int] = idx.tolist()
+        self.nodes = np.asarray(path, dtype=np.int64)
+        self.link_set: FrozenSet[LinkId] = frozenset(links)
+        self.idx_set: FrozenSet[int] = frozenset(self.idx_list)
+
+
+class BackupPlan:
+    """Precompiled fully-disjoint backup candidate.
+
+    Built only by :meth:`ArrayRouteCache.raw_disjoint_backup`, whose
+    BFS avoids every primary link — so a ``BackupPlan``'s overlap with
+    its primary is **zero by construction** and callers skip the
+    per-arrival overlap count entirely.
+    """
+
+    __slots__ = ("path", "links", "idx", "nodes")
+
+    def __init__(self, path: List[int], links: List[LinkId], idx: np.ndarray) -> None:
+        self.path = path
+        self.links = links
+        self.idx = idx
+        self.nodes = np.asarray(path, dtype=np.int64)
 
 
 class _ArrayPairEntry:
@@ -248,21 +289,22 @@ class _ArrayPairEntry:
     def __init__(self, generation: int, producer: Iterator[List[int]]) -> None:
         self.generation = generation
         self.producer = producer
-        self.candidates: List[ArrayCandidate] = []
+        self.candidates: List[RoutePlan] = []
         self.exhausted = False
-        self.backups: Dict[Tuple[int, ...], Optional[ArrayCandidate]] = {}
+        self.backups: Dict[Tuple[int, ...], Optional[BackupPlan]] = {}
 
 
 class ArrayRouteCache:
     """Candidate-route cache over a :class:`LinkTable` (SoA core).
 
     Same enumeration, invalidation, and correctness contract as
-    :class:`RouteCache`, but candidates carry **dense link index
-    arrays**, so an arrival's admission re-check is one boolean-mask
-    gather (``mask[idx].all()``) instead of per-link predicate calls.
-    The caller computes the per-link admission mask exactly once per
-    arrival and passes it in, along with its ``generation`` counter
-    (bumped on every fail/repair).
+    :class:`RouteCache`, but candidates are precompiled
+    :class:`RoutePlan` objects carrying dense link-index arrays and the
+    derived sets an admission needs.  The admission re-check reads the
+    table's materialized ``headroom`` column directly per candidate
+    link — a handful of scalar reads on the hit path, no per-arrival
+    mask construction.  Callers pass their ``generation`` counter
+    (bumped on every fail/repair) so stale entries self-invalidate.
     """
 
     def __init__(
@@ -300,40 +342,61 @@ class ArrayRouteCache:
             self._pairs[key] = entry
         return entry
 
-    def _candidate(self, entry: _ArrayPairEntry, index: int) -> Optional[ArrayCandidate]:
+    def _candidate(self, entry: _ArrayPairEntry, index: int) -> Optional[RoutePlan]:
         while len(entry.candidates) <= index and not entry.exhausted:
             path = next(entry.producer, None)
             if path is None:
                 entry.exhausted = True
                 break
             links = [link_id(a, b) for a, b in zip(path, path[1:])]
-            idx = self.links.indices_of(links)
-            entry.candidates.append((path, links, idx))
+            entry.candidates.append(RoutePlan(path, links, self.links.indices_of(links)))
         if index < len(entry.candidates):
             return entry.candidates[index]
         return None
 
-    def primary_route(
-        self, source: int, destination: int, admit_mask: np.ndarray, generation: int
-    ) -> Optional[Tuple[List[int], List[LinkId]] | _NoRouteType]:
-        """First raw candidate whose links all pass ``admit_mask``.
+    def primary_plan(
+        self, source: int, destination: int, b_min: float, generation: int
+    ) -> Optional[RoutePlan | _NoRouteType]:
+        """First precompiled candidate admitting a primary of ``b_min``.
 
         Same answer contract as :meth:`RouteCache.primary_route`: a
-        ``(path, links)`` hit, :data:`NO_ROUTE` when the exhausted
-        enumeration proves no admissible route exists, or ``None`` when
-        all probed candidates failed (caller falls back to a search).
+        shared :class:`RoutePlan` hit (treat as immutable),
+        :data:`NO_ROUTE` when the exhausted enumeration proves no
+        admissible route exists, or ``None`` when all probed candidates
+        failed (caller falls back to a search).
+
+        The per-link test is the scalar transcription of
+        ``LinkTable.primary_admission_mask`` — alive and
+        ``b_min <= headroom + EPSILON`` — probed lazily so a cache hit
+        (the overwhelmingly common case) never pays for building the
+        full per-link mask.
         """
         entry = self._entry(source, destination, generation)
+        t = self.links
+        t.refresh_aggregates()
+        failed = t.failed
+        headroom = t.headroom
         for index in range(self.probe_limit):
-            cand = self._candidate(entry, index)
-            if cand is None:
+            plan = self._candidate(entry, index)
+            if plan is None:
                 return NO_ROUTE
-            path, links, idx = cand
-            if admit_mask[idx].all():
+            for li in plan.idx_list:
+                if failed[li] or b_min > headroom[li] + EPSILON:
+                    break
+            else:
                 self.hits += 1
-                return list(path), list(links)
+                return plan
         self.fallbacks += 1
         return None
+
+    def primary_route(
+        self, source: int, destination: int, b_min: float, generation: int
+    ) -> Optional[Tuple[List[int], List[LinkId]] | _NoRouteType]:
+        """Copying variant of :meth:`primary_plan` (compat surface)."""
+        found = self.primary_plan(source, destination, b_min, generation)
+        if found is None or isinstance(found, _NoRouteType):
+            return found
+        return list(found.path), list(found.links)
 
     def raw_disjoint_backup(
         self,
@@ -342,8 +405,12 @@ class ArrayRouteCache:
         primary_path: Tuple[int, ...],
         avoid: FrozenSet[LinkId],
         generation: int,
-    ) -> Optional[ArrayCandidate]:
-        """Raw-topology fully-disjoint candidate (see :class:`RouteCache`)."""
+    ) -> Optional[BackupPlan]:
+        """Raw-topology fully-disjoint backup plan (see :class:`RouteCache`).
+
+        ``None`` means no fully disjoint live path exists at all.  The
+        returned plan is shared; treat it as immutable.
+        """
         entry = self._entry(source, destination, generation)
         try:
             return entry.backups[primary_path]
@@ -357,10 +424,10 @@ class ArrayRouteCache:
         else:
             edge_ok = lambda lid, li: lid not in avoid  # noqa: E731
         path = bfs_path_rows(self.rows, source, destination, edge_ok)
-        candidate: Optional[ArrayCandidate] = None
+        candidate: Optional[BackupPlan] = None
         if path is not None:
             links = [link_id(a, b) for a, b in zip(path, path[1:])]
-            candidate = (path, links, self.links.indices_of(links))
+            candidate = BackupPlan(path, links, self.links.indices_of(links))
         entry.backups[primary_path] = candidate
         return candidate
 

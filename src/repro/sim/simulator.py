@@ -81,6 +81,14 @@ class SimulationConfig:
         audit: Optional structured audit policy (periodic and/or
             after-every-failure invariant checks raising
             :class:`~repro.errors.AuditError` with an event tail).
+        micro_epochs: Batch warm-up churn events whose conflict
+            neighbourhoods are link-disjoint into shared deferred
+            water-fills (micro-epochs, array core).  Observable results
+            are bitwise identical to the sequential trajectory (the
+            twin-manager suite proves it); batching is automatically
+            confined to the warm-up phase and disabled when tracing or
+            auditing is on, because those read per-event level
+            trajectories.  The object core accepts the flag as a no-op.
     """
 
     qos: ConnectionQoS
@@ -98,6 +106,7 @@ class SimulationConfig:
     record_trace: bool = False
     faults: Optional[FaultConfig] = None
     audit: Optional[AuditPolicy] = None
+    micro_epochs: bool = False
 
     def __post_init__(self) -> None:
         if self.offered_connections < 0:
@@ -226,6 +235,18 @@ class ElasticQoSSimulator:
         next_is_arrival = True
         measuring = False
         state = manager.state
+        # Micro-epoch batching: during warm-up nothing reads level
+        # trajectories, so link-disjoint churn events may share one
+        # deferred water-fill.  The epoch closes before the first
+        # measured sample, restoring the sequential state bit for bit.
+        batching = (
+            cfg.micro_epochs
+            and cfg.warmup_events > 0
+            and trace is None
+            and auditor is None
+        )
+        if batching:
+            manager.begin_micro_epoch()
 
         for event_index in range(total_events):
             # The injector owns the failure/repair rates; the default
@@ -244,6 +265,9 @@ class ElasticQoSSimulator:
             manager.now = now
 
             if not measuring and event_index >= cfg.warmup_events:
+                if batching:
+                    manager.end_micro_epoch()
+                    batching = False
                 measuring = True
                 measurement.begin(now, manager.average_live_bandwidth(), manager.num_live)
             if measuring:

@@ -312,3 +312,165 @@ class TestTwinProperty:
     @TWIN_SETTINGS
     def test_random_fault_sequences(self, seed):
         TwinDriver(seed).run(60, faults=True, check_every=60)
+
+
+class EpochTwinDriver(TwinDriver):
+    """Array core with micro-epoch batching vs sequential object core.
+
+    With an epoch open the array core defers fills, so per-event
+    impacts are *not* compared for churn (their level trajectories are
+    pre-fill by contract); instead full state — every connection level,
+    link float and statistic — must be bitwise equal at every flush
+    point and at the end.  Failures are epoch barriers, so their
+    impacts stay fully comparable.
+    """
+
+    def __init__(self, seed: int, **manager_kwargs) -> None:
+        super().__init__(seed, **manager_kwargs)
+        self.mo.begin_micro_epoch()
+        self.ma.begin_micro_epoch()
+
+    def arrive(self) -> None:
+        s, d = self.rng.sample(self.nodes, 2)
+        qos = _make_qos(self.rng)
+        co, io_ = self.mo.request_connection(s, d, qos)
+        ca, ia = self.ma.request_connection(s, d, qos)
+        assert (co is None) == (ca is None)
+        assert io_.accepted == ia.accepted
+        if co is not None:
+            assert co.primary_path == ca.primary_path
+            assert co.backup_path == ca.backup_path
+            self.live.append(co.conn_id)
+
+    def terminate(self) -> None:
+        if not self.live:
+            return
+        cid = self.live.pop(self.rng.randrange(len(self.live)))
+        if cid not in self.mo.connections:
+            return
+        self.mo.terminate_connection(cid)
+        self.ma.terminate_connection(cid)
+
+    def run(self, events: int, faults: bool, check_every: int = 29) -> None:
+        for step in range(events):
+            r = self.rng.random()
+            if r < 0.5 or not self.live:
+                self.arrive()
+            elif r < 0.8 or not faults:
+                self.terminate()
+            elif r < 0.9:
+                self.fail()
+            else:
+                self.repair()
+            if step % check_every == 0:
+                # Books must balance even mid-epoch (columns == rows)...
+                self.ma.check_invariants()
+                # ...and flushing must land exactly on the sequential
+                # core's state.
+                self.mo.flush_micro_epoch()
+                self.ma.flush_micro_epoch()
+                self.mo.check_invariants()
+                _assert_equal_state(self.mo, self.ma, f"epoch step {step}")
+        self.mo.end_micro_epoch()
+        self.ma.end_micro_epoch()
+        self.mo.check_invariants()
+        self.ma.check_invariants()
+        _assert_equal_state(self.mo, self.ma, "epoch final")
+
+
+class TestMicroEpochTwin:
+    """Micro-epoch batching reproduces the sequential trajectory."""
+
+    @pytest.mark.parametrize("seed", range(40, 44))
+    def test_epoch_churn_only(self, seed):
+        EpochTwinDriver(seed).run(300, faults=False)
+
+    @pytest.mark.parametrize("seed", range(44, 48))
+    def test_epoch_churn_and_failures(self, seed):
+        EpochTwinDriver(seed).run(300, faults=True)
+
+    @pytest.mark.parametrize("policy_cls", [UtilityProportional, MaxUtility])
+    def test_epoch_priority_policies(self, policy_cls):
+        EpochTwinDriver(49, policy=policy_cls()).run(200, faults=True)
+
+    def test_epoch_batches_something(self):
+        # The guard must not degenerate into flush-per-event: on an
+        # idle-ish grid some consecutive events are disjoint and their
+        # fills actually batch (pending affected links survive events).
+        driver = EpochTwinDriver(50)
+        batched = 0
+        for _ in range(120):
+            driver.arrive()
+            if driver.ma._epoch_affected:
+                batched += 1
+        assert batched > 0
+        driver.mo.end_micro_epoch()
+        driver.ma.end_micro_epoch()
+        _assert_equal_state(driver.mo, driver.ma, "batching final")
+
+    def test_double_begin_rejected(self):
+        from repro.errors import SimulationError
+
+        for core in ("object", "array"):
+            m = make_manager(grid_network(2, 2, capacity=1000.0), core=core)
+            m.begin_micro_epoch()
+            with pytest.raises(SimulationError):
+                m.begin_micro_epoch()
+            m.end_micro_epoch()
+            m.begin_micro_epoch()  # reusable after close
+            assert m.end_micro_epoch() == {}
+
+    def test_flush_without_epoch_is_noop(self):
+        for core in ("object", "array"):
+            m = make_manager(grid_network(2, 2, capacity=1000.0), core=core)
+            assert m.flush_micro_epoch() == {}
+            assert m.end_micro_epoch() == {}
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @TWIN_SETTINGS
+    def test_epoch_random_sequences(self, seed):
+        EpochTwinDriver(seed).run(60, faults=True, check_every=60)
+
+
+class TestMicroEpochSimulator:
+    """End-to-end: SimulationConfig(micro_epochs=True) is bitwise inert."""
+
+    def test_simulator_results_bitwise_identical(self):
+        from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig
+
+        net = grid_network(4, 4, capacity=1000.0)
+        qos = ConnectionQoS(
+            performance=ElasticQoS(
+                b_min=100.0, b_max=300.0, increment=100.0, utility=1.0
+            ),
+            dependability=DependabilityQoS(num_backups=1),
+        )
+        results = {}
+        for core in ("object", "array"):
+            for epochs in (False, True):
+                cfg = SimulationConfig(
+                    qos=qos,
+                    offered_connections=30,
+                    warmup_events=150,
+                    measure_events=150,
+                    sample_interval=5,
+                    workload=WorkloadConfig(
+                        arrival_rate=1.0,
+                        termination_rate=1.0,
+                        link_failure_rate=0.01,
+                        repair_rate=1.0,
+                    ),
+                    core=core,
+                    micro_epochs=epochs,
+                )
+                r = ElasticQoSSimulator(net, cfg, seed=7).run()
+                results[(core, epochs)] = (
+                    r.average_bandwidth,
+                    r.level_occupancy.tolist(),
+                    r.manager_stats,
+                    r.initial_population,
+                    r.end_time,
+                )
+        baseline = results[("object", False)]
+        for key, value in results.items():
+            assert value == baseline, f"{key} diverged from sequential object core"

@@ -320,3 +320,45 @@ class TestFLT001FloatLiteralEquality:
             "representable by construction\n"
         )
         assert rules_at(src) == []
+
+
+class TestScratchBufferIdiomStaysClean:
+    """The SoA fill's scalar scratch-buffer idiom must stay lintable.
+
+    The hot fills copy bitwise-pinned columns into Python lists
+    (``column.tolist()``), accumulate on the plain floats, and write
+    the buffer back with one slice assign (see
+    ``repro/elastic/array_fill.py``).  The floats come off the column
+    without ``.item()`` laundering — ``tolist()`` preserves the exact
+    float64 values — so the DET rules must stay silent; flagging this
+    idiom would outlaw the array core's fast path.
+    """
+
+    PINNED = "src/repro/elastic/fixture.py"
+
+    def test_tolist_scratch_accumulation_is_clean(self):
+        src = (
+            "extra_py = links.primary_extra.tolist()\n"
+            "spare = (links.capacity - links.primary_min"
+            " - links.activated).tolist()\n"
+            "for li in path:\n"
+            "    extra_py[li] += delta\n"
+            "links.primary_extra[:] = extra_py\n"
+        )
+        assert rules_at(src, path=self.PINNED) == []
+
+    def test_immutable_mirror_probe_is_clean(self):
+        src = (
+            "thr = thr_py[h]\n"
+            "for li in path_py[h]:\n"
+            "    if spare[li] - extra_py[li] < thr:\n"
+            "        break\n"
+        )
+        assert rules_at(src, path=self.PINNED) == []
+
+    def test_item_laundering_in_the_same_idiom_still_flagged(self):
+        src = (
+            "extra_py = links.primary_extra.tolist()\n"
+            "extra_py[li] += links.primary_extra[li].item()\n"
+        )
+        assert rules_at(src, path=self.PINNED) == ["DET004"]

@@ -180,3 +180,141 @@ class TestManagerIntegration:
                 assert a.primary_path == b.primary_path
                 assert a.backup_path == b.backup_path
         assert cached.average_live_bandwidth() == plain.average_live_bandwidth()
+
+
+# ----------------------------------------------------------------------
+# Precompiled RoutePlan cache (array core)
+# ----------------------------------------------------------------------
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels import make_manager
+from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS
+from repro.routing.cache import ArrayRouteCache
+from repro.topology.regular import grid_network
+
+
+def _bare_qos(b_min: float) -> ConnectionQoS:
+    return ConnectionQoS(
+        performance=ElasticQoS(b_min=b_min, b_max=b_min + 100.0, increment=100.0),
+        dependability=DependabilityQoS(num_backups=0),
+    )
+
+
+class TestArrayPlanInvalidation:
+    """Precompiled plans must die with their generation, not linger."""
+
+    def test_plan_shared_within_generation(self, ring6):
+        m = make_manager(ring6, core="array")
+        cache, state = m.route_cache, m.state
+        plan = cache.primary_plan(0, 3, 100.0, state.generation)
+        assert plan.path == [0, 1, 2, 3]
+        assert cache.primary_plan(0, 3, 100.0, state.generation) is plan
+
+    def test_repair_after_failure_regenerates_plans(self, ring6):
+        m = make_manager(ring6, core="array")
+        cache, state = m.route_cache, m.state
+        plan = cache.primary_plan(0, 3, 100.0, state.generation)
+        assert plan.path == [0, 1, 2, 3]
+        m.fail_link((1, 2))
+        detour = cache.primary_plan(0, 3, 100.0, state.generation)
+        assert detour.path == [0, 5, 4, 3]
+        m.repair_link((1, 2))
+        back = cache.primary_plan(0, 3, 100.0, state.generation)
+        assert back.path == [0, 1, 2, 3]
+        # The entry was rebuilt for the new generation: the original
+        # precompiled plan object must not be resurrected.
+        assert back is not plan
+
+    def test_set_capacity_respects_generation_bump(self, ring6):
+        m = make_manager(ring6, core="array")
+        t, cache, state = m.links, m.route_cache, m.state
+        li = t.index_of((0, 1))
+        assert cache.primary_plan(0, 3, 100.0, state.generation).path == [0, 1, 2, 3]
+        # Degrade the first-hop link below the demand; the owner's
+        # contract is to bump the generation after a capacity mutation.
+        t.set_capacity(li, 60.0)
+        state.generation += 1
+        warm = cache.primary_plan(0, 3, 100.0, state.generation)
+        cold = ArrayRouteCache(ring6, t, state.adjacency_rows()).primary_plan(
+            0, 3, 100.0, state.generation
+        )
+        assert warm.path == cold.path == [0, 5, 4, 3]
+        # A smaller request still fits through the degraded link.
+        assert cache.primary_plan(0, 3, 50.0, state.generation).path == [0, 1, 2, 3]
+        # Restore: the next generation admits the direct arc again.
+        t.set_capacity(li, 1000.0)
+        state.generation += 1
+        assert cache.primary_plan(0, 3, 100.0, state.generation).path == [0, 1, 2, 3]
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_cached_admission_bitwise_equals_cold_path(self, seed):
+        """Property: a warm cache answers exactly like a cold one.
+
+        Drives one array manager through churn, failures, repairs and
+        capacity mutations, and after every event compares the warm
+        cache's ``primary_plan`` against (a) a freshly built cache and
+        (b) the filtered BFS over ``primary_admission_mask`` — the
+        cold path the manager falls back to.
+        """
+        rng = random.Random(seed)
+        net = grid_network(3, 3, capacity=300.0)
+        m = make_manager(net, core="array")
+        t, state, cache = m.links, m.state, m.route_cache
+        nodes = net.nodes()
+        live: list[int] = []
+        for _ in range(40):
+            r = rng.random()
+            if r < 0.45:
+                s, d = rng.sample(nodes, 2)
+                conn, _ = m.request_connection(s, d, _bare_qos(rng.choice((50.0, 100.0))))
+                if conn is not None:
+                    live.append(conn.conn_id)
+            elif r < 0.6:
+                if live:
+                    cid = live.pop(rng.randrange(len(live)))
+                    if cid in m.connections:  # may have died with a link
+                        m.terminate_connection(cid)
+            elif r < 0.7:
+                alive = state.alive_link_list()
+                if len(alive) > net.num_links - 2:
+                    m.fail_link(alive[rng.randrange(len(alive))])
+            elif r < 0.8:
+                failed = state.failed_link_list()
+                if failed:
+                    m.repair_link(failed[rng.randrange(len(failed))])
+            else:
+                li = rng.randrange(len(t))
+                t.refresh_aggregates()
+                floor_cap = float(
+                    t.primary_min[li]
+                    + t.activated[li]
+                    + max(float(t.primary_extra[li]), float(t.backup_reserved[li]))
+                )
+                t.set_capacity(li, floor_cap + rng.choice((10.0, 60.0, 300.0)))
+                state.generation += 1
+
+            s, d = rng.sample(nodes, 2)
+            b_min = rng.choice((50.0, 100.0, 150.0))
+            gen = state.generation
+            warm = cache.primary_plan(s, d, b_min, gen)
+            cold = ArrayRouteCache(net, t, state.adjacency_rows()).primary_plan(
+                s, d, b_min, gen
+            )
+            if warm is NO_ROUTE or warm is None:
+                assert cold is warm
+            else:
+                assert cold is not None and cold is not NO_ROUTE
+                assert warm.path == cold.path
+                assert warm.idx_list == cold.idx_list
+            admit = t.primary_admission_mask(b_min)
+            reference = bfs_path_rows(
+                state.adjacency_rows(), s, d, lambda lid, li_: bool(admit[li_])
+            )
+            if warm is NO_ROUTE:
+                assert reference is None
+            elif warm is not None:
+                assert warm.path == reference

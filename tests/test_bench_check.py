@@ -1,0 +1,125 @@
+"""Unit tests for the ``benchmarks/bench_check.py`` regression gate.
+
+The gate is a pure JSON diff, so the tests exercise it end-to-end on
+synthetic artifacts: lineage baseline selection, the regression
+tolerance, calibration scaling (including the dead band), and the
+cross-core supremacy check.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import bench_check  # noqa: E402
+
+
+def _run(label, core, calib, request_us, failrep_us):
+    return {
+        "label": label,
+        "core": core,
+        "calib_us": calib,
+        "results": {
+            "test_request_connection": {"median_us": request_us},
+            "test_failure_and_repair": {"median_us": failrep_us},
+        },
+    }
+
+
+def _artifact(tmp_path: Path, runs) -> Path:
+    path = tmp_path / "BENCH.json"
+    # Synthetic throwaway fixture; atomicity is irrelevant here.
+    path.write_text(  # repro-lint: disable=ART001
+        json.dumps({"benchmark": "bench_core_ops", "runs": runs})
+    )
+    return path
+
+
+class TestCalibrationScale:
+    def test_missing_calibration_is_unscaled(self):
+        assert bench_check.calibration_scale(None, 5000.0) == 1.0
+        assert bench_check.calibration_scale(5000.0, None) == 1.0
+
+    def test_same_machine_jitter_is_dead_banded(self):
+        # 0.83x and 1.25x are canary noise on one machine, not a
+        # hardware difference — the ratio must not be applied.
+        assert bench_check.calibration_scale(4343.8, 5212.2) == 1.0
+        assert bench_check.calibration_scale(5212.2, 4343.8) == 1.0
+
+    def test_machine_class_difference_scales(self):
+        assert bench_check.calibration_scale(10000.0, 5000.0) == pytest.approx(2.0)
+        assert bench_check.calibration_scale(5000.0, 10000.0) == pytest.approx(0.5)
+
+
+class TestLineageGate:
+    def test_first_run_of_a_core_passes_vacuously(self, tmp_path):
+        art = _artifact(
+            tmp_path,
+            [_run("obj", "object", 5000.0, 500.0, 7.0),
+             _run("arr", "array", 5000.0, 450.0, 5.0)],
+        )
+        # The array run has no earlier array run; cross-core passes too.
+        assert bench_check.main(["--artifact", str(art)]) == 0
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        art = _artifact(
+            tmp_path,
+            [_run("a1", "array", 5000.0, 500.0, 5.0),
+             _run("a2", "array", 5000.0, 600.0, 5.0)],
+        )
+        assert bench_check.main(
+            ["--artifact", str(art), "--no-cross-core"]
+        ) == 1
+
+    def test_baseline_skips_other_core_runs(self, tmp_path):
+        art = _artifact(
+            tmp_path,
+            [_run("a1", "array", 5000.0, 500.0, 5.0),
+             _run("obj", "object", 5000.0, 100.0, 1.0),
+             _run("a2", "array", 5000.0, 510.0, 5.0)],
+        )
+        # Against 'obj' this would be a 5x regression; against the
+        # true same-core baseline 'a1' it is within tolerance.
+        assert bench_check.main(
+            ["--artifact", str(art), "--no-cross-core"]
+        ) == 0
+
+    def test_genuine_machine_difference_is_normalized(self, tmp_path):
+        # Baseline machine ran 2x faster (calib 2500 vs 5000): raw
+        # medians doubled, but the scaled comparison passes.
+        art = _artifact(
+            tmp_path,
+            [_run("a1", "array", 2500.0, 250.0, 2.5),
+             _run("a2", "array", 5000.0, 500.0, 5.0)],
+        )
+        assert bench_check.main(
+            ["--artifact", str(art), "--no-cross-core"]
+        ) == 0
+
+
+class TestCrossCoreGate:
+    def test_array_loss_fails(self, tmp_path):
+        art = _artifact(
+            tmp_path,
+            [_run("obj", "object", 5000.0, 400.0, 5.0),
+             _run("arr", "array", 5000.0, 450.0, 4.0)],
+        )
+        assert bench_check.main(["--artifact", str(art)]) == 1
+
+    def test_array_win_passes_and_flag_disables(self, tmp_path):
+        art = _artifact(
+            tmp_path,
+            [_run("obj", "object", 5000.0, 400.0, 5.0),
+             _run("arr", "array", 5000.0, 460.0, 4.0)],
+        )
+        assert bench_check.main(["--artifact", str(art)]) == 1
+        assert bench_check.main(["--artifact", str(art), "--no-cross-core"]) == 0
+
+    def test_single_core_artifact_skips(self, tmp_path):
+        art = _artifact(tmp_path, [_run("obj", "object", 5000.0, 400.0, 5.0)])
+        assert bench_check.main(["--artifact", str(art)]) == 0

@@ -98,3 +98,31 @@ class TestExperimentCommands:
         assert "# Reproduction report" in text
         assert "Figure 2" in text and "Table 1" in text
         assert "Figure 3" in text and "Figure 4" in text
+
+
+class TestBenchCommand:
+    """Smoke runs of the micro-benchmark command (tiny event counts)."""
+
+    def test_bench_timing(self, capsys):
+        code = main(
+            ["bench", "--benchmark", "request", "--events", "20",
+             "--population", "40", "--core", "array"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "request" in out and "us/event" in out
+
+    def test_bench_profile_writes_dump(self, tmp_path, capsys):
+        code = main(
+            ["bench", "--benchmark", "failrep", "--events", "20",
+             "--population", "40", "--profile", "--top", "5",
+             "--out", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        dump = tmp_path / "bench_failrep_array.prof.txt"
+        assert dump.exists()
+        text = dump.read_text()
+        assert "cumulative" in text
+        assert "repro bench --profile: failrep / array core" in text
+        assert str(dump) in out
