@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Union
 
 from repro.channels.array_manager import ArrayNetworkManager
+from repro.channels.digest import manager_state_digest, manager_state_summary
 from repro.channels.manager import ROUTING_ENGINES, NetworkManager
 from repro.channels.records import (
     ConnectionState,
@@ -61,6 +62,8 @@ __all__ = [
     "ArrayNetworkManager",
     "NetworkManager",
     "make_manager",
+    "manager_state_digest",
+    "manager_state_summary",
     "ConnectionState",
     "DRConnection",
     "EventImpact",

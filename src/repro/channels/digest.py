@@ -1,0 +1,91 @@
+"""Bitwise state digest shared by both manager cores.
+
+The crash-recovery story of :mod:`repro.service` needs a compact,
+core-agnostic answer to "are these two managers in *exactly* the same
+state?" — comparable across processes (a recovered service vs. a fresh
+replay) without pickling either manager.  :func:`manager_state_summary`
+renders the complete observable state — every live connection's level,
+routes and bandwidth, every link's four reservation floats and failure
+flag, and the lifetime stats — with floats as ``float.hex()`` strings
+so the rendering is exact (no decimal rounding, no ``repr`` drift), and
+:func:`manager_state_digest` hashes that canonical JSON with SHA-256.
+
+Two managers produce equal digests iff the twin-equivalence snapshot
+(`tests/channels/test_twin_managers.py`) would find them identical;
+this module deliberately mirrors that snapshot's field list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Union
+
+from repro.channels.array_manager import ArrayNetworkManager
+from repro.channels.manager import NetworkManager
+
+AnyManager = Union[NetworkManager, ArrayNetworkManager]
+
+
+def _hexfloat(value: float) -> str:
+    return float(value).hex()
+
+
+def manager_state_summary(manager: AnyManager) -> Dict[str, Any]:
+    """JSON-able, bitwise-exact rendering of a manager's full state."""
+    conns: Dict[str, Any] = {}
+    for cid in sorted(manager.connections.keys()):
+        c = manager.connections[cid]
+        conns[str(cid)] = {
+            "level": c.level,
+            "state": c.state.name,
+            "on_backup": c.on_backup,
+            "primary_path": list(c.primary_path),
+            "primary_links": [list(lid) for lid in c.primary_links],
+            "backup_links": (
+                None if not c.backup_links else [list(lid) for lid in c.backup_links]
+            ),
+            "bandwidth": _hexfloat(c.bandwidth),
+            "backup_overlap": c.backup_overlap,
+        }
+    links: Dict[str, Any] = {}
+    if isinstance(manager, ArrayNetworkManager):
+        t = manager.links
+        for lid, li in sorted(t.index.items()):
+            links[str(list(lid))] = [
+                _hexfloat(float(t.primary_min[li])),
+                _hexfloat(float(t.primary_extra[li])),
+                _hexfloat(float(t.activated[li])),
+                _hexfloat(float(t.backup_reserved[li])),
+                bool(t.failed[li]),
+            ]
+    else:
+        assert isinstance(manager, NetworkManager)
+        for lid in sorted(manager.state.topology.link_ids()):
+            ls = manager.state.link(lid)
+            links[str(list(lid))] = [
+                _hexfloat(ls.primary_min_total),
+                _hexfloat(ls.primary_extra_total),
+                _hexfloat(ls.activated_total),
+                _hexfloat(ls.backup_reserved),
+                ls.failed,
+            ]
+    return {
+        "connections": conns,
+        "links": links,
+        "stats": vars(manager.stats).copy(),
+        "average_live_bandwidth": _hexfloat(manager.average_live_bandwidth()),
+        "level_histogram": manager.level_histogram(8),
+    }
+
+
+def manager_state_digest(manager: AnyManager) -> str:
+    """SHA-256 hex digest of :func:`manager_state_summary`.
+
+    Equal digests certify bitwise-identical observable state across
+    cores and across processes.
+    """
+    canonical = json.dumps(
+        manager_state_summary(manager), separators=(",", ":"), sort_keys=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -514,6 +514,196 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on admission service until drained (SIGTERM/^C)."""
+    import asyncio
+    import json
+    import os
+
+    from repro.service import EngineConfig, parse_topology_arg
+    from repro.service.server import AdmissionService, ServiceConfig
+    from repro.service.shedding import BackpressureConfig
+
+    config = ServiceConfig(
+        topology=parse_topology_arg(args.topology),
+        wal_path=args.wal,
+        host=args.host,
+        port=args.port,
+        engine=EngineConfig(core=args.core, batch_max=args.batch_max),
+        backpressure=BackpressureConfig(
+            queue_limit=args.queue_limit,
+            shed_watermark=args.shed_watermark,
+            drain_rate_hint=args.drain_rate_hint,
+        ),
+        default_deadline_ms=args.deadline_ms,
+        epoch_hold_s=args.epoch_hold_s,
+    )
+
+    async def run() -> None:
+        service = AdmissionService(config)
+        await service.start(install_signals=True)
+        # Machine-readable startup line: tests and orchestrators read
+        # the bound port (and recovery status) from here.
+        print(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "host": config.host,
+                    "port": service.port,
+                    "pid": os.getpid(),
+                    "recovered": service.recovered,
+                    "seq": service.engine.seq if service.engine else 0,
+                }
+            ),
+            flush=True,
+        )
+        await service.drained()
+        assert service.engine is not None
+        print(
+            json.dumps(
+                {
+                    "event": "drained",
+                    "seq": service.engine.seq,
+                    "digest": service.engine.digest(),
+                }
+            ),
+            flush=True,
+        )
+
+    asyncio.run(run())
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running service; optionally record latency percentiles."""
+    import json
+
+    from repro.service.loadgen import LoadgenConfig, run_loadgen_sync
+
+    report = run_loadgen_sync(
+        LoadgenConfig(
+            host=args.host,
+            port=args.port,
+            total_requests=args.requests,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            deadline_ms=args.deadline_ms,
+        )
+    )
+    client = report.latency_summary()
+    service_latency = report.service_stats.get("latency", {})
+    summary = {
+        "sent": report.sent,
+        "accepted": report.accepted,
+        "rejected": report.rejected,
+        "torn_down": report.torn_down,
+        "failures_driven": report.failures_driven,
+        "shed": report.shed,
+        "retries": report.retries,
+        "dropped_after_retries": report.dropped_after_retries,
+        "expired": report.expired,
+        "errors": report.errors,
+        "client_latency": client,
+        "service_latency": service_latency,
+    }
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    failures = 0
+    p50 = float(service_latency.get("p50_us", 0.0))
+    p99 = float(service_latency.get("p99_us", 0.0))
+    if args.slo_p50_us is not None and p50 > args.slo_p50_us:
+        print(f"SLO VIOLATION: p50 {p50:.1f} us > {args.slo_p50_us:.1f} us")
+        failures += 1
+    if args.slo_p99_us is not None and p99 > args.slo_p99_us:
+        print(f"SLO VIOLATION: p99 {p99:.1f} us > {args.slo_p99_us:.1f} us")
+        failures += 1
+    if report.errors:
+        print(f"SLO VIOLATION: {report.errors} hard errors")
+        failures += 1
+    if args.record is not None:
+        _record_service_latency(Path(args.bench_json), args.record, p50, p99,
+                                int(report.sent))
+        print(f"recorded run {args.record!r} into {args.bench_json}")
+    return 1 if failures else 0
+
+
+def _record_service_latency(
+    output: Path, label: str, p50_us: float, p99_us: float, rounds: int
+) -> None:
+    """Merge a service-latency run into BENCH_core_ops.json.
+
+    Uses the benchmarks' own merge helper (loaded by path — benchmarks/
+    is not a package) under core "service", so ``bench_check``'s
+    same-core lineage gate starts a fresh lineage instead of comparing
+    decision latency against manager micro-benchmarks.
+    """
+    import importlib.util
+    import os
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    spec = importlib.util.spec_from_file_location(
+        "bench_to_json", bench_dir / "bench_to_json.py"
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    results = {
+        "service_decision_p50": {"median_us": round(p50_us, 3), "rounds": rounds},
+        "service_decision_p99": {"median_us": round(p99_us, 3), "rounds": rounds},
+    }
+    previous = os.environ.get("REPRO_BENCH_CORE")
+    os.environ["REPRO_BENCH_CORE"] = "service"
+    try:
+        module.merge_run(output, label, results)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_BENCH_CORE"]
+        else:
+            os.environ["REPRO_BENCH_CORE"] = previous
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a service WAL offline; verify, cross-check, or export it."""
+    import json
+
+    from repro.service.replay import export_campaign, replay_log
+    from repro.service.engine import EngineConfig, ServiceEngine
+    from repro.service.wal import ReplayLogReader
+
+    result = replay_log(args.log)
+    summary = {
+        "events": result.events_applied,
+        "accepted_establishes": result.accepted,
+        "clean_shutdown": result.clean_shutdown,
+        "torn_tail": result.torn_tail,
+        "digest": result.digest,
+        "num_live": result.engine.manager.num_live,
+    }
+    if args.cross_check:
+        reader = ReplayLogReader(args.log)
+        other_core = "object" if reader.core == "array" else "array"
+        twin = ServiceEngine(
+            reader.topology,
+            EngineConfig(core=other_core, manager_kwargs=reader.manager_kwargs),
+        )
+        for seq, request in reader.events():
+            twin.seq = seq
+            twin.apply_sequential(request)
+        summary["cross_check_core"] = other_core
+        summary["cross_check_match"] = twin.digest() == result.digest
+    if args.expect_digest is not None:
+        summary["digest_match"] = result.digest == args.expect_digest
+    if args.export is not None:
+        summary["export"] = export_campaign(args.log, args.export)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if summary.get("cross_check_match") is False:
+        print("FAIL: cores disagree on replayed state")
+        return 1
+    if summary.get("digest_match") is False:
+        print("FAIL: replayed digest does not match --expect-digest")
+        return 1
+    return 0
+
+
 def cmd_topology(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     if args.kind == "waxman":
@@ -626,6 +816,67 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--kind", choices=("waxman", "transit-stub"), default="waxman")
     p.set_defaults(func=cmd_topology)
+
+    p = sub.add_parser(
+        "serve",
+        help="always-on admission service (JSON-per-line socket protocol)",
+    )
+    p.add_argument("--topology", default="grid:nodes=4,cols=4,capacity=1000",
+                   help="topology recipe: kind:key=value,... "
+                   "(e.g. waxman:nodes=20,capacity=155,seed=7)")
+    p.add_argument("--wal", default=None, metavar="PATH",
+                   help="write-ahead replay log; an existing log triggers "
+                   "recovery-by-replay on startup")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = OS-assigned; see startup line)")
+    p.add_argument("--core", choices=("array", "object"), default="array")
+    p.add_argument("--batch-max", type=int, default=64,
+                   help="max requests per micro-epoch")
+    p.add_argument("--queue-limit", type=int, default=1024,
+                   help="bounded request queue size (backpressure)")
+    p.add_argument("--shed-watermark", type=float, default=0.5,
+                   help="queue occupancy where utility-aware shedding starts")
+    p.add_argument("--drain-rate-hint", type=float, default=1000.0,
+                   help="assumed service rate for retry_after hints (req/s)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="default per-request deadline budget")
+    p.add_argument("--epoch-hold-s", type=float, default=0.0,
+                   help="test hook: pause between WAL fsync and epoch apply")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen", help="drive a running admission service with load"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--requests", type=int, default=1000)
+    p.add_argument("--concurrency", type=int, default=8)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--deadline-ms", type=float, default=250.0)
+    p.add_argument("--slo-p50-us", type=float, default=None,
+                   help="fail (exit 1) if service p50 decision latency exceeds")
+    p.add_argument("--slo-p99-us", type=float, default=None,
+                   help="fail (exit 1) if service p99 decision latency exceeds")
+    p.add_argument("--record", default=None, metavar="LABEL",
+                   help="merge p50/p99 into BENCH_core_ops.json as this run label")
+    p.add_argument("--bench-json", default="BENCH_core_ops.json",
+                   help="benchmark artifact to record into")
+    p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "replay",
+        help="replay a service WAL offline (verify / cross-check / export)",
+    )
+    p.add_argument("log", help="replay log written by `repro serve --wal`")
+    p.add_argument("--cross-check", action="store_true",
+                   help="also replay on the other manager core and compare digests")
+    p.add_argument("--expect-digest", default=None,
+                   help="fail unless the replayed digest equals this value")
+    p.add_argument("--export", default=None, metavar="PATH",
+                   help="write a normalized batch-campaign log (torn tails "
+                   "dropped, sequence renumbered)")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
         "lint", help="determinism-aware static analysis (RNG/DET/ART/FLT rules)"

@@ -33,12 +33,25 @@ def _always(path: str) -> bool:
     return True
 
 
+#: Admission-service modules that form the *timing plane*: the serving
+#: shell (deadlines, drain), latency telemetry and the load generator.
+#: Decision logic (engine/protocol/wal/shedding/replay) is NOT here —
+#: it must stay wall-clock-free so live runs replay bitwise.
+_SERVICE_TIMING_MODULES = (
+    "repro/service/server.py",
+    "repro/service/telemetry.py",
+    "repro/service/loadgen.py",
+)
+
+
 def _not_timing_infra(path: str) -> bool:
     """Wall-clock reads are legitimate in the timing/benchmark layers."""
     return not (
         "/parallel/" in path
         or path.startswith("benchmarks/")
         or "/benchmarks/" in path
+        or any(module in path for module in _SERVICE_TIMING_MODULES)
+        or "tests/service/" in path
     )
 
 

@@ -22,6 +22,7 @@ Determinism rests on two rules (DESIGN.md §12):
 from __future__ import annotations
 
 from repro.parallel.checkpoint import (
+    FAILURE_CLASSES,
     CampaignCheckpoint,
     RetryPolicy,
     atomic_write_bytes,
@@ -36,6 +37,7 @@ from repro.parallel.runner import (
 )
 
 __all__ = [
+    "FAILURE_CLASSES",
     "CampaignCheckpoint",
     "RetryPolicy",
     "SimJob",

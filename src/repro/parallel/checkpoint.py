@@ -36,7 +36,12 @@ from repro.parallel.jobs import SimJob, SimJobResult
 logger = logging.getLogger("repro.parallel")
 
 #: Manifest schema version; bump on incompatible layout changes.
+#: (The ``retries`` key added alongside ``jobs`` is additive — old
+#: readers ignore it — so it does not bump the version.)
 MANIFEST_VERSION = 1
+
+#: Failure classes the runner distinguishes when charging an attempt.
+FAILURE_CLASSES = ("exception", "timeout", "pool-crash")
 
 _SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -116,6 +121,15 @@ class CampaignCheckpoint:
     atomic, and the manifest is only updated *after* its result file
     landed, so the manifest never references a missing or partial file.
 
+    The manifest's ``retries`` section records, per retried job, how
+    many extra attempts it needed, the failure *class* of each charged
+    attempt (``exception``: the job raised; ``timeout``: it blew its
+    wall-clock budget; ``pool-crash``: it sat in a worker pool that
+    broke under it) and the final disposition (``completed`` /
+    ``exhausted``) — so ``--resume`` reporting can say *why* a shard
+    was retried instead of lumping OOM-killed workers together with
+    deterministic bugs.
+
     A job's id is derived from its position, campaign key and seed, so
     a resumed campaign only reuses results whose spec actually matches
     (a changed spec under an unchanged id is caught by comparing the
@@ -129,6 +143,7 @@ class CampaignCheckpoint:
         self.directory.mkdir(parents=True, exist_ok=True)
         self._manifest_path = self.directory / self.MANIFEST
         self._jobs: Dict[str, str] = {}
+        self._retries: Dict[str, Dict[str, object]] = {}
         if resume and self._manifest_path.exists():
             try:
                 data = json.loads(self._manifest_path.read_text())
@@ -142,6 +157,12 @@ class CampaignCheckpoint:
                 jobs = data.get("jobs", {})
                 if isinstance(jobs, dict):
                     self._jobs = {str(k): str(v) for k, v in jobs.items()}
+                retries = data.get("retries", {})
+                if isinstance(retries, dict):
+                    self._retries = {
+                        str(k): dict(v) for k, v in retries.items()
+                        if isinstance(v, dict)
+                    }
             elif data:
                 logger.warning(
                     "checkpoint manifest %s has unsupported version %r; "
@@ -201,15 +222,57 @@ class CampaignCheckpoint:
             pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
         )
         self._jobs[job_id] = filename
+        entry = self._retries.get(job_id)
+        if entry is not None:
+            entry["final"] = "completed"
         self._write_manifest()
 
+    # ------------------------------------------------------------------
+    # retry bookkeeping
+    # ------------------------------------------------------------------
+    def note_attempt(
+        self, index: int, job: SimJob, failure_class: str, reason: str
+    ) -> None:
+        """Charge one failed attempt against a job, with its class."""
+        if failure_class not in FAILURE_CLASSES:
+            raise SimulationError(
+                f"unknown failure class {failure_class!r}; "
+                f"choose from {FAILURE_CLASSES}"
+            )
+        job_id = self.job_id(index, job)
+        entry = self._retries.setdefault(
+            job_id, {"attempts": 0, "classes": [], "final": None}
+        )
+        entry["attempts"] = int(entry.get("attempts", 0)) + 1
+        classes = entry.setdefault("classes", [])
+        assert isinstance(classes, list)
+        classes.append(failure_class)
+        entry["last_reason"] = reason
+        self._write_manifest()
+
+    def note_exhausted(self, index: int, job: SimJob) -> None:
+        """Mark a job that spent its whole retry budget and failed."""
+        job_id = self.job_id(index, job)
+        entry = self._retries.setdefault(
+            job_id, {"attempts": 0, "classes": [], "final": None}
+        )
+        entry["final"] = "exhausted"
+        self._write_manifest()
+
+    def retry_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-job retry history (job id -> attempts/classes/final)."""
+        return {k: dict(v) for k, v in sorted(self._retries.items())}
+
     def _write_manifest(self) -> None:
+        payload: Dict[str, object] = {
+            "version": MANIFEST_VERSION,
+            "jobs": dict(sorted(self._jobs.items())),
+        }
+        if self._retries:
+            payload["retries"] = {
+                k: v for k, v in sorted(self._retries.items())
+            }
         atomic_write_text(
             self._manifest_path,
-            json.dumps(
-                {"version": MANIFEST_VERSION, "jobs": dict(sorted(self._jobs.items()))},
-                indent=2,
-                sort_keys=True,
-            )
-            + "\n",
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
         )

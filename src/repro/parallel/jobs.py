@@ -27,11 +27,12 @@ from repro.sim.simulator import ElasticQoSSimulator, SimulationConfig, Simulatio
 from repro.sim.workload import WorkloadConfig
 from repro.topology.graph import Network
 from repro.topology.random_flat import pure_random_with_edge_target
+from repro.topology.regular import grid_network
 from repro.topology.transit_stub import TransitStubParams, transit_stub_network
 from repro.topology.waxman import paper_random_network
 
 #: Topology families a job may request.
-TOPOLOGY_KINDS = ("waxman", "transit-stub", "random-flat")
+TOPOLOGY_KINDS = ("waxman", "transit-stub", "random-flat", "grid")
 
 
 @dataclass(frozen=True)
@@ -40,15 +41,20 @@ class TopologySpec:
 
     Attributes:
         kind: ``waxman`` (the paper's Random network), ``transit-stub``
-            (the paper's Tier network) or ``random-flat`` (GT-ITM's
-            non-geometric pure-random graph, ablation A7).
+            (the paper's Tier network), ``random-flat`` (GT-ITM's
+            non-geometric pure-random graph, ablation A7) or ``grid``
+            (the deterministic 4-neighbour mesh used by twin tests and
+            the admission service's replay campaigns).
         capacity: Per-link capacity (Kb/s).
         seed: Seed of the fresh generator the topology is built from;
             the build is deterministic given (kind, parameters, seed).
-        nodes: Node count (waxman / random-flat).
+            Ignored by ``grid``, which is seed-free.
+        nodes: Node count (waxman / random-flat) or row count (grid).
         edges: Target edge count (``None``: the generator's default
             density rule).
         tier: Transit-stub shape parameters (transit-stub only).
+        cols: Column count (grid only; ``None`` = square, ``nodes``
+            columns).
     """
 
     kind: str
@@ -57,6 +63,7 @@ class TopologySpec:
     nodes: int = 0
     edges: Optional[int] = None
     tier: Optional[TransitStubParams] = None
+    cols: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in TOPOLOGY_KINDS:
@@ -66,6 +73,8 @@ class TopologySpec:
 
     def build(self) -> Network:
         """Construct the network from a fresh, seed-determined generator."""
+        if self.kind == "grid":
+            return grid_network(self.nodes, self.cols or self.nodes, self.capacity)
         rng = np.random.default_rng(self.seed)
         if self.kind == "waxman":
             return paper_random_network(

@@ -118,25 +118,36 @@ def _warn_sequential_fallback(context: str, exc: BaseException) -> None:
     warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
-def _execute_with_retry(job: SimJob, retry: RetryPolicy) -> SimJobResult:
+def _execute_with_retry(
+    job: SimJob,
+    retry: RetryPolicy,
+    checkpoint: Optional[CampaignCheckpoint] = None,
+    index: int = -1,
+) -> SimJobResult:
     """Run one job in-process, honouring the retry policy.
 
     Sequential execution cannot pre-empt a running job, so
     ``retry.timeout`` is not enforced here — only bounded retries with
-    backoff against transient in-process failures.
+    backoff against transient in-process failures.  Every charged
+    attempt is classed ``exception`` in the checkpoint manifest (the
+    other classes need a pool to occur).
     """
     attempt = 0
     while True:
         try:
             return execute_sim_job(job)
         except Exception as exc:
+            reason = f"{type(exc).__name__}: {exc}"
             if attempt >= retry.max_retries:
+                if checkpoint is not None and index >= 0:
+                    checkpoint.note_exhausted(index, job)
                 raise
+            if checkpoint is not None and index >= 0:
+                checkpoint.note_attempt(index, job, "exception", reason)
             delay = retry.backoff(attempt)
             logger.warning(
-                "job %s failed (%s: %s); retry %d/%d with the same seed in %.2fs",
-                job.key, type(exc).__name__, exc,
-                attempt + 1, retry.max_retries, delay,
+                "job %s failed (%s); retry %d/%d with the same seed in %.2fs",
+                job.key, reason, attempt + 1, retry.max_retries, delay,
             )
             _sleep(delay)
             attempt += 1
@@ -167,7 +178,7 @@ def _run_sequential(
 ) -> None:
     for position, index in enumerate(indices):
         job = jobs_list[index]
-        result = _execute_with_retry(job, retry)
+        result = _execute_with_retry(job, retry, checkpoint, index)
         logger.info(
             "job %d/%d %s done in %.2fs (sequential)",
             position + 1, len(indices), job.key, result.wall_time,
@@ -201,15 +212,19 @@ def _run_pool(
     attempts: Dict[int, int] = {}
     done_count = 0
 
-    def budget_attempt(index: int, reason: str) -> None:
-        """Count one failed attempt; raise when the budget is spent."""
+    def budget_attempt(index: int, failure_class: str, reason: str) -> None:
+        """Count one classed failed attempt; raise when the budget is spent."""
         used = attempts.get(index, 0)
         if used >= retry.max_retries:
+            if checkpoint is not None:
+                checkpoint.note_exhausted(index, jobs_list[index])
             raise SimulationError(
                 f"job {jobs_list[index].key} exhausted "
                 f"{retry.max_retries + 1} attempts: {reason}"
             )
         attempts[index] = used + 1
+        if checkpoint is not None:
+            checkpoint.note_attempt(index, jobs_list[index], failure_class, reason)
         logger.warning(
             "job %s %s; retry %d/%d with the same seed",
             jobs_list[index].key, reason, used + 1, retry.max_retries,
@@ -246,7 +261,10 @@ def _run_pool(
                     except BrokenProcessPool:
                         raise
                     except Exception as exc:
-                        budget_attempt(index, f"failed ({type(exc).__name__}: {exc})")
+                        budget_attempt(
+                            index, "exception",
+                            f"failed ({type(exc).__name__}: {exc})",
+                        )
                         _sleep(retry.backoff(attempts[index] - 1))
                         replacement = pool.submit(execute_sim_job, jobs_list[index])
                         futures[replacement] = index
@@ -268,7 +286,9 @@ def _run_pool(
                 overdue = [f for f in pending if deadlines.get(f, now + 1) <= now]
                 for future in overdue:
                     index = futures[future]
-                    budget_attempt(index, f"timed out after {retry.timeout:.1f}s")
+                    budget_attempt(
+                        index, "timeout", f"timed out after {retry.timeout:.1f}s"
+                    )
                     if future.cancel():
                         # Still queued: retire it here and resubmit.
                         pending.discard(future)
@@ -294,7 +314,9 @@ def _run_pool(
                 exc, len(unfinished),
             )
             for index in sorted(unfinished):
-                budget_attempt(index, f"was in a pool that broke ({exc})")
+                budget_attempt(
+                    index, "pool-crash", f"was in a pool that broke ({exc})"
+                )
             restart = True
         finally:
             if restart:
@@ -342,6 +364,19 @@ def run_sim_jobs(
             logger.info(
                 "resumed %d/%d jobs from checkpoint %s",
                 restored, len(jobs_list), checkpoint.directory,
+            )
+        history = checkpoint.retry_report()
+        if history:
+            by_class: Dict[str, int] = {}
+            for entry in history.values():
+                for cls in entry.get("classes", ()):  # type: ignore[union-attr]
+                    by_class[cls] = by_class.get(cls, 0) + 1
+            logger.info(
+                "checkpoint retry history: %d job(s) needed retries "
+                "(attempts by class: %s; exhausted: %d)",
+                len(history),
+                ", ".join(f"{k}={v}" for k, v in sorted(by_class.items())) or "none",
+                sum(1 for e in history.values() if e.get("final") == "exhausted"),
             )
 
     remaining = [index for index, r in enumerate(results) if r is None]

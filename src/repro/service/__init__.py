@@ -1,0 +1,76 @@
+"""Always-on admission-control service over the elastic-QoS manager.
+
+The paper's manager is used *prescriptively* here: a long-running
+asyncio service accepts live establish/teardown/failure/repair requests
+over a JSON-per-line socket protocol, batches them into the array
+core's deterministic micro-epochs, and answers admission decisions —
+with the robustness shell a real deployment needs:
+
+* **backpressure** — a bounded request queue with utility-aware load
+  shedding (:mod:`repro.service.shedding`): a saturated service rejects
+  with a ``retry_after`` hint instead of queueing unboundedly,
+  mirroring the paper's degrade-don't-die semantics;
+* **deadline budgets** — every queued request carries a deadline; work
+  that would be answered too late is expired instead of applied, so a
+  stuck client or pathological request cannot stall an epoch;
+* **crash recovery** — an append-only write-ahead replay log
+  (:mod:`repro.service.wal`) flushed per epoch: a ``kill -9`` mid-run
+  recovers by replaying the log into a bitwise-identical manager state,
+  and any live trace converts into an offline batch campaign
+  (:mod:`repro.service.replay`, ``repro replay``);
+* **operability** — graceful drain on SIGTERM, health/readiness
+  probes, decision-latency telemetry (p50/p99), and a load-generator
+  client (:mod:`repro.service.loadgen`, ``repro loadgen``).
+
+Layering note (enforced by ``repro.lint`` DET003): the *decision*
+modules — :mod:`protocol`, :mod:`shedding`, :mod:`wal`,
+:mod:`engine`, :mod:`replay` — are wall-clock-free, so a replayed log
+reproduces the live run bit for bit; only the serving shell
+(:mod:`server`, :mod:`telemetry`, :mod:`loadgen`) may read real time.
+"""
+
+from __future__ import annotations
+
+from repro.service.engine import EngineConfig, ServiceEngine
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+    parse_request,
+    qos_from_dict,
+    qos_to_dict,
+)
+from repro.service.replay import ReplayResult, recover_engine, replay_log
+from repro.service.shedding import BackpressureConfig, ShedDecision, admit_decision
+from repro.service.wal import ReplayLogReader, ReplayLogWriter, parse_topology_arg
+from repro.service.server import AdmissionService, ServiceConfig
+
+__all__ = [
+    "AdmissionService",
+    "BackpressureConfig",
+    "EngineConfig",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReplayLogReader",
+    "ReplayLogWriter",
+    "ReplayResult",
+    "Request",
+    "ServiceConfig",
+    "ServiceEngine",
+    "ShedDecision",
+    "admit_decision",
+    "decode_line",
+    "encode_line",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "parse_topology_arg",
+    "qos_from_dict",
+    "qos_to_dict",
+    "recover_engine",
+    "replay_log",
+]

@@ -1,0 +1,274 @@
+"""Deterministic admission engine: validated requests -> manager events.
+
+:class:`ServiceEngine` is the piece both the live server and offline
+recovery share.  It owns one manager (either core, array by default),
+assigns the global event sequence, validates requests *before* they
+reach the write-ahead log (so the log only ever contains events that
+apply deterministically), applies them — batched into the array core's
+micro-epochs — and shapes responses.
+
+Determinism contract (what makes `kill -9` recovery bitwise-exact):
+
+* No wall clock, no RNG.  The manager's event timestamp is the event's
+  sequence number (``manager.now = float(seq)``), so impact records and
+  any derived traces are functions of the request sequence alone.
+* Validation is a pure function of current manager state; an event is
+  only logged once it is known to apply (establish requests may still
+  be *rejected* by admission control — a rejection is itself a
+  deterministic outcome and is logged, so replay reproduces the
+  rejected sequence numbers too).
+* Micro-epoch batching is bitwise-identical to sequential application
+  (PR 7's twin proofs), so recovery may replay a log sequentially and
+  land on the same state the batched live run reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.channels import make_manager
+from repro.channels.digest import manager_state_digest
+from repro.errors import ReproError, SimulationError
+from repro.parallel.jobs import TopologySpec
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Request,
+    error_response,
+    ok_response,
+)
+from repro.service.wal import MANAGER_KWARG_KEYS, ReplayLogWriter
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine construction knobs.
+
+    Attributes:
+        core: Manager core (``array``/``object``); array is the service
+            default because micro-epoch batching lives there.
+        batch_max: Largest batch one micro-epoch may absorb; the server
+            drains at most this many queued requests per epoch.
+        manager_kwargs: Forwarded to :func:`~repro.channels.make_manager`
+            (``policy``, ``routing``, ...); recorded in the WAL header
+            so recovery rebuilds the same manager.
+    """
+
+    core: str = "array"
+    batch_max: int = 64
+    manager_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.batch_max < 1:
+            raise SimulationError(f"batch_max must be >= 1, got {self.batch_max}")
+        unknown = set(self.manager_kwargs) - set(MANAGER_KWARG_KEYS)
+        if unknown:
+            raise SimulationError(
+                f"unknown manager kwargs {sorted(unknown)}; "
+                f"choose from {MANAGER_KWARG_KEYS}"
+            )
+
+
+class ServiceEngine:
+    """One manager plus the WAL discipline around it.
+
+    Not thread-safe; the asyncio server applies batches from a single
+    task, and replay is single-threaded by construction.
+    """
+
+    def __init__(
+        self,
+        topology: TopologySpec,
+        config: Optional[EngineConfig] = None,
+        wal: Optional[ReplayLogWriter] = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config or EngineConfig()
+        self.net = topology.build()
+        self.manager = make_manager(
+            self.net, core=self.config.core, **self.config.manager_kwargs
+        )
+        self.wal = wal
+        #: Next event sequence number (== number of events ever applied).
+        self.seq = 0
+
+    # ------------------------------------------------------------------
+    # validation (pure, pre-WAL)
+    # ------------------------------------------------------------------
+    def validate(self, request: Request) -> Optional[Tuple[str, str]]:
+        """``None`` when the mutation may be logged+applied, else
+        ``(error_code, message)``.
+
+        Cheap checks only — full admission control runs at apply time.
+        The point is that anything passing here applies without raising,
+        so the WAL never records an event whose apply outcome could
+        depend on *when* we crashed.
+        """
+        if request.op == "establish":
+            for node in (request.src, request.dst):
+                if not self.net.has_node(node):
+                    return "bad-request", f"unknown node {node}"
+            if request.src == request.dst:
+                return "bad-request", "src and dst must differ"
+            return None
+        if request.op == "teardown":
+            if request.conn_id not in self.manager.connections:
+                return "not-live", f"connection {request.conn_id} is not live"
+            return None
+        # fail / repair
+        assert request.link is not None
+        u, v = request.link
+        if not self.net.has_link(u, v):
+            return "bad-request", f"no link {list(request.link)}"
+        failed = self.manager.state.link(request.link).failed
+        if request.op == "fail" and failed:
+            return "link-state", f"link {list(request.link)} is already failed"
+        if request.op == "repair" and not failed:
+            return "link-state", f"link {list(request.link)} is not failed"
+        return None
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def _apply_one(self, seq: int, request: Request) -> Dict[str, Any]:
+        """Apply one durably-logged mutation; returns the result body."""
+        self.manager.now = float(seq)
+        if request.op == "establish":
+            assert request.qos is not None
+            _, impact = self.manager.request_connection(
+                request.src, request.dst, request.qos
+            )
+            return {
+                "seq": seq,
+                "accepted": impact.accepted,
+                "conn_id": impact.conn_id if impact.accepted else None,
+            }
+        if request.op == "teardown":
+            self.manager.terminate_connection(request.conn_id)
+            return {"seq": seq, "conn_id": request.conn_id}
+        if request.op == "fail":
+            impact = self.manager.fail_link(request.link)
+            return {
+                "seq": seq,
+                "link": list(request.link or ()),
+                "activated": list(impact.activated),
+                "dropped": list(impact.dropped),
+            }
+        self.manager.repair_link(request.link)
+        return {"seq": seq, "link": list(request.link or ())}
+
+    def apply_batch(self, batch: List[Request]) -> List[Dict[str, Any]]:
+        """Validate, durably log, then epoch-apply one batch of mutations.
+
+        Returns one response envelope per request, in order.  Requests
+        failing validation are answered with an error and *not* logged;
+        the rest are logged write-ahead (single fsync for the whole
+        batch), applied inside one micro-epoch, and answered from their
+        impact records.
+        """
+        to_apply: List[Tuple[int, Request]] = []
+        slots: List[Optional[Dict[str, Any]]] = []
+        for request in batch:
+            problem = self.validate(request)
+            if problem is not None:
+                code, message = problem
+                slots.append(error_response(request.req_id, code, message))
+                continue
+            to_apply.append((self.seq, request))
+            self.seq += 1
+            slots.append(None)
+        if self.wal is not None:
+            self.wal.log_events(to_apply)
+        responses: List[Dict[str, Any]] = []
+        apply_iter = iter(to_apply)
+        self.manager.begin_micro_epoch()
+        try:
+            for request, slot in zip(batch, slots):
+                if slot is not None:
+                    responses.append(slot)
+                    continue
+                seq, _ = next(apply_iter)
+                try:
+                    responses.append(
+                        ok_response(request.req_id, self._apply_one(seq, request))
+                    )
+                except ReproError as exc:
+                    # Deterministic, non-mutating apply failure: an
+                    # earlier event in this very batch invalidated the
+                    # target (e.g. a failure dropped the connection a
+                    # later teardown names).  Replay rejects the same
+                    # event at validation, reaching the same state.
+                    problem = self.validate(request)
+                    code, message = problem if problem else ("internal", str(exc))
+                    responses.append(error_response(request.req_id, code, message))
+        finally:
+            self.manager.end_micro_epoch()
+        if self.wal is not None and to_apply:
+            self.wal.log_epoch(to_apply[-1][0])
+        return responses
+
+    def apply_sequential(self, request: Request) -> Dict[str, Any]:
+        """Single-request flavour of :meth:`apply_batch` (replay path)."""
+        return self.apply_batch([request])[0]
+
+    # ------------------------------------------------------------------
+    # queries (read-only, answered off-queue)
+    # ------------------------------------------------------------------
+    def query(self, request: Request) -> Dict[str, Any]:
+        """Answer one read-only query against current state."""
+        what = request.what
+        if what in ("health", "ready"):
+            return ok_response(request.req_id, {"status": "ok", "seq": self.seq})
+        if what == "info":
+            return ok_response(
+                request.req_id,
+                {
+                    "protocol": PROTOCOL_VERSION,
+                    "core": self.config.core,
+                    "batch_max": self.config.batch_max,
+                    "topology": self.topology.kind,
+                    "num_nodes": self.net.num_nodes,
+                    "num_links": self.net.num_links,
+                    "links_sample": [list(lid) for lid in self.net.link_ids()[:8]],
+                    "seq": self.seq,
+                },
+            )
+        if what == "stats":
+            return ok_response(
+                request.req_id,
+                {
+                    "seq": self.seq,
+                    "num_live": self.manager.num_live,
+                    "average_live_bandwidth": self.manager.average_live_bandwidth(),
+                    "manager": vars(self.manager.stats).copy(),
+                },
+            )
+        if what == "digest":
+            return ok_response(
+                request.req_id,
+                {"seq": self.seq, "digest": manager_state_digest(self.manager)},
+            )
+        # connection
+        if request.conn_id not in self.manager.connections:
+            return error_response(
+                request.req_id, "not-live", f"connection {request.conn_id} is not live"
+            )
+        conn = self.manager.connections[request.conn_id]
+        return ok_response(
+            request.req_id,
+            {
+                "conn_id": request.conn_id,
+                "level": conn.level,
+                "bandwidth": conn.bandwidth,
+                "on_backup": conn.on_backup,
+                "primary_path": list(conn.primary_path),
+            },
+        )
+
+    def digest(self) -> str:
+        """Bitwise state digest (see :mod:`repro.channels.digest`)."""
+        return manager_state_digest(self.manager)
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()

@@ -1,0 +1,163 @@
+"""Offline replay and crash recovery for the admission service.
+
+A replay log (see :mod:`repro.service.wal`) plus the determinism
+contract of :class:`~repro.service.engine.ServiceEngine` means any live
+run is also an offline batch campaign:
+
+* :func:`replay_log` rebuilds a fresh engine and applies every durable
+  event sequentially — bitwise-identical to the live run's batched
+  application (PR 7's micro-epoch equivalence), so the resulting
+  digest *is* the live service's state digest.
+* :func:`recover_engine` is what a restarted service calls: replay the
+  log, then re-attach an append-mode WAL writer and continue the
+  sequence numbering where the durable history ends.  Events that were
+  received but never durably logged before the crash are simply lost —
+  their clients never got a response, which is the contract.
+* :func:`export_campaign` normalizes a live log into a standalone
+  batch-campaign file: torn tails dropped, epoch/shutdown markers
+  stripped, sequence numbers renumbered contiguously.  The output is
+  itself a valid replay log, so the same tooling consumes it
+  (``repro replay`` both replays and exports).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.parallel.checkpoint import atomic_write_text
+from repro.service.engine import EngineConfig, ServiceEngine
+from repro.service.wal import (
+    WAL_VERSION,
+    ReplayLogReader,
+    ReplayLogWriter,
+    request_to_record,
+    topology_to_dict,
+)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one log into a fresh engine.
+
+    Attributes:
+        engine: The rebuilt engine (no WAL attached).
+        events_applied: Number of durable events replayed.
+        accepted: How many of the replayed establish events were
+            admitted (sanity signal for campaign conversion).
+        clean_shutdown: Whether the log ended with a drain marker.
+        torn_tail: Whether a partial final record was discarded.
+        digest: Bitwise state digest after replay.
+    """
+
+    engine: ServiceEngine
+    events_applied: int
+    accepted: int
+    clean_shutdown: bool
+    torn_tail: bool
+    digest: str
+
+
+def _engine_config(reader: ReplayLogReader, batch_max: int = 64) -> EngineConfig:
+    return EngineConfig(
+        core=reader.core, batch_max=batch_max, manager_kwargs=reader.manager_kwargs
+    )
+
+
+def replay_log(path: Union[str, Path]) -> ReplayResult:
+    """Rebuild the manager state a log describes, from nothing.
+
+    Applies events one per micro-epoch (i.e. effectively sequentially);
+    bitwise-identical to the live run's batched application.
+    """
+    reader = ReplayLogReader(path)
+    engine = ServiceEngine(reader.topology, _engine_config(reader), wal=None)
+    events = 0
+    accepted = 0
+    for seq, request in reader.events():
+        engine.seq = seq
+        response = engine.apply_sequential(request)
+        events += 1
+        if request.op == "establish" and response.get("result", {}).get("accepted"):
+            accepted += 1
+    return ReplayResult(
+        engine=engine,
+        events_applied=events,
+        accepted=accepted,
+        clean_shutdown=reader.clean_shutdown,
+        torn_tail=reader.torn_tail,
+        digest=engine.digest(),
+    )
+
+
+def recover_engine(
+    path: Union[str, Path], batch_max: Optional[int] = None
+) -> ServiceEngine:
+    """Recover a service engine from its WAL and keep appending to it.
+
+    Replays every durable event, then attaches an append-mode writer to
+    the same file (the header is only written on empty files, so
+    durable history is preserved) and resumes sequence numbering after
+    the last durable event.  A torn tail is truncated away first —
+    appending after torn bytes would corrupt the next record.
+    """
+    reader = ReplayLogReader(path)
+    if reader.torn_tail:
+        os.truncate(path, reader.valid_bytes)
+    result = replay_log(path)
+    engine = result.engine
+    if batch_max is not None:
+        engine.config = EngineConfig(
+            core=engine.config.core,
+            batch_max=batch_max,
+            manager_kwargs=engine.config.manager_kwargs,
+        )
+    engine.wal = ReplayLogWriter(
+        path,
+        engine.topology,
+        manager_kwargs=engine.config.manager_kwargs,
+        core=engine.config.core,
+    )
+    return engine
+
+
+def export_campaign(
+    log_path: Union[str, Path], out_path: Union[str, Path]
+) -> Dict[str, Any]:
+    """Convert a live replay log into a normalized batch-campaign file.
+
+    The output is a clean replay log: same header (modulo formatting),
+    only event records, contiguous sequence numbers from 0, one
+    trailing shutdown marker.  Returns a small summary dict.
+    """
+    reader = ReplayLogReader(log_path)
+    header = {
+        "type": "header",
+        "version": WAL_VERSION,
+        "core": reader.core,
+        "topology": topology_to_dict(reader.topology),
+        "manager": reader.manager_kwargs,
+    }
+    lines: List[str] = [json.dumps(header, separators=(",", ":"), sort_keys=True)]
+    count = 0
+    for _, request in reader.events():
+        record = request_to_record(count, request)
+        lines.append(json.dumps(record, separators=(",", ":"), sort_keys=True))
+        count += 1
+    lines.append(
+        json.dumps(
+            {"type": "shutdown", "seq_end": count - 1},
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+    )
+    atomic_write_text(Path(out_path), "\n".join(lines) + "\n")
+    return {
+        "events": count,
+        "source_clean_shutdown": reader.clean_shutdown,
+        "source_torn_tail": reader.torn_tail,
+        "out": str(out_path),
+    }

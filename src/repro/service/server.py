@@ -1,0 +1,334 @@
+"""The asyncio serving shell around :class:`ServiceEngine`.
+
+Single event loop, three layers:
+
+* **connection handlers** parse frames, answer queries inline (safe:
+  batch application is synchronous, so no query can observe a
+  half-applied epoch), run the backpressure check, stamp deadlines and
+  enqueue mutations with a per-request future;
+* **the batcher task** drains up to ``batch_max`` queued requests,
+  expires the ones already past their deadline, hands the rest to
+  :meth:`ServiceEngine.apply_batch` (write-ahead log fsync, then one
+  micro-epoch), resolves the futures and records decision latency;
+* **lifecycle**: SIGTERM/SIGINT set the draining flag — the listener
+  closes, queued work finishes, a shutdown marker lands in the WAL —
+  and readiness flips to "draining" so probes see it.
+
+This module is the *timing* layer: it reads the loop clock for
+deadlines and latency telemetry (exempt from lint rule DET003 by
+path).  No clock value ever reaches the engine — shedding decisions
+depend on queue depth, deadline expiry only turns a request into an
+error *before* it is logged, so the WAL stays a pure function of the
+admitted request sequence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.parallel.jobs import TopologySpec
+from repro.service.engine import EngineConfig, ServiceEngine
+from repro.service.protocol import (
+    ProtocolError,
+    Request,
+    decode_line,
+    encode_line,
+    error_response,
+    parse_request,
+)
+from repro.service.replay import recover_engine
+from repro.service.shedding import BackpressureConfig, admit_decision
+from repro.service.telemetry import LatencyRecorder
+from repro.service.wal import ReplayLogWriter
+
+
+@dataclass
+class ServiceConfig:
+    """Everything one service instance needs.
+
+    Attributes:
+        topology: Network recipe (ignored on recovery — the WAL header
+            wins, so a restart cannot silently change the network).
+        wal_path: Replay-log location; an existing non-empty file
+            triggers recovery-by-replay on startup.
+        host / port: Listen address; port 0 lets the OS pick (the bound
+            port is in :attr:`AdmissionService.port` and the startup
+            announcement line).
+        engine: Core/batching knobs.
+        backpressure: Queue bound and shedding thresholds.
+        default_deadline_ms: Deadline applied to mutations that do not
+            carry their own (``None`` = no implicit deadline).
+        epoch_hold_s: Test-only pause between WAL fsync and epoch
+            application, widening the durable-but-unapplied window so
+            crash tests can land a SIGKILL mid-epoch deterministically.
+    """
+
+    topology: TopologySpec
+    wal_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    backpressure: BackpressureConfig = field(default_factory=BackpressureConfig)
+    default_deadline_ms: Optional[float] = None
+    epoch_hold_s: float = 0.0
+
+
+class _Pending:
+    """One queued mutation awaiting its epoch."""
+
+    __slots__ = ("request", "deadline", "enqueued", "future")
+
+    def __init__(
+        self,
+        request: Request,
+        deadline: Optional[float],
+        enqueued: float,
+        future: "asyncio.Future[Dict[str, Any]]",
+    ) -> None:
+        self.request = request
+        self.deadline = deadline
+        self.enqueued = enqueued
+        self.future = future
+
+
+class AdmissionService:
+    """A running admission-control service instance."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.engine: Optional[ServiceEngine] = None
+        self.latency = LatencyRecorder()
+        self.shed_count = 0
+        self.expired_count = 0
+        self.port: Optional[int] = None
+        self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._draining = False
+        self._drained = asyncio.Event()
+        self.recovered = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _build_engine(self) -> ServiceEngine:
+        cfg = self.config
+        if cfg.wal_path is None:
+            return ServiceEngine(cfg.topology, cfg.engine, wal=None)
+        import os
+
+        if os.path.exists(cfg.wal_path) and os.path.getsize(cfg.wal_path) > 0:
+            self.recovered = True
+            return recover_engine(cfg.wal_path, batch_max=cfg.engine.batch_max)
+        wal = ReplayLogWriter(
+            cfg.wal_path,
+            cfg.topology,
+            manager_kwargs=cfg.engine.manager_kwargs,
+            core=cfg.engine.core,
+        )
+        return ServiceEngine(cfg.topology, cfg.engine, wal=wal)
+
+    async def start(self, install_signals: bool = False) -> None:
+        """Build/recover the engine, bind the socket, start batching."""
+        if self.engine is not None:
+            raise SimulationError("service already started")
+        self.engine = self._build_engine()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._batcher = asyncio.create_task(self._batch_loop())
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(sig, self.initiate_drain)
+
+    def initiate_drain(self) -> None:
+        """Stop accepting work; queued requests still get answers."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        # Wake the batcher even when the queue is empty.
+        loop = asyncio.get_running_loop()
+        loop.call_soon(self._queue.put_nowait, _DRAIN_SENTINEL)
+
+    async def drained(self) -> None:
+        """Wait until the drain (started via :meth:`initiate_drain`) ends."""
+        await self._drained.wait()
+
+    async def run_until_drained(self, install_signals: bool = True) -> None:
+        """Convenience: start, then serve until drained (CLI entry)."""
+        await self.start(install_signals=install_signals)
+        await self._drained.wait()
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._handle_frame(line)
+                writer.write(encode_line(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_frame(self, line: bytes) -> Dict[str, Any]:
+        assert self.engine is not None
+        req_id: Any = None
+        try:
+            obj = decode_line(line)
+            if isinstance(obj, dict):
+                req_id = obj.get("id")
+            request = parse_request(obj)
+        except ProtocolError as exc:
+            return error_response(req_id, "bad-request", str(exc))
+        if not request.is_mutation:
+            if request.what == "ready" and self._draining:
+                return error_response(request.req_id, "shutting-down", "draining")
+            try:
+                result = self.engine.query(request)
+                if request.what == "stats":
+                    result["result"]["service"] = self.service_stats()
+                return result
+            except Exception as exc:
+                return error_response(request.req_id, "internal", str(exc))
+        if self._draining:
+            return error_response(
+                request.req_id, "shutting-down", "service is draining"
+            )
+        decision = admit_decision(
+            self.config.backpressure, self._queue.qsize(), request
+        )
+        if not decision.admit:
+            self.shed_count += 1
+            return error_response(
+                request.req_id, "shed", decision.reason, decision.retry_after
+            )
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        deadline_ms = (
+            request.deadline_ms
+            if request.deadline_ms is not None
+            else self.config.default_deadline_ms
+        )
+        deadline = None if deadline_ms is None else now + deadline_ms / 1000.0
+        pending = _Pending(request, deadline, now, loop.create_future())
+        self._queue.put_nowait(pending)
+        return await pending.future
+
+    # ------------------------------------------------------------------
+    # batching
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        assert self.engine is not None
+        loop = asyncio.get_running_loop()
+        batch_max = self.engine.config.batch_max
+        while True:
+            first = await self._queue.get()
+            items: List[_Pending] = [] if first is _DRAIN_SENTINEL else [first]
+            while len(items) < batch_max:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is not _DRAIN_SENTINEL:
+                    items.append(extra)
+            live: List[_Pending] = []
+            now = loop.time()
+            for item in items:
+                if item.deadline is not None and now > item.deadline:
+                    self.expired_count += 1
+                    item.future.set_result(
+                        error_response(
+                            item.request.req_id,
+                            "deadline",
+                            "expired in queue past its deadline budget",
+                        )
+                    )
+                else:
+                    live.append(item)
+            if live:
+                if self.config.epoch_hold_s > 0.0:
+                    # Crash-test hook: log write-ahead, then linger with
+                    # the epoch durable-but-unapplied.
+                    batch = [p.request for p in live]
+                    to_apply = [
+                        (self.engine.seq + i, r)
+                        for i, r in enumerate(
+                            r for r in batch if self.engine.validate(r) is None
+                        )
+                    ]
+                    if self.engine.wal is not None:
+                        self.engine.wal.log_events(to_apply)
+                        await asyncio.sleep(self.config.epoch_hold_s)
+                        # The engine will re-log the same events; rewind
+                        # is impossible on an append-only file, so make
+                        # the engine skip its own log call instead.
+                        responses = self._apply_prelogged(batch)
+                    else:
+                        await asyncio.sleep(self.config.epoch_hold_s)
+                        responses = self.engine.apply_batch(batch)
+                else:
+                    responses = self.engine.apply_batch([p.request for p in live])
+                done = loop.time()
+                for item, response in zip(live, responses):
+                    self.latency.record(done - item.enqueued)
+                    if not item.future.done():
+                        item.future.set_result(response)
+            if self._draining and self._queue.empty():
+                self._finish_drain()
+                return
+
+    def _apply_prelogged(self, batch: List[Request]) -> List[Dict[str, Any]]:
+        """Apply a batch whose events were already durably logged."""
+        assert self.engine is not None
+        wal = self.engine.wal
+        self.engine.wal = None
+        try:
+            responses = self.engine.apply_batch(batch)
+        finally:
+            self.engine.wal = wal
+        if wal is not None:
+            wal.log_epoch(self.engine.seq - 1)
+        return responses
+
+    def _finish_drain(self) -> None:
+        assert self.engine is not None
+        if self.engine.wal is not None:
+            self.engine.wal.log_shutdown(self.engine.seq - 1)
+        self.engine.close()
+        self._drained.set()
+
+    # ------------------------------------------------------------------
+    def service_stats(self) -> Dict[str, Any]:
+        """Service-plane counters and latency summary."""
+        return {
+            "queue_depth": self._queue.qsize(),
+            "shed": self.shed_count,
+            "expired": self.expired_count,
+            "draining": self._draining,
+            "recovered": self.recovered,
+            "latency": self.latency.summary(),
+        }
+
+
+#: Queue sentinel used to wake the batcher during drain.
+_DRAIN_SENTINEL: Any = _Pending(
+    Request(op="query", req_id=None, what="health"), None, 0.0, None  # type: ignore[arg-type]
+)

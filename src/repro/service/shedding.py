@@ -1,0 +1,129 @@
+"""Utility-aware load shedding for the admission service.
+
+The service queue is bounded; when it saturates we *reject fast with a
+hint* rather than queue unboundedly — the operational mirror of the
+paper's elastic degradation: under overload, low-utility work gives up
+bandwidth (here: queue slots) before high-utility work is touched.
+
+The policy is a pure function of (queue occupancy, request), with no
+clock and no randomness, so the same arrival sequence sheds the same
+requests on every run — live decisions and their offline replay agree.
+
+Three regimes, by occupancy ``q = depth / queue_limit``:
+
+* ``q < shed_watermark`` — everything is admitted.
+* ``shed_watermark <= q < 1`` — *selective* shedding: establish
+  requests whose utility weight falls below a threshold that rises
+  linearly from 0 (at the watermark) to ``utility_ceiling`` (at full)
+  are rejected; teardown/fail/repair are always admitted while any
+  slot is free, because they *release* resources and refusing them
+  only deepens the overload.
+* ``q >= 1`` — the queue is full: everything is rejected.
+
+Every rejection carries ``retry_after = (depth + 1) / drain_rate_hint``
+seconds — the backlog's expected drain time under the configured
+service rate — which the load generator uses to seed its backoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.service.protocol import Request
+
+
+@dataclass(frozen=True)
+class BackpressureConfig:
+    """Bounds and thresholds of the service's admission queue.
+
+    Attributes:
+        queue_limit: Hard cap on queued mutating requests.
+        shed_watermark: Occupancy fraction where selective shedding of
+            low-utility establish requests begins.
+        utility_ceiling: Utility weight below which an establish may be
+            shed when the queue is *completely* full-but-one; the
+            effective threshold scales linearly from the watermark up.
+        drain_rate_hint: Assumed service rate (requests/second) used
+            only to compute the ``retry_after`` hint; advisory, never a
+            decision input beyond the hint value itself.
+    """
+
+    queue_limit: int = 1024
+    shed_watermark: float = 0.5
+    utility_ceiling: float = 1.0
+    drain_rate_hint: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise SimulationError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if not 0.0 < self.shed_watermark <= 1.0:
+            raise SimulationError(
+                f"shed_watermark must be in (0, 1], got {self.shed_watermark}"
+            )
+        if self.utility_ceiling < 0.0:
+            raise SimulationError(
+                f"utility_ceiling must be >= 0, got {self.utility_ceiling}"
+            )
+        if self.drain_rate_hint <= 0.0:
+            raise SimulationError(
+                f"drain_rate_hint must be positive, got {self.drain_rate_hint}"
+            )
+
+
+@dataclass(frozen=True)
+class ShedDecision:
+    """Outcome of the backpressure check for one request.
+
+    Attributes:
+        admit: Whether the request may enter the queue.
+        retry_after: Backoff hint in seconds (rejections only).
+        reason: Short human-readable cause (rejections only).
+    """
+
+    admit: bool
+    retry_after: Optional[float] = None
+    reason: str = ""
+
+
+def _retry_after(cfg: BackpressureConfig, depth: int) -> float:
+    """Expected seconds until the current backlog (plus us) drains."""
+    return (depth + 1) / cfg.drain_rate_hint
+
+
+def admit_decision(
+    cfg: BackpressureConfig, depth: int, request: Request
+) -> ShedDecision:
+    """Decide whether ``request`` may enter a queue currently ``depth`` deep.
+
+    Deterministic: depends only on the arguments.  Queries are never
+    shed (they are answered inline, off-queue); callers should not
+    route them through here, but if they do the answer is admit.
+    """
+    if not request.is_mutation:
+        return ShedDecision(admit=True)
+    if depth >= cfg.queue_limit:
+        return ShedDecision(
+            admit=False,
+            retry_after=_retry_after(cfg, depth),
+            reason=f"queue full ({depth}/{cfg.queue_limit})",
+        )
+    occupancy = depth / cfg.queue_limit
+    if occupancy < cfg.shed_watermark or request.op != "establish":
+        return ShedDecision(admit=True)
+    # Selective band: threshold rises linearly watermark -> full.
+    span = 1.0 - cfg.shed_watermark
+    scale = (occupancy - cfg.shed_watermark) / span if span > 0.0 else 1.0
+    threshold = cfg.utility_ceiling * scale
+    utility = request.qos.performance.utility if request.qos is not None else 0.0
+    if utility < threshold:
+        return ShedDecision(
+            admit=False,
+            retry_after=_retry_after(cfg, depth),
+            reason=(
+                f"shedding establish with utility {utility:g} < "
+                f"threshold {threshold:g} at occupancy {occupancy:.2f}"
+            ),
+        )
+    return ShedDecision(admit=True)

@@ -1,0 +1,59 @@
+"""Decision-latency telemetry for the admission service.
+
+This is the *observability* side of the service and it may read real
+time (it is exempt from lint rule DET003 by path); nothing here feeds
+back into admission decisions, so determinism of the decision plane is
+untouched.
+
+:class:`LatencyRecorder` keeps a bounded reservoir of per-request
+decision latencies (receipt -> response ready) and reports the
+percentiles the loadgen benchmark records into ``BENCH_core_ops.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def percentile(sorted_samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(0, min(len(sorted_samples) - 1, int(fraction * len(sorted_samples))))
+    return sorted_samples[rank]
+
+
+class LatencyRecorder:
+    """Bounded sample sink with percentile summaries.
+
+    Keeps the first ``capacity`` samples (a 10^5-request campaign fits
+    whole by default); once full, further samples only bump the count,
+    so long runs cannot grow memory without bound.
+    """
+
+    def __init__(self, capacity: int = 200_000) -> None:
+        self.capacity = capacity
+        self.samples: List[float] = []
+        self.count = 0
+        self.dropped = 0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        if len(self.samples) < self.capacity:
+            self.samples.append(seconds)
+        else:
+            self.dropped += 1
+
+    def summary(self) -> Dict[str, float]:
+        """Percentiles in microseconds, plus counts."""
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        return {
+            "count": float(self.count),
+            "sampled": float(n),
+            "p50_us": percentile(ordered, 0.50) * 1e6,
+            "p90_us": percentile(ordered, 0.90) * 1e6,
+            "p99_us": percentile(ordered, 0.99) * 1e6,
+            "max_us": (ordered[-1] * 1e6) if ordered else 0.0,
+            "mean_us": (sum(ordered) / n * 1e6) if ordered else 0.0,
+        }

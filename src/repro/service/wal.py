@@ -1,0 +1,310 @@
+"""Append-only write-ahead replay log for the admission service.
+
+One JSON object per line, four record types:
+
+``header``    First line.  Carries the log format version, the
+              :class:`~repro.parallel.jobs.TopologySpec` the manager's
+              network was built from, and the manager construction
+              kwargs — everything recovery needs to rebuild an
+              identical manager from nothing.
+``event``     One mutating request (establish/teardown/fail/repair) in
+              wire form plus its global sequence number ``seq``.
+              **Write-ahead**: the service appends and fsyncs an
+              epoch's event records *before* applying any of them to
+              the manager, so every applied event is durable.
+``epoch``     Epoch barrier after a batch was applied; ``seq_end`` is
+              the last applied sequence number.  Informational — it
+              lets tooling see the live batching — but recovery does
+              not need it: micro-epoch batching is bitwise-identical
+              to sequential application, so replay just applies every
+              durable event in order.
+``shutdown``  Clean-drain marker; its absence means the previous run
+              crashed (recovery works either way).
+
+Torn tails: a crash can leave a partial final line.
+:class:`ReplayLogReader` tolerates exactly one undecodable *final*
+record (discarded with a note); garbage earlier in the log is an
+error, because it means durable history was corrupted, not torn.
+
+This module does file I/O but no wall-clock reads and no randomness:
+log content is a pure function of the request sequence, which is what
+makes a live trace convertible into an offline campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.parallel.jobs import TOPOLOGY_KINDS, TopologySpec
+from repro.service.protocol import Request, parse_request, qos_to_dict
+from repro.topology.transit_stub import TransitStubParams
+
+#: Log format version; bump on incompatible record changes.
+WAL_VERSION = 1
+
+#: Manager-constructor kwargs a header may carry (see ``make_manager``).
+MANAGER_KWARG_KEYS = (
+    "policy",
+    "routing",
+    "flood_hop_bound",
+    "multiplex_backups",
+    "reestablish_backups",
+    "route_cache_probe",
+)
+
+
+# ----------------------------------------------------------------------
+# topology spec (de)serialization
+# ----------------------------------------------------------------------
+def topology_to_dict(spec: TopologySpec) -> Dict[str, Any]:
+    """JSON-able rendering of a topology recipe (drops ``None`` fields)."""
+    data: Dict[str, Any] = {
+        "kind": spec.kind,
+        "capacity": spec.capacity,
+        "seed": spec.seed,
+        "nodes": spec.nodes,
+    }
+    if spec.edges is not None:
+        data["edges"] = spec.edges
+    if spec.cols is not None:
+        data["cols"] = spec.cols
+    if spec.tier is not None:
+        data["tier"] = dataclasses.asdict(spec.tier)
+    return data
+
+
+def topology_from_dict(data: Dict[str, Any]) -> TopologySpec:
+    """Rebuild a topology recipe from its wire form."""
+    if not isinstance(data, dict):
+        raise SimulationError(f"topology must be an object, got {type(data).__name__}")
+    tier = None
+    if data.get("tier") is not None:
+        tier = TransitStubParams(**data["tier"])
+    try:
+        return TopologySpec(
+            kind=str(data["kind"]),
+            capacity=float(data["capacity"]),
+            seed=int(data.get("seed", 0)),
+            nodes=int(data.get("nodes", 0)),
+            edges=None if data.get("edges") is None else int(data["edges"]),
+            tier=tier,
+            cols=None if data.get("cols") is None else int(data["cols"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SimulationError(f"invalid topology spec {data!r}: {exc}") from exc
+
+
+def parse_topology_arg(text: str) -> TopologySpec:
+    """Parse a CLI topology argument: ``kind:key=value,key=value,...``.
+
+    Examples: ``grid:nodes=4,cols=4,capacity=1000`` or
+    ``waxman:nodes=20,capacity=155,seed=7``.  Keys are the
+    :class:`TopologySpec` fields except ``tier`` (transit-stub shapes
+    keep their defaults from the CLI).
+    """
+    kind, _, rest = text.partition(":")
+    if kind not in TOPOLOGY_KINDS:
+        raise SimulationError(
+            f"unknown topology kind {kind!r}; choose from {TOPOLOGY_KINDS}"
+        )
+    fields: Dict[str, Any] = {"kind": kind, "capacity": 1000.0, "seed": 0}
+    int_keys = ("seed", "nodes", "edges", "cols")
+    for part in filter(None, rest.split(",")):
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise SimulationError(f"topology option {part!r} is not key=value")
+        if key == "capacity":
+            fields[key] = float(value)
+        elif key in int_keys:
+            fields[key] = int(value)
+        else:
+            raise SimulationError(
+                f"unknown topology option {key!r}; choose from "
+                f"('capacity',) + {int_keys}"
+            )
+    return TopologySpec(**fields)
+
+
+# ----------------------------------------------------------------------
+# record shaping
+# ----------------------------------------------------------------------
+def request_to_record(seq: int, request: Request) -> Dict[str, Any]:
+    """The ``event`` record for one mutating request."""
+    record: Dict[str, Any] = {"type": "event", "seq": seq, "op": request.op}
+    if request.op == "establish":
+        assert request.qos is not None
+        record["src"] = request.src
+        record["dst"] = request.dst
+        record["qos"] = qos_to_dict(request.qos)
+    elif request.op == "teardown":
+        record["conn_id"] = request.conn_id
+    else:  # fail / repair
+        record["link"] = list(request.link or ())
+    return record
+
+
+def request_from_record(record: Dict[str, Any]) -> Request:
+    """Rebuild the request a logged ``event`` record describes."""
+    return parse_request({"op": record["op"], "id": record["seq"], **{
+        k: v for k, v in record.items() if k in ("src", "dst", "qos", "conn_id", "link")
+    }})
+
+
+def _encode(record: Dict[str, Any]) -> bytes:
+    return json.dumps(record, separators=(",", ":"), sort_keys=True).encode("utf-8") + b"\n"
+
+
+class ReplayLogWriter:
+    """Durable appender with write-ahead semantics.
+
+    Usage per epoch::
+
+        writer.log_events(seq_and_requests)   # append + fsync, THEN
+        ...apply the batch to the manager...
+        writer.log_epoch(last_seq)            # barrier marker
+
+    The epoch marker itself is flushed lazily (with the next batch or
+    on close); losing it is harmless because recovery replays every
+    durable event regardless of markers.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        topology: TopologySpec,
+        manager_kwargs: Optional[Dict[str, Any]] = None,
+        core: str = "array",
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        # Append-only by design: the whole point is that existing durable
+        # history must never be rewritten, so the atomic tmp-then-rename
+        # primitive is the wrong tool here.
+        self._fh = open(  # repro-lint: disable=ART001 — append-only WAL primitive
+            self.path, "ab"
+        )
+        if fresh:
+            header = {
+                "type": "header",
+                "version": WAL_VERSION,
+                "core": core,
+                "topology": topology_to_dict(topology),
+                "manager": dict(manager_kwargs or {}),
+            }
+            self._fh.write(_encode(header))
+            self._sync()
+
+    def _sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def log_events(self, batch: List[Tuple[int, Request]]) -> None:
+        """Durably append one epoch's events *before* they are applied."""
+        if not batch:
+            return
+        self._fh.write(b"".join(_encode(request_to_record(seq, req)) for seq, req in batch))
+        self._sync()
+
+    def log_epoch(self, seq_end: int) -> None:
+        """Append the (lazily flushed) epoch barrier marker."""
+        self._fh.write(_encode({"type": "epoch", "seq_end": seq_end}))
+
+    def log_shutdown(self, seq_end: int) -> None:
+        """Mark a clean drain; durable immediately."""
+        self._fh.write(_encode({"type": "shutdown", "seq_end": seq_end}))
+        self._sync()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._sync()
+            self._fh.close()
+
+    def __enter__(self) -> "ReplayLogWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class ReplayLogReader:
+    """Parse a replay log, tolerating a torn final line.
+
+    Attributes (after construction):
+        header: The decoded header record.
+        topology: The rebuilt :class:`TopologySpec`.
+        manager_kwargs: Manager constructor kwargs from the header.
+        core: Manager core name from the header.
+        clean_shutdown: Whether a ``shutdown`` marker closed the log.
+        torn_tail: Whether a torn final record was discarded.
+        valid_bytes: Length of the durable prefix (everything up to and
+            including the last valid newline-terminated record); a
+            recovering writer truncates the file here before appending.
+
+    Tear rule: a record is only durable once its full line *including
+    the newline* is on disk (the writer fsyncs whole batches), so any
+    unterminated tail — even one that happens to decode — was written
+    mid-crash and never applied; it is discarded.  The same goes for a
+    terminated-but-undecodable *final* line.  Garbage anywhere earlier
+    is corruption of durable history and raises.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        raw = self.path.read_bytes()
+        records: List[Dict[str, Any]] = []
+        lines = raw.split(b"\n")
+        # A well-formed log ends with "\n", leaving one empty trailing
+        # chunk; anything else in the last slot is a torn tail.
+        tail = lines.pop() if lines else b""
+        self.torn_tail = bool(tail)
+        self.valid_bytes = len(raw) - len(tail)
+        for index, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                if index == len(lines) - 1:
+                    self.torn_tail = True
+                    self.valid_bytes -= len(line) + 1
+                    break
+                raise SimulationError(
+                    f"corrupt replay log {self.path}: undecodable record "
+                    f"{index + 1} is not the final line"
+                ) from exc
+            records.append(record)
+        if not records or records[0].get("type") != "header":
+            raise SimulationError(f"replay log {self.path} has no header record")
+        self.header = records[0]
+        if self.header.get("version") != WAL_VERSION:
+            raise SimulationError(
+                f"replay log {self.path} has unsupported version "
+                f"{self.header.get('version')!r} (expected {WAL_VERSION})"
+            )
+        self.topology = topology_from_dict(self.header["topology"])
+        self.manager_kwargs = dict(self.header.get("manager", {}))
+        self.core = str(self.header.get("core", "array"))
+        self._records = records[1:]
+        self.clean_shutdown = any(r.get("type") == "shutdown" for r in self._records)
+
+    def events(self) -> Iterator[Tuple[int, Request]]:
+        """Yield every durable ``(seq, request)`` in log order."""
+        for record in self._records:
+            if record.get("type") == "event":
+                yield int(record["seq"]), request_from_record(record)
+
+    def epoch_ends(self) -> List[int]:
+        """``seq_end`` of every epoch barrier, in log order."""
+        return [int(r["seq_end"]) for r in self._records if r.get("type") == "epoch"]
+
+    @property
+    def last_seq(self) -> int:
+        """Highest durable event sequence number (-1 when empty)."""
+        seqs = [int(r["seq"]) for r in self._records if r.get("type") == "event"]
+        return max(seqs) if seqs else -1

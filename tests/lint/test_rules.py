@@ -202,6 +202,31 @@ class TestDET003WallClock:
         assert rules_at(src, path="src/repro/parallel/runner.py") == []
         assert rules_at(src, path="benchmarks/bench_core_ops.py") == []
 
+    def test_service_timing_plane_is_exempt(self):
+        # The serving shell, telemetry and loadgen are timing layers:
+        # deadlines and latency measurement are their whole job.
+        src = "import time\nstart = time.perf_counter()\n"
+        for path in (
+            "src/repro/service/server.py",
+            "src/repro/service/telemetry.py",
+            "src/repro/service/loadgen.py",
+            "tests/service/test_server.py",
+        ):
+            assert rules_at(src, path=path) == [], path
+
+    def test_service_decision_plane_is_checked(self):
+        # Engine/WAL/shedding/replay/protocol must stay clock-free so a
+        # live run replays bitwise; the exemption must NOT cover them.
+        src = "import time\nstamp = time.time()\n"
+        for path in (
+            "src/repro/service/engine.py",
+            "src/repro/service/wal.py",
+            "src/repro/service/shedding.py",
+            "src/repro/service/replay.py",
+            "src/repro/service/protocol.py",
+        ):
+            assert rules_at(src, path=path) == ["DET003"], path
+
     def test_suppressed(self):
         src = (
             "import time\n"

@@ -362,3 +362,137 @@ class TestCheckpointedPoolRun:
         assert [result_signature(restored[i]) for i in range(3)] == [
             result_signature(r) for r in direct
         ]
+
+
+class TestRetryManifest:
+    """Per-job failure classes and retry counts in the checkpoint manifest."""
+
+    def read_manifest(self, directory):
+        import json
+
+        return json.loads((directory / "manifest.json").read_text())
+
+    def test_clean_run_has_no_retries_key(self, tmp_path):
+        batch = tiny_jobs(2)
+        run_sim_jobs(batch, jobs=1, checkpoint=CampaignCheckpoint(tmp_path / "c"))
+        assert "retries" not in self.read_manifest(tmp_path / "c")
+
+    def test_sequential_exception_classed_and_completed(self, monkeypatch, tmp_path):
+        batch = tiny_jobs(1)
+        failures = {"left": 2}
+        real = execute_sim_job
+
+        def flaky(job):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("transient")
+            return real(job)
+
+        monkeypatch.setattr(runner_module, "execute_sim_job", flaky)
+        monkeypatch.setattr(runner_module, "_sleep", lambda s: None)
+        checkpoint = CampaignCheckpoint(tmp_path / "c")
+        run_sim_jobs(
+            batch, jobs=1, retry=RetryPolicy(max_retries=2, backoff_base=0.0),
+            checkpoint=checkpoint,
+        )
+        (entry,) = self.read_manifest(tmp_path / "c")["retries"].values()
+        assert entry["attempts"] == 2
+        assert entry["classes"] == ["exception", "exception"]
+        assert entry["final"] == "completed"
+        assert "transient" in entry["last_reason"]
+
+    def test_sequential_exhaustion_marked(self, monkeypatch, tmp_path):
+        batch = tiny_jobs(1)
+
+        def always_fails(job):
+            raise OSError("persistent")
+
+        monkeypatch.setattr(runner_module, "execute_sim_job", always_fails)
+        monkeypatch.setattr(runner_module, "_sleep", lambda s: None)
+        checkpoint = CampaignCheckpoint(tmp_path / "c")
+        with pytest.raises(OSError):
+            run_sim_jobs(
+                batch, jobs=1, retry=RetryPolicy(max_retries=1, backoff_base=0.0),
+                checkpoint=checkpoint,
+            )
+        (entry,) = self.read_manifest(tmp_path / "c")["retries"].values()
+        assert entry["attempts"] == 1
+        assert entry["classes"] == ["exception"]
+        assert entry["final"] == "exhausted"
+
+    def test_pool_crash_classed_pool_crash(self, monkeypatch, tmp_path):
+        batch = tiny_jobs(2)
+
+        class FlakyPool(_FakePoolBase):
+            created = 0
+
+            def submit(self, fn, job):
+                future = Future()
+                if self.instance == 1:
+                    future.set_exception(BrokenProcessPool("worker died"))
+                else:
+                    future.set_result(fn(job))
+                return future
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", FlakyPool)
+        monkeypatch.setattr(runner_module, "_sleep", lambda s: None)
+        checkpoint = CampaignCheckpoint(tmp_path / "c")
+        run_sim_jobs(
+            batch, jobs=2, retry=RetryPolicy(max_retries=1, backoff_base=0.0),
+            checkpoint=checkpoint,
+        )
+        retries = self.read_manifest(tmp_path / "c")["retries"]
+        assert len(retries) == 2
+        for entry in retries.values():
+            assert entry["classes"] == ["pool-crash"]
+            assert entry["final"] == "completed"
+
+    def test_timeout_classed_timeout(self, monkeypatch, tmp_path):
+        batch = tiny_jobs(1)
+        real = execute_sim_job
+
+        class HangingPool(_FakePoolBase):
+            created = 0
+
+            def submit(self, fn, job):
+                future = Future()
+                if self.instance == 1:
+                    # Running so cancel() fails: forces the restart path.
+                    future.set_running_or_notify_cancel()
+                else:
+                    future.set_result(real(job))
+                return future
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", HangingPool)
+        monkeypatch.setattr(runner_module, "_sleep", lambda s: None)
+        checkpoint = CampaignCheckpoint(tmp_path / "c")
+        # Two jobs so the pool path is taken; both hang in pool 1, are
+        # charged a timeout, and complete in pool 2.
+        batch = tiny_jobs(2)
+        run_sim_jobs(
+            batch, jobs=2,
+            retry=RetryPolicy(max_retries=1, timeout=0.05, backoff_base=0.0),
+            checkpoint=checkpoint,
+        )
+        retries = self.read_manifest(tmp_path / "c")["retries"]
+        assert retries
+        for entry in retries.values():
+            assert entry["classes"] == ["timeout"]
+            assert entry["final"] == "completed"
+
+    def test_resume_reloads_retry_history(self, monkeypatch, tmp_path):
+        batch = tiny_jobs(1)
+        checkpoint = CampaignCheckpoint(tmp_path / "c")
+        checkpoint.note_attempt(0, batch[0], "pool-crash", "worker OOM-killed")
+        resumed = CampaignCheckpoint(tmp_path / "c", resume=True)
+        report = resumed.retry_report()
+        (entry,) = report.values()
+        assert entry["attempts"] == 1
+        assert entry["classes"] == ["pool-crash"]
+        assert entry["final"] is None
+
+    def test_unknown_failure_class_rejected(self, tmp_path):
+        batch = tiny_jobs(1)
+        checkpoint = CampaignCheckpoint(tmp_path / "c")
+        with pytest.raises(SimulationError, match="unknown failure class"):
+            checkpoint.note_attempt(0, batch[0], "cosmic-ray", "bit flip")

@@ -1,0 +1,80 @@
+"""Backpressure policy: pure, deterministic, utility-aware."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS
+from repro.service.protocol import Request
+from repro.service.shedding import BackpressureConfig, admit_decision
+
+
+def _establish(utility):
+    qos = ConnectionQoS(
+        performance=ElasticQoS(
+            b_min=100.0, b_max=200.0, increment=100.0, utility=utility
+        ),
+        dependability=DependabilityQoS(num_backups=1),
+    )
+    return Request(op="establish", req_id=1, src=0, dst=1, qos=qos)
+
+
+CFG = BackpressureConfig(
+    queue_limit=100, shed_watermark=0.5, utility_ceiling=1.0, drain_rate_hint=100.0
+)
+
+
+class TestRegimes:
+    def test_below_watermark_admits_everything(self):
+        for depth in (0, 49):
+            assert admit_decision(CFG, depth, _establish(0.0)).admit
+
+    def test_full_queue_rejects_everything_with_hint(self):
+        decision = admit_decision(CFG, 100, Request(op="teardown", req_id=1, conn_id=3))
+        assert not decision.admit
+        assert decision.retry_after == pytest.approx(101 / 100.0)
+        assert "queue full" in decision.reason
+
+    def test_selective_band_sheds_by_utility(self):
+        # depth 75 -> occupancy 0.75 -> threshold 0.5.
+        assert not admit_decision(CFG, 75, _establish(0.4)).admit
+        assert admit_decision(CFG, 75, _establish(0.6)).admit
+
+    def test_threshold_rises_linearly(self):
+        # Just above watermark almost nothing is shed...
+        assert admit_decision(CFG, 51, _establish(0.05)).admit
+        # ...near full, almost everything is.
+        assert not admit_decision(CFG, 99, _establish(0.9)).admit
+
+    def test_releasing_ops_admitted_in_band(self):
+        for op, extra in (
+            ("teardown", {"conn_id": 1}),
+            ("fail", {"link": (0, 1)}),
+            ("repair", {"link": (0, 1)}),
+        ):
+            req = Request(op=op, req_id=1, **extra)
+            assert admit_decision(CFG, 99, req).admit
+
+    def test_queries_never_shed(self):
+        req = Request(op="query", req_id=1, what="health")
+        assert admit_decision(CFG, 100, req).admit
+
+    def test_deterministic(self):
+        req = _establish(0.3)
+        first = admit_decision(CFG, 80, req)
+        assert all(admit_decision(CFG, 80, req) == first for _ in range(5))
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_limit": 0},
+            {"shed_watermark": 0.0},
+            {"shed_watermark": 1.5},
+            {"utility_ceiling": -1.0},
+            {"drain_rate_hint": 0.0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            BackpressureConfig(**kwargs)
