@@ -79,13 +79,22 @@ def manager_state_summary(manager: AnyManager) -> Dict[str, Any]:
     }
 
 
+def summary_digest(summary: Dict[str, Any]) -> str:
+    """SHA-256 hex digest of a :func:`manager_state_summary` rendering.
+
+    Split out from :func:`manager_state_digest` so chaos/recovery
+    tooling can hash a summary captured earlier (or dump the summary
+    alongside the digest to diff two mismatching states field by
+    field) without holding a live manager.
+    """
+    canonical = json.dumps(summary, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def manager_state_digest(manager: AnyManager) -> str:
     """SHA-256 hex digest of :func:`manager_state_summary`.
 
     Equal digests certify bitwise-identical observable state across
     cores and across processes.
     """
-    canonical = json.dumps(
-        manager_state_summary(manager), separators=(",", ":"), sort_keys=True
-    )
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return summary_digest(manager_state_summary(manager))

@@ -521,8 +521,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import os
 
     from repro.service import EngineConfig, parse_topology_arg
+    from repro.service.chaos import (
+        ChaosSchedule,
+        DiskFaultPlan,
+        chaos_point,
+        install_chaos,
+    )
     from repro.service.server import AdmissionService, ServiceConfig
     from repro.service.shedding import BackpressureConfig
+
+    disk_faults = None
+    if args.chaos_disk is not None:
+        disk_faults = DiskFaultPlan.from_spec(args.chaos_disk)
+    if args.chaos_crash is not None:
+        install_chaos(ChaosSchedule.from_spec(args.chaos_crash))
+    elif args.chaos_seed is not None:
+        install_chaos(ChaosSchedule.from_seed(args.chaos_seed))
 
     config = ServiceConfig(
         topology=parse_topology_arg(args.topology),
@@ -537,6 +551,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
         default_deadline_ms=args.deadline_ms,
         epoch_hold_s=args.epoch_hold_s,
+        disk_faults=disk_faults,
     )
 
     async def run() -> None:
@@ -557,6 +572,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             ),
             flush=True,
         )
+        chaos_point("post-listen")
         await service.drained()
         assert service.engine is not None
         print(
@@ -603,10 +619,18 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         "dropped_after_retries": report.dropped_after_retries,
         "expired": report.expired,
         "errors": report.errors,
+        "disconnects": report.disconnects,
+        "reconnects": report.reconnects,
+        "aborted": report.aborted,
         "client_latency": client,
         "service_latency": service_latency,
     }
     print(json.dumps(summary, indent=2, sort_keys=True))
+    if report.aborted:
+        # The server died under us and reconnection was exhausted; the
+        # partial stats above are still valid — say so and exit distinctly.
+        print("ABORTED: server unreachable after bounded reconnect attempts")
+        return 3
     failures = 0
     p50 = float(service_latency.get("p50_us", 0.0))
     p99 = float(service_latency.get("p99_us", 0.0))
@@ -702,6 +726,83 @@ def cmd_replay(args: argparse.Namespace) -> int:
         print("FAIL: replayed digest does not match --expect-digest")
         return 1
     return 0
+
+
+def cmd_supervise(args: argparse.Namespace) -> int:
+    """Run `repro serve` under a restart loop with digest cross-checks.
+
+    Exit codes: 0 clean child exit, 2 restart budget exhausted, 3 crash
+    loop detected, 4 recovery digest mismatch (the one that must never
+    happen), 5 terminated by operator.
+    """
+    import json
+
+    from repro.service.procs import serve_argv
+    from repro.service.supervisor import ServeSupervisor, SupervisorPolicy
+
+    extra = []
+    if args.core != "array":
+        extra += ["--core", args.core]
+    if args.chaos_crash is not None:
+        extra += ["--chaos-crash", args.chaos_crash]
+    if args.chaos_seed is not None:
+        extra += ["--chaos-seed", str(args.chaos_seed)]
+    supervisor = ServeSupervisor(
+        serve_argv(args.topology, args.wal, extra),
+        args.wal,
+        SupervisorPolicy(
+            max_restarts=args.max_restarts,
+            backoff_base_s=args.backoff_base_s,
+            backoff_cap_s=args.backoff_cap_s,
+            crash_loop_threshold=args.crash_loop_threshold,
+            min_healthy_uptime_s=args.min_healthy_uptime_s,
+            chaos_once=not args.chaos_every_restart,
+        ),
+    )
+    report = supervisor.run()
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return {
+        "clean-exit": 0,
+        "restart-budget-exhausted": 2,
+        "crash-loop": 3,
+        "digest-mismatch": 4,
+        "terminated": 5,
+    }.get(report.outcome, 1)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos soak: crash-point trials and the disk-fault smoke."""
+    import json
+    import tempfile
+
+    from repro.service.soak import run_disk_smoke, run_soak
+
+    cores = [c.strip() for c in args.cores.split(",") if c.strip()]
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as fallback:
+        workdir = args.workdir or fallback
+        summary: dict = {}
+        ok = True
+        if not args.disk_smoke_only:
+            report = run_soak(
+                workdir,
+                seed=args.seed,
+                trials=args.trials,
+                cores=cores,
+                requests=args.requests,
+                sweep=args.sweep,
+                topology=args.topology,
+            )
+            summary["soak"] = report.to_dict()
+            ok = ok and report.ok
+        if args.disk_smoke or args.disk_smoke_only:
+            smoke = run_disk_smoke(workdir, seed=args.seed, topology=args.topology)
+            summary["disk_smoke"] = smoke
+            ok = ok and smoke["ok"]
+    summary["ok"] = ok
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if not ok:
+        print("FAIL: durability invariant violated under chaos (see report)")
+    return 0 if ok else 1
 
 
 def cmd_topology(args: argparse.Namespace) -> int:
@@ -843,7 +944,61 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default per-request deadline budget")
     p.add_argument("--epoch-hold-s", type=float, default=0.0,
                    help="test hook: pause between WAL fsync and epoch apply")
+    p.add_argument("--chaos-crash", default=None, metavar="SITE:HIT",
+                   help="abort the process at a named crash site's N-th hit "
+                   "(e.g. post-fsync:3); see repro.service.chaos.CRASH_SITES")
+    p.add_argument("--chaos-seed", type=int, default=None,
+                   help="derive a crash schedule from a seed instead")
+    p.add_argument("--chaos-disk", default=None, metavar="KIND:RANGE,...",
+                   help="inject WAL disk faults by call index "
+                   "(e.g. fsync-eio:2-4,write-short:7)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "supervise",
+        help="run `repro serve` under a restart loop (backoff, budget, "
+        "crash-loop detection, recovery digest cross-check)",
+    )
+    p.add_argument("--topology", default="grid:nodes=4,cols=4,capacity=1000")
+    p.add_argument("--wal", required=True, metavar="PATH",
+                   help="WAL path (required: restarts are pointless without one)")
+    p.add_argument("--core", choices=("array", "object"), default="array")
+    p.add_argument("--max-restarts", type=int, default=8)
+    p.add_argument("--backoff-base-s", type=float, default=0.2)
+    p.add_argument("--backoff-cap-s", type=float, default=10.0)
+    p.add_argument("--crash-loop-threshold", type=int, default=3,
+                   help="consecutive short-lived children that count as a "
+                   "crash loop")
+    p.add_argument("--min-healthy-uptime-s", type=float, default=2.0)
+    p.add_argument("--chaos-crash", default=None, metavar="SITE:HIT",
+                   help="arm the child with this crash schedule")
+    p.add_argument("--chaos-seed", type=int, default=None)
+    p.add_argument("--chaos-every-restart", action="store_true",
+                   help="re-arm chaos flags on every restart (default: first "
+                   "incarnation only)")
+    p.set_defaults(func=cmd_supervise)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded chaos soak: crash-point sweep + disk-fault degraded smoke",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trials", type=int, default=5,
+                   help="number of seeded trials (ignored with --sweep)")
+    p.add_argument("--sweep", action="store_true",
+                   help="one trial per durability crash site per core")
+    p.add_argument("--cores", default="array",
+                   help="comma-separated manager cores (e.g. array,object)")
+    p.add_argument("--requests", type=int, default=60,
+                   help="scripted requests per trial")
+    p.add_argument("--topology", default="grid:nodes=16,cols=4,capacity=1000")
+    p.add_argument("--workdir", default=None,
+                   help="keep WALs here (default: a temp dir)")
+    p.add_argument("--disk-smoke", action="store_true",
+                   help="also run the degraded-mode disk-fault smoke")
+    p.add_argument("--disk-smoke-only", action="store_true",
+                   help="run only the disk-fault smoke")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "loadgen", help="drive a running admission service with load"

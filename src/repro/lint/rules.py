@@ -41,6 +41,9 @@ _SERVICE_TIMING_MODULES = (
     "repro/service/server.py",
     "repro/service/telemetry.py",
     "repro/service/loadgen.py",
+    "repro/service/procs.py",
+    "repro/service/supervisor.py",
+    "repro/service/soak.py",
 )
 
 

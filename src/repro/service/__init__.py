@@ -20,17 +20,42 @@ with the robustness shell a real deployment needs:
   (:mod:`repro.service.replay`, ``repro replay``);
 * **operability** — graceful drain on SIGTERM, health/readiness
   probes, decision-latency telemetry (p50/p99), and a load-generator
-  client (:mod:`repro.service.loadgen`, ``repro loadgen``).
+  client (:mod:`repro.service.loadgen`, ``repro loadgen``) that
+  survives a mid-run server death with bounded reconnects;
+* **fault tolerance under test** — a deterministic chaos layer
+  (:mod:`repro.service.chaos`): seeded crash schedules aborting the
+  process at named durability boundaries, injected WAL disk faults
+  that flip the server into a degraded read-only mode with
+  probation-based re-arm (:mod:`repro.service.server`), and a
+  misbehaving socket proxy; plus a supervised restart loop
+  (:mod:`repro.service.supervisor`, ``repro supervise``) and a seeded
+  chaos-soak runner (:mod:`repro.service.soak`, ``repro chaos``) that
+  assert recovery is bitwise on every path.
 
 Layering note (enforced by ``repro.lint`` DET003): the *decision*
 modules — :mod:`protocol`, :mod:`shedding`, :mod:`wal`,
-:mod:`engine`, :mod:`replay` — are wall-clock-free, so a replayed log
-reproduces the live run bit for bit; only the serving shell
-(:mod:`server`, :mod:`telemetry`, :mod:`loadgen`) may read real time.
+:mod:`engine`, :mod:`replay`, and :mod:`chaos` (pure seeded mechanism)
+— are wall-clock-free, so a replayed log reproduces the live run bit
+for bit; only the serving shell (:mod:`server`, :mod:`telemetry`,
+:mod:`loadgen`) and the process harnesses (:mod:`procs`,
+:mod:`supervisor`, :mod:`soak`) may read real time.
 """
 
 from __future__ import annotations
 
+from repro.service.chaos import (
+    CHAOS_EXIT_CODE,
+    CRASH_SITES,
+    ChaosCrash,
+    ChaosProxy,
+    ChaosSchedule,
+    DiskFaultPlan,
+    chaos_point,
+    install_chaos,
+    install_disk_faults,
+    reset_chaos,
+    uninstall_chaos,
+)
 from repro.service.engine import EngineConfig, ServiceEngine
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -46,12 +71,25 @@ from repro.service.protocol import (
 )
 from repro.service.replay import ReplayResult, recover_engine, replay_log
 from repro.service.shedding import BackpressureConfig, ShedDecision, admit_decision
-from repro.service.wal import ReplayLogReader, ReplayLogWriter, parse_topology_arg
-from repro.service.server import AdmissionService, ServiceConfig
+from repro.service.supervisor import ServeSupervisor, SupervisorPolicy, SupervisorReport
+from repro.service.wal import (
+    ReplayLogReader,
+    ReplayLogWriter,
+    WALWriteError,
+    parse_topology_arg,
+)
+from repro.service.server import AdmissionService, DegradedConfig, ServiceConfig
 
 __all__ = [
     "AdmissionService",
     "BackpressureConfig",
+    "CHAOS_EXIT_CODE",
+    "CRASH_SITES",
+    "ChaosCrash",
+    "ChaosProxy",
+    "ChaosSchedule",
+    "DegradedConfig",
+    "DiskFaultPlan",
     "EngineConfig",
     "PROTOCOL_VERSION",
     "ProtocolError",
@@ -59,13 +97,20 @@ __all__ = [
     "ReplayLogWriter",
     "ReplayResult",
     "Request",
+    "ServeSupervisor",
     "ServiceConfig",
     "ServiceEngine",
     "ShedDecision",
+    "SupervisorPolicy",
+    "SupervisorReport",
+    "WALWriteError",
     "admit_decision",
+    "chaos_point",
     "decode_line",
     "encode_line",
     "error_response",
+    "install_chaos",
+    "install_disk_faults",
     "ok_response",
     "parse_request",
     "parse_topology_arg",
@@ -73,4 +118,6 @@ __all__ = [
     "qos_to_dict",
     "recover_engine",
     "replay_log",
+    "reset_chaos",
+    "uninstall_chaos",
 ]

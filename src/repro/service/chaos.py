@@ -1,0 +1,542 @@
+"""Deterministic fault injection for the admission service stack.
+
+Three injection planes, all seed-driven and bitwise-reproducible:
+
+**Crash points.**  Named sites are threaded through the service stack
+(:data:`CRASH_SITES`); :func:`chaos_point` is a no-op until a
+:class:`ChaosSchedule` is installed, after which the scheduled site's
+N-th hit aborts the process exactly like a ``kill -9`` (``os._exit``
+skips every destructor, buffer flush and ``finally`` block).  Because
+hits are counted in deterministic units — WAL batches, applied events —
+a schedule reproduces the same durable prefix on every run, which turns
+PR 8's single hand-placed SIGKILL test into an exhaustive sweep of the
+durability boundaries (see :mod:`repro.service.soak`).
+
+**Disk faults.**  :class:`DiskFaultPlan` scripts ``fsync`` EIO,
+``ENOSPC`` and torn (short) writes by 1-based call index;
+:class:`FaultyWALFile` wraps the WAL's raw file object and injects
+them.  The server reacts by entering degraded read-only mode (see
+:mod:`repro.service.server`).  :func:`corrupt_file` flips bits post hoc
+for recovery tests.
+
+**Socket chaos.**  :class:`ChaosProxy` sits between clients and the
+service and delays, drops, half-closes and garbage-injects connections
+with per-connection seeded RNG, so the protocol layer's robustness is
+exercised without ever touching the decision plane.
+
+Layering: this module holds *mechanism* only.  It reads no wall clock
+(proxy delays go through ``asyncio.sleep`` with seeded durations) and
+draws only from injected ``random.Random(seed)`` instances, so a chaos
+run is a pure function of its seed.  The module-global installation
+hooks (:func:`install_chaos`, :func:`install_disk_faults`) exist so the
+``repro serve`` subprocess can be armed from the command line; library
+code should pass schedules/plans explicitly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import errno
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+#: Exit status of a chaos-triggered process abort.  Distinct from both
+#: clean exits and Python tracebacks so harnesses can assert the crash
+#: they scheduled is the crash they got.
+CHAOS_EXIT_CODE = 86
+
+#: The crash-site catalogue, in stack order (see DESIGN.md §15).
+CRASH_SITES = (
+    "pre-fsync",    # WAL batch written to the fd, not yet fsynced
+    "post-fsync",   # WAL batch durable, not yet applied to the manager
+    "mid-epoch",    # before applying the N-th durably-logged event
+    "pre-reply",    # batch applied and durable, clients not yet answered
+    "mid-drain",    # drain applied everything, shutdown marker not written
+    "post-listen",  # server announced readiness (supervisor/crash-loop site)
+)
+
+#: Sites whose triggering exercises the durability invariant; the soak
+#: sweep covers exactly these.  ``post-listen`` is excluded — it exists
+#: to make a server crash-loop on startup for supervisor tests.
+DURABILITY_SITES = CRASH_SITES[:5]
+
+
+class ChaosCrash(BaseException):
+    """In-process stand-in for a chaos abort.
+
+    Derives from ``BaseException`` so no ``except Exception`` handler in
+    the stack under test can accidentally swallow the "crash" — the
+    whole point is that nothing between the crash point and the test
+    harness gets to clean up.
+    """
+
+    def __init__(self, site: str, hit: int) -> None:
+        super().__init__(f"chaos crash at {site!r} (hit {hit})")
+        self.site = site
+        self.hit = hit
+
+
+def _hard_exit(site: str, hit: int) -> None:
+    """The default crash action: die like ``kill -9`` would."""
+    os._exit(CHAOS_EXIT_CODE)
+
+
+def raise_chaos(site: str, hit: int) -> None:
+    """Crash action for in-process tests: raise :class:`ChaosCrash`."""
+    raise ChaosCrash(site, hit)
+
+
+# ----------------------------------------------------------------------
+# crash schedules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """Which crash site fires, and on which 1-based hit.
+
+    ``crashes`` maps site name -> hit number.  Hit units are
+    deterministic per site: ``pre-fsync``/``post-fsync`` count WAL
+    batch fsyncs, ``mid-epoch`` counts applied events, ``pre-reply``
+    counts answered batches, ``mid-drain`` and ``post-listen`` fire at
+    most once per process.
+    """
+
+    crashes: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        for site, hit in self.crashes.items():
+            if site not in CRASH_SITES:
+                raise SimulationError(
+                    f"unknown crash site {site!r}; choose from {CRASH_SITES}"
+                )
+            if not isinstance(hit, int) or hit < 1:
+                raise SimulationError(
+                    f"crash hit for {site!r} must be a positive int, got {hit!r}"
+                )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ChaosSchedule":
+        """Parse ``site[:hit][,site[:hit]...]`` (hit defaults to 1)."""
+        crashes: Dict[str, int] = {}
+        for part in filter(None, spec.split(",")):
+            site, sep, hit_text = part.partition(":")
+            try:
+                hit = int(hit_text) if sep else 1
+            except ValueError as exc:
+                raise SimulationError(
+                    f"crash spec {part!r} is not site[:hit]"
+                ) from exc
+            crashes[site.strip()] = hit
+        if not crashes:
+            raise SimulationError(f"empty chaos crash spec {spec!r}")
+        return cls(crashes)
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        sites: Sequence[str] = DURABILITY_SITES,
+        max_hit: int = 8,
+    ) -> "ChaosSchedule":
+        """One seeded (site, hit) choice — the soak trial generator."""
+        rng = random.Random(seed)
+        site = rng.choice(list(sites))
+        hit = 1 if site in ("mid-drain", "post-listen") else rng.randint(2, max_hit)
+        return cls({site: hit})
+
+    def trigger(self, site: str, hit: int) -> bool:
+        return self.crashes.get(site) == hit
+
+    def describe(self) -> str:
+        return ",".join(f"{s}:{h}" for s, h in sorted(self.crashes.items()))
+
+
+class _ChaosState:
+    """Installed schedule plus per-site hit counters."""
+
+    def __init__(
+        self, schedule: ChaosSchedule, action: Callable[[str, int], None]
+    ) -> None:
+        self.schedule = schedule
+        self.action = action
+        self.hits: Dict[str, int] = {}
+
+
+_STATE: Optional[_ChaosState] = None
+_DISK_PLAN: Optional["DiskFaultPlan"] = None
+
+
+def install_chaos(
+    schedule: ChaosSchedule, action: Optional[Callable[[str, int], None]] = None
+) -> None:
+    """Arm the crash points; ``action`` defaults to a hard process exit."""
+    global _STATE
+    _STATE = _ChaosState(schedule, action or _hard_exit)
+
+
+def uninstall_chaos() -> None:
+    global _STATE
+    _STATE = None
+
+
+def chaos_hits() -> Dict[str, int]:
+    """Per-site hit counters of the active schedule (empty when unarmed)."""
+    return dict(_STATE.hits) if _STATE is not None else {}
+
+
+def chaos_point(site: str) -> None:
+    """Declare a crash site; no-op unless a schedule is installed."""
+    state = _STATE
+    if state is None:
+        return
+    if site not in CRASH_SITES:
+        raise SimulationError(
+            f"chaos_point called with unknown site {site!r}; "
+            f"add it to CRASH_SITES first"
+        )
+    hit = state.hits.get(site, 0) + 1
+    state.hits[site] = hit
+    if state.schedule.trigger(site, hit):
+        state.action(site, hit)
+
+
+def install_disk_faults(plan: "DiskFaultPlan") -> None:
+    """Arm the WAL disk-fault plan for writers that don't get one passed."""
+    global _DISK_PLAN
+    _DISK_PLAN = plan
+
+
+def uninstall_disk_faults() -> None:
+    global _DISK_PLAN
+    _DISK_PLAN = None
+
+
+def active_disk_plan() -> Optional["DiskFaultPlan"]:
+    return _DISK_PLAN
+
+
+def reset_chaos() -> None:
+    """Clear every installed plane (test-fixture hygiene)."""
+    uninstall_chaos()
+    uninstall_disk_faults()
+
+
+# ----------------------------------------------------------------------
+# disk faults
+# ----------------------------------------------------------------------
+_Ranges = Tuple[Tuple[int, int], ...]
+
+
+def _in_ranges(call: int, ranges: _Ranges) -> bool:
+    return any(lo <= call <= hi for lo, hi in ranges)
+
+
+def _parse_range(text: str) -> Tuple[int, int]:
+    lo_text, sep, hi_text = text.partition("-")
+    try:
+        lo = int(lo_text)
+        hi = int(hi_text) if sep else lo
+    except ValueError as exc:
+        raise SimulationError(f"disk-fault range {text!r} is not N or N-M") from exc
+    if lo < 1 or hi < lo:
+        raise SimulationError(f"disk-fault range {text!r} must be 1 <= lo <= hi")
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """Scripted WAL file faults, keyed by 1-based call index.
+
+    Call indexes count calls on one writer's file handle for the
+    lifetime of that writer (a restarted process starts fresh), so a
+    plan describes a deterministic fault window regardless of wall
+    time: "fsyncs 2 through 4 fail with EIO, then the disk recovers".
+    """
+
+    fsync_eio: _Ranges = ()
+    write_enospc: _Ranges = ()
+    write_short: _Ranges = ()
+
+    def fsync_fault(self, call: int) -> bool:
+        return _in_ranges(call, self.fsync_eio)
+
+    def write_fault(self, call: int) -> Optional[str]:
+        if _in_ranges(call, self.write_enospc):
+            return "enospc"
+        if _in_ranges(call, self.write_short):
+            return "short"
+        return None
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "DiskFaultPlan":
+        """Parse ``kind:range[,kind:range...]``.
+
+        Kinds: ``fsync-eio``, ``write-enospc``, ``write-short``;
+        ranges are ``N`` or ``N-M`` (1-based, inclusive).  Example:
+        ``fsync-eio:2-4,write-short:7``.
+        """
+        fields: Dict[str, Tuple[Tuple[int, int], ...]] = {
+            "fsync-eio": (), "write-enospc": (), "write-short": (),
+        }
+        for part in filter(None, spec.split(",")):
+            kind, sep, range_text = part.partition(":")
+            if not sep or kind not in fields:
+                raise SimulationError(
+                    f"disk-fault spec part {part!r} is not kind:range with kind "
+                    f"in {tuple(fields)}"
+                )
+            fields[kind] = fields[kind] + (_parse_range(range_text),)
+        if not any(fields.values()):
+            raise SimulationError(f"empty disk-fault spec {spec!r}")
+        return cls(
+            fsync_eio=fields["fsync-eio"],
+            write_enospc=fields["write-enospc"],
+            write_short=fields["write-short"],
+        )
+
+    @classmethod
+    def from_seed(cls, seed: int, max_start: int = 6, max_len: int = 3) -> "DiskFaultPlan":
+        """One seeded fault window — an fsync-EIO outage, sometimes a
+        torn write right before it."""
+        rng = random.Random(seed)
+        start = rng.randint(2, max_start)
+        length = rng.randint(1, max_len)
+        fsync: _Ranges = ((start, start + length - 1),)
+        short: _Ranges = ()
+        if rng.random() < 0.5:
+            short = ((start + length, start + length),)
+        return cls(fsync_eio=fsync, write_short=short)
+
+    def describe(self) -> str:
+        parts = []
+        for kind, ranges in (
+            ("fsync-eio", self.fsync_eio),
+            ("write-enospc", self.write_enospc),
+            ("write-short", self.write_short),
+        ):
+            parts.extend(
+                f"{kind}:{lo}" if lo == hi else f"{kind}:{lo}-{hi}"
+                for lo, hi in ranges
+            )
+        return ",".join(parts)
+
+
+class FaultyWALFile:
+    """WAL file-object wrapper injecting a :class:`DiskFaultPlan`.
+
+    Duck-types the slice of the file API the WAL writer uses (``write``
+    / ``flush`` / ``fileno`` / ``close`` / ``closed``) plus ``sync()``,
+    which the writer prefers over raw ``os.fsync`` when present.  A
+    "short" write fault writes a prefix of the payload before raising,
+    producing a genuinely torn record for the tear rule to discard.
+    """
+
+    def __init__(self, raw: Any, plan: DiskFaultPlan) -> None:
+        self._raw = raw
+        self._plan = plan
+        self.writes = 0
+        self.fsyncs = 0
+
+    def write(self, data: bytes) -> int:
+        self.writes += 1
+        kind = self._plan.write_fault(self.writes)
+        if kind == "enospc":
+            raise OSError(errno.ENOSPC, "chaos: injected ENOSPC")
+        if kind == "short":
+            self._raw.write(data[: max(1, len(data) // 2)])
+            raise OSError(errno.EIO, "chaos: injected short write")
+        return int(self._raw.write(data))
+
+    def sync(self) -> None:
+        self.fsyncs += 1
+        if self._plan.fsync_fault(self.fsyncs):
+            raise OSError(errno.EIO, "chaos: injected fsync EIO")
+        os.fsync(self._raw.fileno())
+
+    def flush(self) -> None:
+        self._raw.flush()
+
+    def fileno(self) -> int:
+        return int(self._raw.fileno())
+
+    def close(self) -> None:
+        self._raw.close()
+
+    @property
+    def closed(self) -> bool:
+        return bool(self._raw.closed)
+
+
+def corrupt_file(
+    path: Any,
+    flip_bits: Sequence[int] = (),
+    truncate_to: Optional[int] = None,
+) -> None:
+    """Post-hoc corruption: flip the given bit offsets, then truncate.
+
+    Bit offset ``b`` flips bit ``b % 8`` of byte ``b // 8``.  Offsets
+    beyond the file are ignored (so seeded offsets need no clamping).
+    """
+    data = bytearray(open(path, "rb").read())
+    for bit in flip_bits:
+        byte = bit // 8
+        if byte < len(data):
+            data[byte] ^= 1 << (bit % 8)
+    if truncate_to is not None:
+        del data[truncate_to:]
+    with open(  # repro-lint: disable=ART001 — deliberate corruption injector
+        path, "wb"
+    ) as fh:
+        fh.write(bytes(data))
+
+
+# ----------------------------------------------------------------------
+# socket chaos
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProxyChaosConfig:
+    """Per-connection misbehavior probabilities for :class:`ChaosProxy`."""
+
+    delay_prob: float = 0.3        # chance each client chunk is delayed
+    max_delay_s: float = 0.02      # uniform delay bound (seeded draw)
+    garbage_prob: float = 0.25     # inject a garbage frame before traffic
+    drop_prob: float = 0.15        # abort the connection after some bytes
+    half_close_prob: float = 0.15  # close only the client->server direction
+    drop_after_max_bytes: int = 2048
+
+
+@dataclass
+class ProxyStats:
+    connections: int = 0
+    garbage_injected: int = 0
+    dropped: int = 0
+    half_closed: int = 0
+    delays: int = 0
+
+
+#: The garbage frame the proxy injects: undecodable bytes plus a valid
+#: newline terminator, so it parses as exactly one bad protocol frame.
+GARBAGE_FRAME = b"\x00\xff{chaos-garbage!!\n"
+
+
+class ChaosProxy:
+    """A seeded misbehaving TCP proxy in front of the admission service.
+
+    Connection ``i`` derives its RNG from ``seed`` and ``i``, so a
+    proxy run's misbehavior sequence is reproducible.  The proxy never
+    corrupts server->client traffic (clients under test still need to
+    read responses); it attacks the server-facing direction, which is
+    the one the service must survive.
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        seed: int,
+        config: Optional[ProxyChaosConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.target_host = target_host
+        self.target_port = target_port
+        self.seed = seed
+        self.config = config or ProxyChaosConfig()
+        self.host = host
+        self.port = port
+        self.stats = ProxyStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _handle(
+        self, client_r: asyncio.StreamReader, client_w: asyncio.StreamWriter
+    ) -> None:
+        index = self.stats.connections
+        self.stats.connections += 1
+        rng = random.Random(self.seed * 1_000_003 + index)
+        cfg = self.config
+        inject_garbage = rng.random() < cfg.garbage_prob
+        drop_after = (
+            rng.randint(1, cfg.drop_after_max_bytes)
+            if rng.random() < cfg.drop_prob
+            else None
+        )
+        half_close_after = (
+            rng.randint(1, cfg.drop_after_max_bytes)
+            if drop_after is None and rng.random() < cfg.half_close_prob
+            else None
+        )
+        try:
+            server_r, server_w = await asyncio.open_connection(
+                self.target_host, self.target_port
+            )
+        except OSError:
+            client_w.close()
+            return
+
+        async def upstream() -> None:
+            forwarded = 0
+            garbage_pending = inject_garbage
+            try:
+                while True:
+                    data = await client_r.read(1024)
+                    if not data:
+                        break
+                    if rng.random() < cfg.delay_prob:
+                        self.stats.delays += 1
+                        await asyncio.sleep(rng.uniform(0.0, cfg.max_delay_s))
+                    if garbage_pending:
+                        garbage_pending = False
+                        self.stats.garbage_injected += 1
+                        server_w.write(GARBAGE_FRAME)
+                    server_w.write(data)
+                    await server_w.drain()
+                    forwarded += len(data)
+                    if drop_after is not None and forwarded >= drop_after:
+                        self.stats.dropped += 1
+                        client_w.transport.abort()
+                        break
+                    if half_close_after is not None and forwarded >= half_close_after:
+                        self.stats.half_closed += 1
+                        break
+            except (OSError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                try:
+                    if server_w.can_write_eof():
+                        server_w.write_eof()
+                except OSError:
+                    server_w.close()
+
+        async def downstream() -> None:
+            try:
+                while True:
+                    data = await server_r.read(1024)
+                    if not data:
+                        break
+                    client_w.write(data)
+                    await client_w.drain()
+            except (OSError, asyncio.IncompleteReadError):
+                pass
+
+        try:
+            await asyncio.gather(upstream(), downstream())
+        finally:
+            for writer in (server_w, client_w):
+                try:
+                    writer.close()
+                except OSError:
+                    pass

@@ -31,13 +31,14 @@ from repro.channels import make_manager
 from repro.channels.digest import manager_state_digest
 from repro.errors import ReproError, SimulationError
 from repro.parallel.jobs import TopologySpec
+from repro.service.chaos import chaos_point
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     Request,
     error_response,
     ok_response,
 )
-from repro.service.wal import MANAGER_KWARG_KEYS, ReplayLogWriter
+from repro.service.wal import MANAGER_KWARG_KEYS, ReplayLogWriter, WALWriteError
 
 
 @dataclass(frozen=True)
@@ -157,7 +158,11 @@ class ServiceEngine:
         self.manager.repair_link(request.link)
         return {"seq": seq, "link": list(request.link or ())}
 
-    def apply_batch(self, batch: List[Request]) -> List[Dict[str, Any]]:
+    def apply_batch(
+        self,
+        batch: List[Request],
+        journal: Optional[List[Tuple[int, Request]]] = None,
+    ) -> List[Dict[str, Any]]:
         """Validate, durably log, then epoch-apply one batch of mutations.
 
         Returns one response envelope per request, in order.  Requests
@@ -165,6 +170,15 @@ class ServiceEngine:
         the rest are logged write-ahead (single fsync for the whole
         batch), applied inside one micro-epoch, and answered from their
         impact records.
+
+        With ``journal`` set (degraded mode), the WAL is not touched:
+        the batch's ``(seq, request)`` pairs are appended to the journal
+        instead, to be flushed to the WAL when the disk recovers, and no
+        epoch marker is written.  If the WAL append itself fails, the
+        assigned sequence numbers are rolled back before the
+        :class:`~repro.service.wal.WALWriteError` propagates — nothing
+        was applied, so the numbers must be reusable by the degraded
+        path or the live log would have a hole.
         """
         to_apply: List[Tuple[int, Request]] = []
         slots: List[Optional[Dict[str, Any]]] = []
@@ -177,8 +191,14 @@ class ServiceEngine:
             to_apply.append((self.seq, request))
             self.seq += 1
             slots.append(None)
-        if self.wal is not None:
-            self.wal.log_events(to_apply)
+        if journal is not None:
+            journal.extend(to_apply)
+        elif self.wal is not None:
+            try:
+                self.wal.log_events(to_apply)
+            except WALWriteError:
+                self.seq -= len(to_apply)
+                raise
         responses: List[Dict[str, Any]] = []
         apply_iter = iter(to_apply)
         self.manager.begin_micro_epoch()
@@ -188,6 +208,7 @@ class ServiceEngine:
                     responses.append(slot)
                     continue
                 seq, _ = next(apply_iter)
+                chaos_point("mid-epoch")
                 try:
                     responses.append(
                         ok_response(request.req_id, self._apply_one(seq, request))
@@ -203,7 +224,7 @@ class ServiceEngine:
                     responses.append(error_response(request.req_id, code, message))
         finally:
             self.manager.end_micro_epoch()
-        if self.wal is not None and to_apply:
+        if journal is None and self.wal is not None and to_apply:
             self.wal.log_epoch(to_apply[-1][0])
         return responses
 

@@ -51,6 +51,11 @@ class LoadgenConfig:
         backoff_base_s / backoff_cap_s: Exponential backoff bounds;
             the server's ``retry_after`` hint overrides the base when
             larger.
+        reconnect_attempts: Bounded reconnects per client after a
+            connection refusal/reset/EOF (a restarting or dead server)
+            before the client gives up and the run reports ``aborted``.
+        reconnect_base_s / reconnect_cap_s: Jittered exponential
+            backoff bounds between reconnect attempts.
     """
 
     host: str = "127.0.0.1"
@@ -64,6 +69,9 @@ class LoadgenConfig:
     max_retries: int = 8
     backoff_base_s: float = 0.002
     backoff_cap_s: float = 0.5
+    reconnect_attempts: int = 4
+    reconnect_base_s: float = 0.05
+    reconnect_cap_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.total_requests < 1 or self.concurrency < 1:
@@ -84,6 +92,11 @@ class LoadgenReport:
     errors: int = 0
     dropped_after_retries: int = 0
     retries: int = 0
+    disconnects: int = 0
+    reconnects: int = 0
+    #: True when at least one client exhausted its reconnect budget —
+    #: the server is gone; the other counters are partial but valid.
+    aborted: bool = False
     client_latencies_s: List[float] = field(default_factory=list)
     service_stats: Dict[str, Any] = field(default_factory=dict)
 
@@ -178,10 +191,34 @@ class _Client:
         if op == "fail" and request["link"] and tuple(request["link"]) in self.failed_links:
             self.failed_links.remove(tuple(request["link"]))
 
+    async def _reconnect(
+        self,
+    ) -> Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
+        """Bounded jittered reconnect after a refusal/reset/EOF."""
+        cfg = self.cfg
+        for attempt in range(cfg.reconnect_attempts):
+            backoff = min(cfg.reconnect_cap_s, cfg.reconnect_base_s * (2.0**attempt))
+            await asyncio.sleep(backoff * (0.5 + 0.5 * self.rng.random()))
+            try:
+                reader, writer = await asyncio.open_connection(cfg.host, cfg.port)
+            except OSError:
+                continue
+            self.report.reconnects += 1
+            return reader, writer
+        return None
+
     async def run(self, budget: "asyncio.Semaphore", counter: List[int]) -> None:
         cfg = self.cfg
         loop = asyncio.get_running_loop()
-        reader, writer = await asyncio.open_connection(cfg.host, cfg.port)
+        try:
+            reader, writer = await asyncio.open_connection(cfg.host, cfg.port)
+        except OSError:
+            self.report.disconnects += 1
+            fresh = await self._reconnect()
+            if fresh is None:
+                self.report.aborted = True
+                return
+            reader, writer = fresh
         try:
             while True:
                 async with budget:
@@ -192,11 +229,27 @@ class _Client:
                 attempt = 0
                 while True:
                     started = loop.time()
-                    writer.write(encode_line(request))
-                    await writer.drain()
-                    line = await reader.readline()
-                    if not line:
-                        raise ConnectionResetError("server closed connection")
+                    try:
+                        writer.write(encode_line(request))
+                        await writer.drain()
+                        line = await reader.readline()
+                        if not line:
+                            raise ConnectionResetError("server closed connection")
+                    except OSError:
+                        # Mid-run server death: reconnect within budget
+                        # and resend the in-flight request, else give up
+                        # cleanly with whatever stats we gathered.
+                        self.report.disconnects += 1
+                        try:
+                            writer.close()
+                        except OSError:
+                            pass
+                        fresh = await self._reconnect()
+                        if fresh is None:
+                            self.report.aborted = True
+                            return
+                        reader, writer = fresh
+                        continue
                     response = decode_line(line)
                     if response.get("error") == "shed":
                         self.report.shed += 1
@@ -216,7 +269,10 @@ class _Client:
                     self._note_response(request, response)
                     break
         finally:
-            writer.close()
+            try:
+                writer.close()
+            except OSError:
+                pass
 
 
 async def _query(host: str, port: int, what: str) -> Dict[str, Any]:
@@ -230,12 +286,22 @@ async def _query(host: str, port: int, what: str) -> Dict[str, Any]:
 
 
 async def run_loadgen(cfg: LoadgenConfig) -> LoadgenReport:
-    """Drive one campaign against a running service."""
-    info = await _query(cfg.host, cfg.port, "info")
+    """Drive one campaign against a running service.
+
+    A server that is unreachable (or dies before answering the opening
+    info query) yields ``report.aborted`` rather than an exception —
+    the CLI turns that into a distinct non-zero exit with partial
+    stats, never a traceback.
+    """
+    report = LoadgenReport()
+    try:
+        info = await _query(cfg.host, cfg.port, "info")
+    except OSError:
+        report.aborted = True
+        return report
     if not info.get("ok"):
         raise SimulationError(f"service info query failed: {info}")
     num_nodes = int(info["result"]["num_nodes"])
-    report = LoadgenReport()
     rng = random.Random(cfg.seed)
     # A small pool of real links for fail/repair churn.
     link_pool = [
@@ -253,7 +319,13 @@ async def run_loadgen(cfg: LoadgenConfig) -> LoadgenReport:
     for outcome in results:
         if isinstance(outcome, BaseException):
             report.errors += 1
-    stats = await _query(cfg.host, cfg.port, "stats")
+    try:
+        stats = await _query(cfg.host, cfg.port, "stats")
+    except OSError:
+        # Server died after (or while) the campaign finished; partial
+        # client-side stats are still the deliverable.
+        report.aborted = True
+        return report
     if stats.get("ok"):
         report.service_stats = stats["result"].get("service", {})
     return report

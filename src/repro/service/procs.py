@@ -1,0 +1,178 @@
+"""Subprocess plumbing shared by the supervisor and the chaos soak.
+
+Both spawn real ``repro serve`` processes (chaos crash points only
+prove anything when the abort kills an actual OS process with real file
+descriptors), read the JSON startup banner, drive the JSON-per-line
+protocol over a blocking socket, and tear the process down without
+leaking it.  This module owns that plumbing so
+:mod:`repro.service.supervisor` and :mod:`repro.service.soak` stay
+about *policy*.
+
+Timing plane: deadlines on banner reads and process waits come from
+the monotonic clock — this module is process babysitting, not decision
+logic, and is DET003-exempt by path like the rest of the serving shell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import SimulationError
+from repro.service.protocol import decode_line, encode_line
+
+
+def serve_argv(
+    topology_arg: str,
+    wal_path: Union[str, Path],
+    extra: Sequence[str] = (),
+) -> List[str]:
+    """The ``repro serve`` command line the harnesses spawn."""
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--topology",
+        topology_arg,
+        "--wal",
+        str(wal_path),
+        "--port",
+        "0",
+        *extra,
+    ]
+
+
+def spawn_server(argv: Sequence[str]) -> "subprocess.Popen[str]":
+    """Start a server subprocess with ``src/`` importable, banner on stdout."""
+    import repro
+
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        list(argv),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+
+
+def read_banner(
+    proc: "subprocess.Popen[str]", timeout_s: float = 60.0
+) -> Dict[str, Any]:
+    """Read the one-line JSON ``listening`` banner, or raise with stderr.
+
+    A crashed-at-startup child (e.g. a ``post-listen`` chaos schedule
+    re-armed on restart) yields EOF; the child's stderr tail is folded
+    into the exception so the caller's report says *why*.  A child that
+    hangs silently (no banner, no exit) is killed at the deadline
+    rather than hanging the harness.
+    """
+    import select
+
+    assert proc.stdout is not None
+    deadline = time.monotonic() + timeout_s
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            proc.kill()
+            proc.wait(timeout=timeout_s)
+            raise SimulationError(
+                f"server produced no startup banner within {timeout_s}s"
+            )
+        ready, _, _ = select.select([proc.stdout], [], [], remaining)
+        if ready:
+            break
+    line = proc.stdout.readline()
+    if not line:
+        proc.wait(timeout=timeout_s)
+        stderr_tail = ""
+        if proc.stderr is not None:
+            stderr_tail = proc.stderr.read()[-2000:]
+        raise SimulationError(
+            f"server exited (code {proc.returncode}) before announcing "
+            f"readiness; stderr tail: {stderr_tail!r}"
+        )
+    banner = json.loads(line)
+    if banner.get("event") != "listening":
+        raise SimulationError(f"unexpected startup banner {banner!r}")
+    return dict(banner)
+
+
+def wait_exit(proc: "subprocess.Popen[str]", timeout_s: float = 60.0) -> int:
+    """Wait for exit, escalating SIGKILL on timeout; returns the code."""
+    try:
+        return proc.wait(timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        return proc.wait(timeout=timeout_s)
+
+
+def terminate(proc: "subprocess.Popen[str]", timeout_s: float = 60.0) -> int:
+    """SIGTERM (graceful drain) with a SIGKILL escalation."""
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    return wait_exit(proc, timeout_s)
+
+
+def drain_stdout(proc: "subprocess.Popen[str]") -> List[Dict[str, Any]]:
+    """Collect remaining stdout JSON lines (e.g. the ``drained`` banner)."""
+    assert proc.stdout is not None
+    events = []
+    for line in proc.stdout.read().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return events
+
+
+class ScriptClient:
+    """Blocking JSON-per-line client for scripted request sequences.
+
+    The soak driver uses one of these *sequentially* — each request
+    waits for its response — so every live batch holds exactly one
+    event and chaos hit counts are deterministic in the request
+    sequence, not in racing arrival timing.
+    """
+
+    def __init__(self, port: int, host: str = "127.0.0.1", timeout_s: float = 30.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout_s)
+        self.file = self.sock.makefile("rb")
+
+    def rpc(self, obj: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """One request/response; ``None`` when the server died mid-call."""
+        try:
+            self.sock.sendall(encode_line(obj))
+            line = self.file.readline()
+        except OSError:
+            return None
+        if not line:
+            return None
+        response = decode_line(line)
+        return response if isinstance(response, dict) else None
+
+    def send_only(self, obj: Dict[str, Any]) -> bool:
+        try:
+            self.sock.sendall(encode_line(obj))
+            return True
+        except OSError:
+            return False
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass

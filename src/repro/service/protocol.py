@@ -56,6 +56,7 @@ ERROR_CODES = (
     "not-live",       # teardown/query of a connection that is not live
     "link-state",     # fail/repair against the wrong link state
     "shutting-down",  # service is draining
+    "degraded",       # WAL disk faulting: read-only, retry after `retry_after`
     "internal",       # unexpected server-side failure
 )
 

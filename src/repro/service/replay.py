@@ -22,18 +22,19 @@ run is also an offline batch campaign:
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.parallel.checkpoint import atomic_write_text
+from repro.service.chaos import DiskFaultPlan
 from repro.service.engine import EngineConfig, ServiceEngine
 from repro.service.wal import (
     WAL_VERSION,
     ReplayLogReader,
     ReplayLogWriter,
+    encode_record,
     request_to_record,
     topology_to_dict,
 )
@@ -94,7 +95,9 @@ def replay_log(path: Union[str, Path]) -> ReplayResult:
 
 
 def recover_engine(
-    path: Union[str, Path], batch_max: Optional[int] = None
+    path: Union[str, Path],
+    batch_max: Optional[int] = None,
+    disk_faults: Optional[DiskFaultPlan] = None,
 ) -> ServiceEngine:
     """Recover a service engine from its WAL and keep appending to it.
 
@@ -120,6 +123,7 @@ def recover_engine(
         engine.topology,
         manager_kwargs=engine.config.manager_kwargs,
         core=engine.config.core,
+        disk_faults=disk_faults,
     )
     return engine
 
@@ -141,20 +145,13 @@ def export_campaign(
         "topology": topology_to_dict(reader.topology),
         "manager": reader.manager_kwargs,
     }
-    lines: List[str] = [json.dumps(header, separators=(",", ":"), sort_keys=True)]
+    chunks: List[bytes] = [encode_record(header)]
     count = 0
     for _, request in reader.events():
-        record = request_to_record(count, request)
-        lines.append(json.dumps(record, separators=(",", ":"), sort_keys=True))
+        chunks.append(encode_record(request_to_record(count, request)))
         count += 1
-    lines.append(
-        json.dumps(
-            {"type": "shutdown", "seq_end": count - 1},
-            separators=(",", ":"),
-            sort_keys=True,
-        )
-    )
-    atomic_write_text(Path(out_path), "\n".join(lines) + "\n")
+    chunks.append(encode_record({"type": "shutdown", "seq_end": count - 1}))
+    atomic_write_text(Path(out_path), b"".join(chunks).decode("utf-8"))
     return {
         "events": count,
         "source_clean_shutdown": reader.clean_shutdown,

@@ -14,6 +14,23 @@ Single event loop, three layers:
   closes, queued work finishes, a shutdown marker lands in the WAL —
   and readiness flips to "draining" so probes see it.
 
+**Degraded read-only mode.**  A WAL append/fsync failure
+(:class:`~repro.service.wal.WALWriteError` — injected by chaos or a
+genuinely sick disk) must not kill the service *or* silently break the
+write-ahead contract.  The server drops to ``degraded``: queries keep
+being answered, admissions are rejected with a ``degraded`` error and a
+``retry_after`` hint, but *releasing* operations (teardown/fail/repair
+— the ones that free capacity and carry failure-plane truth) are still
+applied, journaled in memory instead of the WAL.  A probation loop
+probes the disk every ``probe_interval_s``; after ``probation_probes``
+consecutive successful probes the journal is flushed to the WAL (in
+original sequence order, so the log stays gap-free) and admissions
+re-arm.  The residual window is explicit: a hard crash while degraded
+loses journaled-but-unflushed releasing ops (counted as
+``journal_lost`` when detectable); every mutation acked in healthy mode
+stays fsync-durable before its ack, and the degraded→healthy flip
+itself loses nothing.
+
 This module is the *timing* layer: it reads the loop clock for
 deadlines and latency telemetry (exempt from lint rule DET003 by
 path).  No clock value ever reaches the engine — shedding decisions
@@ -31,6 +48,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.parallel.jobs import TopologySpec
+from repro.service.chaos import DiskFaultPlan, chaos_point
 from repro.service.engine import EngineConfig, ServiceEngine
 from repro.service.protocol import (
     ProtocolError,
@@ -38,12 +56,44 @@ from repro.service.protocol import (
     decode_line,
     encode_line,
     error_response,
+    ok_response,
     parse_request,
 )
 from repro.service.replay import recover_engine
 from repro.service.shedding import BackpressureConfig, admit_decision
 from repro.service.telemetry import LatencyRecorder
-from repro.service.wal import ReplayLogWriter
+from repro.service.wal import ReplayLogWriter, WALWriteError
+
+
+def deadline_expired(deadline: Optional[float], now: float) -> bool:
+    """Whether a queued request's deadline has passed.
+
+    Boundary: ``now == deadline`` is *not* expired — the budget is the
+    last instant the request may still be served.
+    """
+    return deadline is not None and now > deadline
+
+
+@dataclass(frozen=True)
+class DegradedConfig:
+    """Degraded-mode / probation knobs.
+
+    Attributes:
+        probe_interval_s: How often the batcher probes a faulting WAL.
+        probation_probes: Consecutive successful probes required before
+            the journal is flushed and admissions re-arm (one success
+            is "probation"; a disk that flaps mid-probation starts
+            over).
+        retry_after_s: Hint attached to ``degraded`` rejections.
+        journal_limit: Max in-memory journaled releasing ops; beyond it
+            even releasing ops are rejected (bounded memory, and a cap
+            on the crash-while-degraded loss window).
+    """
+
+    probe_interval_s: float = 0.05
+    probation_probes: int = 3
+    retry_after_s: float = 0.25
+    journal_limit: int = 4096
 
 
 @dataclass
@@ -65,6 +115,8 @@ class ServiceConfig:
         epoch_hold_s: Test-only pause between WAL fsync and epoch
             application, widening the durable-but-unapplied window so
             crash tests can land a SIGKILL mid-epoch deterministically.
+        degraded: Degraded-mode probation policy.
+        disk_faults: Optional injected WAL fault plan (chaos testing).
     """
 
     topology: TopologySpec
@@ -75,6 +127,8 @@ class ServiceConfig:
     backpressure: BackpressureConfig = field(default_factory=BackpressureConfig)
     default_deadline_ms: Optional[float] = None
     epoch_hold_s: float = 0.0
+    degraded: DegradedConfig = field(default_factory=DegradedConfig)
+    disk_faults: Optional[DiskFaultPlan] = None
 
 
 class _Pending:
@@ -111,6 +165,16 @@ class AdmissionService:
         self._draining = False
         self._drained = asyncio.Event()
         self.recovered = False
+        #: WAL health state machine: healthy -> degraded -> probation -> healthy.
+        self.mode = "healthy"
+        self._journal: List[Tuple[int, Request]] = []
+        self._probe_ok = 0
+        self.wal_fault_count = 0
+        self.rearm_count = 0
+        self.degraded_rejects = 0
+        self.journal_flushed_total = 0
+        self.journal_lost = 0
+        self.last_fault: Optional[str] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -123,12 +187,17 @@ class AdmissionService:
 
         if os.path.exists(cfg.wal_path) and os.path.getsize(cfg.wal_path) > 0:
             self.recovered = True
-            return recover_engine(cfg.wal_path, batch_max=cfg.engine.batch_max)
+            return recover_engine(
+                cfg.wal_path,
+                batch_max=cfg.engine.batch_max,
+                disk_faults=cfg.disk_faults,
+            )
         wal = ReplayLogWriter(
             cfg.wal_path,
             cfg.topology,
             manager_kwargs=cfg.engine.manager_kwargs,
             core=cfg.engine.core,
+            disk_faults=cfg.disk_faults,
         )
         return ServiceEngine(cfg.topology, cfg.engine, wal=wal)
 
@@ -175,6 +244,12 @@ class AdmissionService:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        # Chaos-proxy clients misbehave in every way a real network can:
+        # reset mid-write (ConnectionResetError/BrokenPipeError, both
+        # OSError), half-close, and send unterminated garbage longer
+        # than the stream limit (readline raises ValueError wrapping
+        # LimitOverrunError).  All of it ends this one connection;
+        # none of it may escape to the loop or touch the batcher.
         try:
             while True:
                 line = await reader.readline()
@@ -183,10 +258,13 @@ class AdmissionService:
                 response = await self._handle_frame(line)
                 writer.write(encode_line(response))
                 await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
+        except (OSError, ValueError, asyncio.LimitOverrunError, asyncio.IncompleteReadError):
             pass
         finally:
-            writer.close()
+            try:
+                writer.close()
+            except OSError:
+                pass
 
     async def _handle_frame(self, line: bytes) -> Dict[str, Any]:
         assert self.engine is not None
@@ -199,8 +277,26 @@ class AdmissionService:
         except ProtocolError as exc:
             return error_response(req_id, "bad-request", str(exc))
         if not request.is_mutation:
-            if request.what == "ready" and self._draining:
-                return error_response(request.req_id, "shutting-down", "draining")
+            if request.what == "ready":
+                if self._draining:
+                    return error_response(request.req_id, "shutting-down", "draining")
+                if self.mode != "healthy":
+                    return error_response(
+                        request.req_id,
+                        "degraded",
+                        f"WAL is {self.mode}: {self.last_fault}",
+                        self.config.degraded.retry_after_s,
+                    )
+            if request.what == "health":
+                return ok_response(
+                    request.req_id,
+                    {
+                        "status": "ok" if self.mode == "healthy" else self.mode,
+                        "seq": self.engine.seq,
+                        "mode": self.mode,
+                        "journal": len(self._journal),
+                    },
+                )
             try:
                 result = self.engine.query(request)
                 if request.what == "stats":
@@ -211,6 +307,19 @@ class AdmissionService:
         if self._draining:
             return error_response(
                 request.req_id, "shutting-down", "service is draining"
+            )
+        if self.mode != "healthy" and (
+            request.op == "establish"
+            or len(self._journal) >= self.config.degraded.journal_limit
+        ):
+            # Fast-path rejection; the batcher re-checks at apply time,
+            # so a mode flip between here and there is still handled.
+            self.degraded_rejects += 1
+            return error_response(
+                request.req_id,
+                "degraded",
+                f"WAL is {self.mode}; admissions suspended ({self.last_fault})",
+                self.config.degraded.retry_after_s,
             )
         decision = admit_decision(
             self.config.backpressure, self._queue.qsize(), request
@@ -240,7 +349,19 @@ class AdmissionService:
         loop = asyncio.get_running_loop()
         batch_max = self.engine.config.batch_max
         while True:
-            first = await self._queue.get()
+            if self.mode != "healthy" and not self._draining:
+                # Degraded: keep draining the queue, but wake on a timer
+                # so the disk is probed (and the journal flushed) even
+                # with no traffic at all.
+                try:
+                    first = await asyncio.wait_for(
+                        self._queue.get(), self.config.degraded.probe_interval_s
+                    )
+                except asyncio.TimeoutError:
+                    self._probe_wal()
+                    continue
+            else:
+                first = await self._queue.get()
             items: List[_Pending] = [] if first is _DRAIN_SENTINEL else [first]
             while len(items) < batch_max:
                 try:
@@ -252,7 +373,7 @@ class AdmissionService:
             live: List[_Pending] = []
             now = loop.time()
             for item in items:
-                if item.deadline is not None and now > item.deadline:
+                if deadline_expired(item.deadline, now):
                     self.expired_count += 1
                     item.future.set_result(
                         error_response(
@@ -264,29 +385,9 @@ class AdmissionService:
                 else:
                     live.append(item)
             if live:
-                if self.config.epoch_hold_s > 0.0:
-                    # Crash-test hook: log write-ahead, then linger with
-                    # the epoch durable-but-unapplied.
-                    batch = [p.request for p in live]
-                    to_apply = [
-                        (self.engine.seq + i, r)
-                        for i, r in enumerate(
-                            r for r in batch if self.engine.validate(r) is None
-                        )
-                    ]
-                    if self.engine.wal is not None:
-                        self.engine.wal.log_events(to_apply)
-                        await asyncio.sleep(self.config.epoch_hold_s)
-                        # The engine will re-log the same events; rewind
-                        # is impossible on an append-only file, so make
-                        # the engine skip its own log call instead.
-                        responses = self._apply_prelogged(batch)
-                    else:
-                        await asyncio.sleep(self.config.epoch_hold_s)
-                        responses = self.engine.apply_batch(batch)
-                else:
-                    responses = self.engine.apply_batch([p.request for p in live])
+                responses = await self._apply_live([p.request for p in live])
                 done = loop.time()
+                chaos_point("pre-reply")
                 for item, response in zip(live, responses):
                     self.latency.record(done - item.enqueued)
                     if not item.future.done():
@@ -294,6 +395,115 @@ class AdmissionService:
             if self._draining and self._queue.empty():
                 self._finish_drain()
                 return
+
+    async def _apply_live(self, batch: List[Request]) -> List[Dict[str, Any]]:
+        """Apply one batch, degrading (not dying) on a WAL fault."""
+        assert self.engine is not None
+        if self.mode != "healthy":
+            return self._apply_degraded(batch)
+        try:
+            if self.config.epoch_hold_s > 0.0:
+                # Crash-test hook: log write-ahead, then linger with
+                # the epoch durable-but-unapplied.
+                to_apply = [
+                    (self.engine.seq + i, r)
+                    for i, r in enumerate(
+                        r for r in batch if self.engine.validate(r) is None
+                    )
+                ]
+                if self.engine.wal is not None:
+                    self.engine.wal.log_events(to_apply)
+                    await asyncio.sleep(self.config.epoch_hold_s)
+                    # The engine will re-log the same events; rewind
+                    # is impossible on an append-only file, so make
+                    # the engine skip its own log call instead.
+                    return self._apply_prelogged(batch)
+                await asyncio.sleep(self.config.epoch_hold_s)
+                return self.engine.apply_batch(batch)
+            return self.engine.apply_batch(batch)
+        except WALWriteError as exc:
+            # Nothing of this batch was applied (write-ahead discipline:
+            # the engine rolls its sequence numbers back), so rerouting
+            # the whole batch through the degraded path is exact.
+            self._enter_degraded(str(exc))
+            return self._apply_degraded(batch)
+
+    def _apply_degraded(self, batch: List[Request]) -> List[Dict[str, Any]]:
+        """Read-only mode: journal releasing ops, reject admissions."""
+        assert self.engine is not None
+        journal_full = (
+            len(self._journal) + len(batch) > self.config.degraded.journal_limit
+        )
+        slots: List[Optional[Dict[str, Any]]] = []
+        releasing: List[Request] = []
+        for request in batch:
+            if request.op == "establish" or journal_full:
+                self.degraded_rejects += 1
+                slots.append(
+                    error_response(
+                        request.req_id,
+                        "degraded",
+                        f"WAL is {self.mode}; admissions suspended "
+                        f"({self.last_fault})",
+                        self.config.degraded.retry_after_s,
+                    )
+                )
+            else:
+                releasing.append(request)
+                slots.append(None)
+        if releasing:
+            sub = iter(self.engine.apply_batch(releasing, journal=self._journal))
+            slots = [slot if slot is not None else next(sub) for slot in slots]
+        return [slot for slot in slots if slot is not None]
+
+    def _enter_degraded(self, reason: str) -> None:
+        self.wal_fault_count += 1
+        self.last_fault = reason
+        self.mode = "degraded"
+        self._probe_ok = 0
+        # Truncate unsynced garbage immediately if the disk lets us; if
+        # not, the probation loop keeps trying.
+        if self.engine is not None and self.engine.wal is not None:
+            self.engine.wal.repair()
+
+    def _probe_wal(self) -> None:
+        """One probation probe; re-arms after enough consecutive successes."""
+        assert self.engine is not None
+        wal = self.engine.wal
+        if wal is None:
+            self.mode = "healthy"
+            return
+        if wal.probe():
+            self.mode = "probation"
+            self._probe_ok += 1
+            if self._probe_ok >= self.config.degraded.probation_probes:
+                self._rearm()
+        else:
+            self.mode = "degraded"
+            self._probe_ok = 0
+
+    def _rearm(self) -> None:
+        """Flush the journal to the recovered WAL and resume admissions.
+
+        Flushing before the flip is what makes the degraded→healthy
+        transition lossless: every acked releasing op becomes durable
+        (in original sequence order) before any new admission can be
+        logged after it.
+        """
+        assert self.engine is not None and self.engine.wal is not None
+        wal = self.engine.wal
+        try:
+            if self._journal:
+                wal.log_events(self._journal)
+                wal.log_epoch(self._journal[-1][0])
+                self.journal_flushed_total += len(self._journal)
+                self._journal.clear()
+        except WALWriteError as exc:
+            self._enter_degraded(f"journal flush failed: {exc}")
+            return
+        self.mode = "healthy"
+        self._probe_ok = 0
+        self.rearm_count += 1
 
     def _apply_prelogged(self, batch: List[Request]) -> List[Dict[str, Any]]:
         """Apply a batch whose events were already durably logged."""
@@ -310,8 +520,25 @@ class AdmissionService:
 
     def _finish_drain(self) -> None:
         assert self.engine is not None
-        if self.engine.wal is not None:
-            self.engine.wal.log_shutdown(self.engine.seq - 1)
+        chaos_point("mid-drain")
+        wal = self.engine.wal
+        if wal is not None:
+            try:
+                if self.mode != "healthy" or wal.dirty:
+                    if not wal.probe():
+                        raise WALWriteError("WAL still faulting at drain")
+                if self._journal:
+                    wal.log_events(self._journal)
+                    self.journal_flushed_total += len(self._journal)
+                    self._journal.clear()
+                    self.mode = "healthy"
+                wal.log_shutdown(self.engine.seq - 1)
+            except WALWriteError as exc:
+                # Last resort: the disk refused to the very end.  The
+                # journaled releasing ops are lost; say so loudly in the
+                # stats rather than pretending the drain was clean.
+                self.journal_lost = len(self._journal)
+                self.last_fault = f"drain flush failed: {exc}"
         self.engine.close()
         self._drained.set()
 
@@ -324,6 +551,14 @@ class AdmissionService:
             "expired": self.expired_count,
             "draining": self._draining,
             "recovered": self.recovered,
+            "mode": self.mode,
+            "wal_faults": self.wal_fault_count,
+            "rearms": self.rearm_count,
+            "degraded_rejects": self.degraded_rejects,
+            "journal_depth": len(self._journal),
+            "journal_flushed": self.journal_flushed_total,
+            "journal_lost": self.journal_lost,
+            "last_fault": self.last_fault,
             "latency": self.latency.summary(),
         }
 

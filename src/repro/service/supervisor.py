@@ -1,0 +1,264 @@
+"""Supervised restart loop for the admission service.
+
+``repro supervise`` keeps one ``repro serve`` child alive across
+crashes, with the three classic guard rails:
+
+* **restart budget** — at most ``max_restarts`` restarts, ever;
+* **exponential backoff** — ``backoff_base_s * 2^k`` (capped) between
+  restarts, reset once a child stays up past ``min_healthy_uptime_s``;
+* **crash-loop detection** — ``crash_loop_threshold`` consecutive
+  short-lived children is a crash loop and stops the supervisor
+  immediately (restarting faster won't fix a deterministic startup
+  crash).
+
+On every restart the supervisor cross-checks recovery: it replays the
+WAL offline *before* starting the child, then compares the child's
+live digest (queried right after the banner) against that replay
+digest.  A mismatch means recovery is not bitwise — the one invariant
+this whole stack exists for — and the supervisor refuses to continue.
+
+``chaos_once`` strips ``--chaos-crash``/``--chaos-seed`` flags from the
+child argv after the first crash, modeling a one-shot fault; leave it
+off to let a schedule crash every incarnation (how the crash-loop path
+is tested).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import SimulationError
+from repro.service.procs import (
+    ScriptClient,
+    drain_stdout,
+    read_banner,
+    spawn_server,
+    terminate,
+    wait_exit,
+)
+from repro.service.replay import replay_log
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Guard-rail knobs for :class:`ServeSupervisor`."""
+
+    max_restarts: int = 8
+    backoff_base_s: float = 0.2
+    backoff_cap_s: float = 10.0
+    crash_loop_threshold: int = 3
+    min_healthy_uptime_s: float = 2.0
+    ready_timeout_s: float = 60.0
+    verify_digest: bool = True
+    chaos_once: bool = True
+
+
+@dataclass
+class SupervisorReport:
+    """What one supervisor run did and why it stopped.
+
+    ``outcome`` is one of ``clean-exit``, ``restart-budget-exhausted``,
+    ``crash-loop``, ``digest-mismatch``, ``terminated``, ``startup-failed``.
+    """
+
+    outcome: str = "clean-exit"
+    restarts: int = 0
+    crashes: int = 0
+    digest_checks: int = 0
+    last_exit_code: Optional[int] = None
+    last_digest: Optional[str] = None
+    detail: str = ""
+    incarnations: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "outcome": self.outcome,
+            "restarts": self.restarts,
+            "crashes": self.crashes,
+            "digest_checks": self.digest_checks,
+            "last_exit_code": self.last_exit_code,
+            "last_digest": self.last_digest,
+            "detail": self.detail,
+            "incarnations": self.incarnations,
+        }
+
+
+def strip_chaos_flags(argv: Sequence[str]) -> List[str]:
+    """Remove ``--chaos-*`` flag/value pairs from a serve argv."""
+    out: List[str] = []
+    skip = False
+    for arg in argv:
+        if skip:
+            skip = False
+            continue
+        if arg in ("--chaos-crash", "--chaos-seed", "--chaos-disk"):
+            skip = True
+            continue
+        out.append(arg)
+    return out
+
+
+class ServeSupervisor:
+    """Keep one serve child alive within policy; see module docstring."""
+
+    def __init__(
+        self,
+        argv: Sequence[str],
+        wal_path: Union[str, Path],
+        policy: Optional[SupervisorPolicy] = None,
+        on_banner: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.argv = list(argv)
+        self.wal_path = str(wal_path)
+        self.policy = policy or SupervisorPolicy()
+        #: Called with each incarnation's startup banner — observability
+        #: for callers (logging restarts, tests finding the live child's
+        #: port/pid).  The banner is only announced after the child has
+        #: installed its signal handlers, so it is the earliest moment a
+        #: SIGTERM is guaranteed to drain rather than kill.
+        self.on_banner = on_banner
+        self._stop = False
+
+    def request_stop(self) -> None:
+        """Ask the loop to drain the current child and report."""
+        self._stop = True
+
+    # ------------------------------------------------------------------
+    def _expected_digest(self) -> Optional[str]:
+        """Offline replay digest of the current WAL (None when no log yet)."""
+        import os
+
+        if not os.path.exists(self.wal_path) or os.path.getsize(self.wal_path) == 0:
+            return None
+        return replay_log(self.wal_path).digest
+
+    def run(self) -> SupervisorReport:
+        policy = self.policy
+        report = SupervisorReport()
+        argv = list(self.argv)
+        consecutive_short = 0
+        backoff_exp = 0
+        incarnation = 0
+        while True:
+            expected = self._expected_digest()
+            proc = spawn_server(argv)
+            started = time.monotonic()
+            try:
+                banner = read_banner(proc, timeout_s=policy.ready_timeout_s)
+            except SimulationError as exc:
+                # Died before announcing readiness — counts as a crash
+                # (this is exactly what a post-listen... pre-listen
+                # schedule or a corrupt WAL produces).
+                report.crashes += 1
+                report.last_exit_code = proc.returncode
+                report.incarnations.append(
+                    {"incarnation": incarnation, "banner": None,
+                     "exit_code": proc.returncode, "uptime_s": 0.0}
+                )
+                consecutive_short += 1
+                if consecutive_short >= policy.crash_loop_threshold:
+                    report.outcome = "crash-loop"
+                    report.detail = f"{consecutive_short} consecutive startup crashes: {exc}"
+                    return report
+                if report.restarts >= policy.max_restarts:
+                    report.outcome = "restart-budget-exhausted"
+                    report.detail = str(exc)
+                    return report
+                report.restarts += 1
+                if policy.chaos_once:
+                    argv = strip_chaos_flags(argv)
+                time.sleep(min(policy.backoff_cap_s,
+                               policy.backoff_base_s * (2 ** backoff_exp)))
+                backoff_exp += 1
+                incarnation += 1
+                continue
+
+            if self.on_banner is not None:
+                self.on_banner(dict(banner))
+            live_digest: Optional[str] = None
+            if policy.verify_digest and expected:
+                try:
+                    client = ScriptClient(int(banner["port"]))
+                    answer = client.rpc(
+                        {"op": "query", "id": 0, "what": "digest"}
+                    )
+                    client.close()
+                except OSError:
+                    answer = None
+                if answer is None:
+                    # No answer at all: either the child died right
+                    # after its banner (a post-listen crash — handle it
+                    # as the crash it is, below) or it is alive but
+                    # unresponsive, which the mismatch branch reports.
+                    try:
+                        proc.wait(timeout=5.0)
+                    except subprocess.TimeoutExpired:
+                        pass
+                if answer is not None and answer.get("ok"):
+                    live_digest = str(answer["result"]["digest"])
+                if answer is not None or proc.poll() is None:
+                    report.digest_checks += 1
+                    report.last_digest = live_digest
+                    if live_digest != expected:
+                        terminate(proc, timeout_s=policy.ready_timeout_s)
+                        report.outcome = "digest-mismatch"
+                        report.detail = (
+                            f"recovered digest {live_digest!r} != offline "
+                            f"replay digest {expected!r}"
+                        )
+                        report.incarnations.append(
+                            {"incarnation": incarnation, "banner": banner,
+                             "exit_code": proc.returncode, "uptime_s": 0.0}
+                        )
+                        return report
+                # else: the child crashed right after its banner —
+                # wait_exit below turns that into the crash path.
+
+            if self._stop:
+                code = terminate(proc, timeout_s=policy.ready_timeout_s)
+                report.last_exit_code = code
+                report.outcome = "terminated"
+                return report
+
+            code = wait_exit(proc, timeout_s=86400.0)
+            uptime = time.monotonic() - started
+            report.last_exit_code = code
+            report.incarnations.append(
+                {"incarnation": incarnation, "banner": banner,
+                 "exit_code": code, "uptime_s": round(uptime, 3)}
+            )
+            if code == 0:
+                drained = [e for e in drain_stdout(proc) if e.get("event") == "drained"]
+                if drained:
+                    report.last_digest = drained[-1].get("digest")
+                report.outcome = "clean-exit"
+                return report
+
+            report.crashes += 1
+            if uptime >= policy.min_healthy_uptime_s:
+                consecutive_short = 0
+                backoff_exp = 0
+            else:
+                consecutive_short += 1
+                if consecutive_short >= policy.crash_loop_threshold:
+                    report.outcome = "crash-loop"
+                    report.detail = (
+                        f"{consecutive_short} consecutive exits under "
+                        f"{policy.min_healthy_uptime_s}s uptime"
+                    )
+                    return report
+            if report.restarts >= policy.max_restarts:
+                report.outcome = "restart-budget-exhausted"
+                report.detail = f"exit code {code} after {report.restarts} restarts"
+                return report
+            report.restarts += 1
+            if policy.chaos_once:
+                argv = strip_chaos_flags(argv)
+            time.sleep(min(policy.backoff_cap_s,
+                           policy.backoff_base_s * (2 ** backoff_exp)))
+            backoff_exp += 1
+            incarnation += 1

@@ -21,10 +21,23 @@ One JSON object per line, four record types:
 ``shutdown``  Clean-drain marker; its absence means the previous run
               crashed (recovery works either way).
 
+Every record carries a ``crc`` field — a CRC32 of the record's
+canonical JSON without that field — so a damaged line is *detectably*
+damaged: without it, a bit-flip in a terminated final line could decode
+into a different valid record and silently rewrite history, which is
+exactly what the tear-rule fuzz tests must be able to rule out.
+
 Torn tails: a crash can leave a partial final line.
 :class:`ReplayLogReader` tolerates exactly one undecodable *final*
 record (discarded with a note); garbage earlier in the log is an
 error, because it means durable history was corrupted, not torn.
+
+Disk faults surface as :class:`WALWriteError`.  A failed append or
+fsync marks the writer *dirty*: nothing further may be appended until
+:meth:`ReplayLogWriter.repair` truncates the file back to the last
+fsync-durable byte.  :meth:`ReplayLogWriter.probe` is repair plus a
+test fsync — the primitive the server's degraded-mode probation loop
+polls until the disk admits writes again.
 
 This module does file I/O but no wall-clock reads and no randomness:
 log content is a pure function of the request sequence, which is what
@@ -36,16 +49,24 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import zlib
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.parallel.jobs import TOPOLOGY_KINDS, TopologySpec
+from repro.service.chaos import (
+    DiskFaultPlan,
+    FaultyWALFile,
+    active_disk_plan,
+    chaos_point,
+)
 from repro.service.protocol import Request, parse_request, qos_to_dict
 from repro.topology.transit_stub import TransitStubParams
 
 #: Log format version; bump on incompatible record changes.
-WAL_VERSION = 1
+#: v2: every record carries a ``crc`` integrity field.
+WAL_VERSION = 2
 
 #: Manager-constructor kwargs a header may carry (see ``make_manager``).
 MANAGER_KWARG_KEYS = (
@@ -155,8 +176,40 @@ def request_from_record(record: Dict[str, Any]) -> Request:
     }})
 
 
-def _encode(record: Dict[str, Any]) -> bytes:
-    return json.dumps(record, separators=(",", ":"), sort_keys=True).encode("utf-8") + b"\n"
+class WALWriteError(SimulationError):
+    """An append or fsync failed; the writer is dirty until repaired."""
+
+
+class WALRecordError(ValueError):
+    """A log line is not a valid CRC-verified record."""
+
+
+def _canonical(record: Dict[str, Any]) -> bytes:
+    return json.dumps(record, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def encode_record(record: Dict[str, Any]) -> bytes:
+    """One wire line: the record plus a CRC32 over its canonical JSON."""
+    body = {k: v for k, v in record.items() if k != "crc"}
+    crc = zlib.crc32(_canonical(body)) & 0xFFFFFFFF
+    return _canonical({**body, "crc": crc}) + b"\n"
+
+
+def decode_record(line: bytes) -> Dict[str, Any]:
+    """Decode and CRC-verify one log line (without its newline)."""
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WALRecordError(f"undecodable record: {exc}") from exc
+    if not isinstance(record, dict):
+        raise WALRecordError(f"record is not an object: {record!r}")
+    stored = record.pop("crc", None)
+    if stored is None:
+        raise WALRecordError("record has no crc field")
+    actual = zlib.crc32(_canonical(record)) & 0xFFFFFFFF
+    if stored != actual:
+        raise WALRecordError(f"crc mismatch: stored {stored}, computed {actual}")
+    return record
 
 
 class ReplayLogWriter:
@@ -168,9 +221,19 @@ class ReplayLogWriter:
         ...apply the batch to the manager...
         writer.log_epoch(last_seq)            # barrier marker
 
-    The epoch marker itself is flushed lazily (with the next batch or
-    on close); losing it is harmless because recovery replays every
-    durable event regardless of markers.
+    The epoch marker itself is best-effort (flushed with the next batch
+    or on close, swallowed entirely if the disk is faulting); losing it
+    is harmless because recovery replays every durable event regardless
+    of markers.
+
+    Failure model: any :class:`OSError` out of an append or fsync marks
+    the writer dirty and raises :class:`WALWriteError`.  While dirty,
+    further appends are refused — the file may hold written-but-never-
+    fsynced (hence never-acked, never-applied) bytes past ``_durable``,
+    and appending after them would interleave durable history with
+    garbage.  :meth:`repair` truncates back to the durable prefix and
+    re-arms the writer; :meth:`probe` additionally proves the disk
+    accepts an fsync again.
     """
 
     def __init__(
@@ -179,17 +242,26 @@ class ReplayLogWriter:
         topology: TopologySpec,
         manager_kwargs: Optional[Dict[str, Any]] = None,
         core: str = "array",
+        disk_faults: Optional[DiskFaultPlan] = None,
     ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        size = self.path.stat().st_size if self.path.exists() else 0
+        if size:
+            self._verify_reappend_target()
         # Append-only by design: the whole point is that existing durable
         # history must never be rewritten, so the atomic tmp-then-rename
-        # primitive is the wrong tool here.
-        self._fh = open(  # repro-lint: disable=ART001 — append-only WAL primitive
-            self.path, "ab"
+        # primitive is the wrong tool here.  Unbuffered so ``_written``
+        # tracks actual file bytes, not libc buffer occupancy.
+        raw = open(  # repro-lint: disable=ART001 — append-only WAL primitive
+            self.path, "ab", buffering=0
         )
-        if fresh:
+        plan = disk_faults if disk_faults is not None else active_disk_plan()
+        self._fh: Any = FaultyWALFile(raw, plan) if plan is not None else raw
+        self._dirty = False
+        self._written = size
+        self._durable = size
+        if size == 0:
             header = {
                 "type": "header",
                 "version": WAL_VERSION,
@@ -197,32 +269,143 @@ class ReplayLogWriter:
                 "topology": topology_to_dict(topology),
                 "manager": dict(manager_kwargs or {}),
             }
-            self._fh.write(_encode(header))
+            self._append(encode_record(header))
             self._sync()
 
+    def _verify_reappend_target(self) -> None:
+        """Refuse to extend a log whose header or tail is damaged.
+
+        Without this, appending to a corrupted log buries the damage
+        under fresh records and it only surfaces on the *next* recovery
+        — far from the fault.  Torn tails are the recovery path's job
+        (:func:`repro.service.replay.recover_engine` truncates them
+        before re-attaching a writer), so here they are an error.
+        """
+        with open(self.path, "rb") as fh:
+            head = fh.read(65536)
+            fh.seek(-1, os.SEEK_END)
+            last = fh.read(1)
+        if last != b"\n":
+            raise SimulationError(
+                f"replay log {self.path} has a torn (unterminated) tail; "
+                f"recover it before appending"
+            )
+        first_line, sep, _ = head.partition(b"\n")
+        if not sep:
+            raise SimulationError(
+                f"replay log {self.path} header line is unterminated or oversized"
+            )
+        try:
+            header = decode_record(first_line)
+        except WALRecordError as exc:
+            raise SimulationError(
+                f"replay log {self.path} header is corrupt: {exc}"
+            ) from exc
+        if header.get("type") != "header":
+            raise SimulationError(f"replay log {self.path} has no header record")
+        if header.get("version") != WAL_VERSION:
+            raise SimulationError(
+                f"replay log {self.path} has unsupported version "
+                f"{header.get('version')!r} (expected {WAL_VERSION})"
+            )
+
+    @property
+    def dirty(self) -> bool:
+        return self._dirty
+
+    @property
+    def durable_bytes(self) -> int:
+        return self._durable
+
+    def _append(self, data: bytes) -> None:
+        if self._dirty:
+            raise WALWriteError(
+                f"WAL writer for {self.path} is dirty; repair() before appending"
+            )
+        try:
+            self._fh.write(data)
+        except OSError as exc:
+            self._dirty = True
+            raise WALWriteError(f"WAL append failed: {exc}") from exc
+        self._written += len(data)
+
     def _sync(self) -> None:
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        try:
+            if hasattr(self._fh, "sync"):
+                self._fh.sync()
+            else:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+        except OSError as exc:
+            self._dirty = True
+            raise WALWriteError(f"WAL fsync failed: {exc}") from exc
+        self._durable = self._written
+
+    def repair(self) -> bool:
+        """Truncate back to the fsync-durable prefix and re-arm.
+
+        Safe to call on a clean writer (no-op).  Returns ``False`` and
+        stays dirty if the truncate itself fails.
+        """
+        try:
+            os.ftruncate(self._fh.fileno(), self._durable)
+        except OSError:
+            self._dirty = True
+            return False
+        self._written = self._durable
+        self._dirty = False
+        return True
+
+    def probe(self) -> bool:
+        """Repair, then prove the disk accepts an fsync again.
+
+        The degraded-mode probation loop calls this until it succeeds;
+        each success is one probation point.
+        """
+        if not self.repair():
+            return False
+        try:
+            self._sync()
+        except WALWriteError:
+            return False
+        return True
 
     def log_events(self, batch: List[Tuple[int, Request]]) -> None:
-        """Durably append one epoch's events *before* they are applied."""
+        """Durably append one epoch's events *before* they are applied.
+
+        Raises :class:`WALWriteError` (writer left dirty) if the disk
+        refuses; the caller must not apply the batch in that case.
+        """
         if not batch:
             return
-        self._fh.write(b"".join(_encode(request_to_record(seq, req)) for seq, req in batch))
+        self._append(
+            b"".join(encode_record(request_to_record(seq, req)) for seq, req in batch)
+        )
+        chaos_point("pre-fsync")
         self._sync()
+        chaos_point("post-fsync")
 
     def log_epoch(self, seq_end: int) -> None:
-        """Append the (lazily flushed) epoch barrier marker."""
-        self._fh.write(_encode({"type": "epoch", "seq_end": seq_end}))
+        """Append the epoch barrier marker; best-effort, never raises."""
+        if self._dirty:
+            return
+        try:
+            self._append(encode_record({"type": "epoch", "seq_end": seq_end}))
+        except WALWriteError:
+            pass
 
     def log_shutdown(self, seq_end: int) -> None:
         """Mark a clean drain; durable immediately."""
-        self._fh.write(_encode({"type": "shutdown", "seq_end": seq_end}))
+        self._append(encode_record({"type": "shutdown", "seq_end": seq_end}))
         self._sync()
 
     def close(self) -> None:
         if not self._fh.closed:
-            self._sync()
+            if not self._dirty:
+                try:
+                    self._sync()
+                except WALWriteError:
+                    pass
             self._fh.close()
 
     def __enter__(self) -> "ReplayLogWriter":
@@ -250,8 +433,11 @@ class ReplayLogReader:
     the newline* is on disk (the writer fsyncs whole batches), so any
     unterminated tail — even one that happens to decode — was written
     mid-crash and never applied; it is discarded.  The same goes for a
-    terminated-but-undecodable *final* line.  Garbage anywhere earlier
-    is corruption of durable history and raises.
+    terminated final line that fails to decode or CRC-verify — a torn
+    batch write can leave whole terminated-but-unsynced lines, and a
+    bit-flipped tail must never be mistaken for a different valid
+    record.  Garbage anywhere earlier is corruption of durable history
+    and raises.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
@@ -268,15 +454,15 @@ class ReplayLogReader:
             if not line:
                 continue
             try:
-                record = json.loads(line.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                record = decode_record(line)
+            except WALRecordError as exc:
                 if index == len(lines) - 1:
                     self.torn_tail = True
                     self.valid_bytes -= len(line) + 1
                     break
                 raise SimulationError(
                     f"corrupt replay log {self.path}: undecodable record "
-                    f"{index + 1} is not the final line"
+                    f"{index + 1} is not the final line ({exc})"
                 ) from exc
             records.append(record)
         if not records or records[0].get("type") != "header":

@@ -1,0 +1,160 @@
+"""Chaos crash plane: schedules, hit counting, in-process crashes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallel.jobs import TopologySpec
+from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS
+from repro.service.chaos import (
+    CRASH_SITES,
+    DURABILITY_SITES,
+    ChaosCrash,
+    ChaosSchedule,
+    chaos_hits,
+    chaos_point,
+    install_chaos,
+    raise_chaos,
+    reset_chaos,
+)
+from repro.service.engine import EngineConfig, ServiceEngine
+from repro.service.protocol import Request
+from repro.service.replay import replay_log
+from repro.service.wal import ReplayLogWriter
+
+GRID = TopologySpec(kind="grid", capacity=1000.0, seed=0, nodes=4, cols=4)
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    """Never leak an armed schedule into (or out of) a test."""
+    reset_chaos()
+    yield
+    reset_chaos()
+
+
+def _qos():
+    return ConnectionQoS(
+        performance=ElasticQoS(
+            b_min=100.0, b_max=300.0, increment=100.0, utility=1.0
+        ),
+        dependability=DependabilityQoS(num_backups=1),
+    )
+
+
+def _establish(i):
+    return Request(op="establish", req_id=i, src=0, dst=15, qos=_qos())
+
+
+class TestSchedule:
+    def test_from_spec_parses_sites_and_hits(self):
+        sched = ChaosSchedule.from_spec("pre-fsync:3,mid-drain")
+        assert sched.crashes == {"pre-fsync": 3, "mid-drain": 1}
+        assert sched.describe() == "mid-drain:1,pre-fsync:3"
+
+    @pytest.mark.parametrize(
+        "spec", ["", "nowhere:1", "pre-fsync:0", "pre-fsync:x"]
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(SimulationError):
+            ChaosSchedule.from_spec(spec)
+
+    def test_from_seed_is_deterministic(self):
+        for seed in range(20):
+            a = ChaosSchedule.from_seed(seed)
+            b = ChaosSchedule.from_seed(seed)
+            assert a.crashes == b.crashes
+            (site, hit), = a.crashes.items()
+            assert site in DURABILITY_SITES
+            assert 1 <= hit <= 8
+
+    def test_from_seed_covers_all_durability_sites(self):
+        seen = {
+            next(iter(ChaosSchedule.from_seed(seed).crashes))
+            for seed in range(200)
+        }
+        assert seen == set(DURABILITY_SITES)
+
+    def test_trigger_matches_exact_hit_only(self):
+        sched = ChaosSchedule({"mid-epoch": 2})
+        assert not sched.trigger("mid-epoch", 1)
+        assert sched.trigger("mid-epoch", 2)
+        assert not sched.trigger("mid-epoch", 3)
+        assert not sched.trigger("pre-fsync", 2)
+
+
+class TestChaosPoint:
+    def test_noop_when_unarmed(self):
+        for site in CRASH_SITES:
+            chaos_point(site)  # must not raise, must not count
+        assert chaos_hits() == {}
+
+    def test_counts_hits_and_fires_at_exact_hit(self):
+        install_chaos(ChaosSchedule({"pre-reply": 3}), action=raise_chaos)
+        chaos_point("pre-reply")
+        chaos_point("pre-reply")
+        chaos_point("pre-fsync")  # other sites count independently
+        with pytest.raises(ChaosCrash) as err:
+            chaos_point("pre-reply")
+        assert err.value.site == "pre-reply" and err.value.hit == 3
+        assert chaos_hits() == {"pre-reply": 3, "pre-fsync": 1}
+
+    def test_unknown_site_is_a_bug_when_armed(self):
+        install_chaos(ChaosSchedule({"pre-fsync": 1}), action=raise_chaos)
+        with pytest.raises(SimulationError):
+            chaos_point("made-up-site")
+
+    def test_chaos_crash_is_not_an_exception(self):
+        # `except Exception` must never swallow a chaos crash.
+        assert not issubclass(ChaosCrash, Exception)
+
+
+class TestInProcessCrashRecovery:
+    """ChaosCrash through the real engine+WAL stack, then recovery."""
+
+    def _drive_until_crash(self, wal_path, schedule, requests=8):
+        install_chaos(schedule, action=raise_chaos)
+        wal = ReplayLogWriter(wal_path, GRID)
+        engine = ServiceEngine(GRID, EngineConfig(), wal=wal)
+        applied = 0
+        try:
+            for i in range(requests):
+                engine.apply_batch([_establish(i)])
+                applied += 1
+        except ChaosCrash as crash:
+            return engine, applied, crash
+        raise AssertionError("schedule never fired")
+
+    def test_mid_epoch_crash_recovers_durable_prefix(self, tmp_path):
+        # mid-epoch fires *before* applying the 3rd durably-logged
+        # event: the WAL holds 3 events, the live manager applied 2.
+        path = tmp_path / "wal.log"
+        engine, applied, crash = self._drive_until_crash(
+            path, ChaosSchedule({"mid-epoch": 3})
+        )
+        assert (crash.site, crash.hit) == ("mid-epoch", 3)
+        assert applied == 2
+        result = replay_log(path)
+        assert result.events_applied == 3
+        # Recovery equals a clean run over the same 3 requests.
+        reference = ServiceEngine(GRID, EngineConfig())
+        for i in range(3):
+            reference.apply_sequential(_establish(i))
+        assert result.digest == reference.digest()
+
+    def test_post_fsync_crash_loses_no_durable_events(self, tmp_path):
+        path = tmp_path / "wal.log"
+        engine, applied, crash = self._drive_until_crash(
+            path, ChaosSchedule({"post-fsync": 4})
+        )
+        assert (crash.site, crash.hit) == ("post-fsync", 4)
+        # The 4th batch fsynced before the crash: all 4 events replay.
+        assert replay_log(path).events_applied == 4
+
+    def test_pre_fsync_crash_still_replays_cleanly(self, tmp_path):
+        # Whatever prefix survives (in-process the write is visible),
+        # the log must replay without errors and without a torn tail.
+        path = tmp_path / "wal.log"
+        self._drive_until_crash(path, ChaosSchedule({"pre-fsync": 2}))
+        result = replay_log(path)
+        assert not result.torn_tail
+        assert result.events_applied >= 1

@@ -1,0 +1,288 @@
+"""Disk-fault plane: fault plans, dirty writers, degraded read-only mode."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallel.jobs import TopologySpec
+from repro.service.chaos import (
+    DiskFaultPlan,
+    FaultyWALFile,
+    corrupt_file,
+    reset_chaos,
+)
+from repro.service.protocol import Request, decode_line, encode_line
+from repro.service.replay import replay_log
+from repro.service.server import AdmissionService, DegradedConfig, ServiceConfig
+from repro.service.wal import ReplayLogReader, ReplayLogWriter, WALWriteError
+
+GRID = TopologySpec(kind="grid", capacity=1000.0, seed=0, nodes=4, cols=4)
+
+QOS = {"b_min": 100.0, "b_max": 300.0, "increment": 100.0, "utility": 1.0,
+       "backups": 1}
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    reset_chaos()
+    yield
+    reset_chaos()
+
+
+class TestDiskFaultPlan:
+    def test_from_spec_and_describe_round_trip(self):
+        plan = DiskFaultPlan.from_spec("fsync-eio:2-4,write-short:7")
+        assert plan.fsync_fault(2) and plan.fsync_fault(4)
+        assert not plan.fsync_fault(1) and not plan.fsync_fault(5)
+        assert plan.write_fault(7) == "short"
+        assert plan.write_fault(6) is None
+        assert DiskFaultPlan.from_spec(plan.describe()) == plan
+
+    @pytest.mark.parametrize(
+        "spec", ["", "fsync-eio", "melt-cpu:1", "fsync-eio:0", "fsync-eio:5-2"]
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(SimulationError):
+            DiskFaultPlan.from_spec(spec)
+
+    def test_from_seed_is_deterministic(self):
+        for seed in range(20):
+            assert DiskFaultPlan.from_seed(seed) == DiskFaultPlan.from_seed(seed)
+            plan = DiskFaultPlan.from_seed(seed)
+            assert plan.fsync_eio and plan.fsync_eio[0][0] >= 2
+
+    def test_enospc_beats_short_when_both_match(self):
+        plan = DiskFaultPlan(write_enospc=((1, 1),), write_short=((1, 1),))
+        assert plan.write_fault(1) == "enospc"
+
+
+class TestFaultyWALFile:
+    def test_injects_by_call_index(self, tmp_path):
+        raw = open(  # repro-lint: disable=ART001 — fault-injection fixture
+            tmp_path / "f.bin", "ab", buffering=0
+        )
+        fh = FaultyWALFile(raw, DiskFaultPlan(
+            write_enospc=((2, 2),), write_short=((3, 3),), fsync_eio=((1, 1),)
+        ))
+        assert fh.write(b"abcd") == 4
+        with pytest.raises(OSError):
+            fh.write(b"efgh")  # call 2: ENOSPC, nothing written
+        with pytest.raises(OSError):
+            fh.write(b"ijkl")  # call 3: short, half written
+        with pytest.raises(OSError):
+            fh.sync()  # fsync call 1: EIO
+        fh.sync()  # call 2: clean
+        fh.close()
+        # abcd + the torn half of ijkl; the ENOSPC write left no bytes.
+        assert (tmp_path / "f.bin").read_bytes() == b"abcdij"
+
+
+class TestDirtyWriter:
+    def _events(self, start, n=1):
+        return [
+            (start + i, Request(op="fail", req_id=start + i, link=(0, 1)))
+            for i in range(n)
+        ]
+
+    def test_fsync_fault_dirties_until_probed(self, tmp_path):
+        path = tmp_path / "wal.log"
+        # fsync 1 is the header; fsync 2 (first batch) fails.
+        writer = ReplayLogWriter(
+            path, GRID, disk_faults=DiskFaultPlan(fsync_eio=((2, 2),))
+        )
+        with pytest.raises(WALWriteError):
+            writer.log_events(self._events(0))
+        assert writer.dirty
+        with pytest.raises(WALWriteError):
+            writer.log_events(self._events(1))  # refused while dirty
+        assert writer.probe()  # repair + fsync 3: clean again
+        assert not writer.dirty
+        writer.log_events(self._events(0))
+        writer.close()
+        assert ReplayLogReader(path).last_seq == 0
+
+    def test_short_write_tears_then_repair_truncates(self, tmp_path):
+        path = tmp_path / "wal.log"
+        # write 1 is the header; write 2 tears mid-record.
+        writer = ReplayLogWriter(
+            path, GRID, disk_faults=DiskFaultPlan(write_short=((2, 2),))
+        )
+        durable = writer.durable_bytes
+        with pytest.raises(WALWriteError):
+            writer.log_events(self._events(0))
+        assert path.stat().st_size > durable  # torn bytes on disk
+        assert ReplayLogReader(path).torn_tail
+        assert writer.repair()
+        assert path.stat().st_size == durable
+        reader = ReplayLogReader(path)
+        assert not reader.torn_tail and reader.last_seq == -1
+        writer.close()
+
+
+class TestReappendVerification:
+    """Satellite: re-opening a WAL re-verifies header and tail."""
+
+    def _write_log(self, path):
+        writer = ReplayLogWriter(path, GRID)
+        writer.log_events(
+            [(0, Request(op="fail", req_id=0, link=(0, 1)))]
+        )
+        writer.close()
+
+    def test_torn_tail_refuses_reappend(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write_log(path)
+        with open(  # repro-lint: disable=ART001 — deliberate torn fixture
+            path, "ab"
+        ) as fh:
+            fh.write(b'{"type":"event","seq":9')
+        with pytest.raises(SimulationError, match="torn"):
+            ReplayLogWriter(path, GRID)
+
+    def test_corrupt_header_refuses_reappend(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write_log(path)
+        corrupt_file(path, flip_bits=[8 * 12 + 1])  # a bit inside the header
+        with pytest.raises(SimulationError, match="header"):
+            ReplayLogWriter(path, GRID)
+
+    def test_clean_log_reappends_fine(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write_log(path)
+        writer = ReplayLogWriter(path, GRID)
+        writer.log_events([(1, Request(op="repair", req_id=1, link=(0, 1)))])
+        writer.close()
+        assert ReplayLogReader(path).last_seq == 1
+
+
+class TestDegradedMode:
+    """Full in-process lifecycle: fault -> degraded -> probation -> healthy."""
+
+    def _config(self, wal, journal_limit=16, **kwargs):
+        return ServiceConfig(
+            topology=GRID,
+            wal_path=str(wal),
+            degraded=DegradedConfig(
+                probe_interval_s=0.02,
+                probation_probes=2,
+                retry_after_s=0.1,
+                journal_limit=journal_limit,
+            ),
+            **kwargs,
+        )
+
+    async def _rpc(self, port, obj):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            writer.write(encode_line(obj))
+            await writer.drain()
+            return decode_line(await reader.readline())
+        finally:
+            writer.close()
+
+    def test_fsync_fault_degrades_then_rearms_losslessly(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        # fsync calls: 1 = header, 2 = first admitted batch, 3 = EIO
+        # (enter degraded), 4 = probe fails, 5-6 = probes succeed.
+        plan = DiskFaultPlan.from_spec("fsync-eio:3-4")
+
+        async def scenario():
+            service = AdmissionService(
+                self._config(wal, disk_faults=plan)
+            )
+            await service.start()
+            port = service.port
+            first = await self._rpc(port, {
+                "op": "establish", "id": 1, "src": 0, "dst": 15, "qos": QOS,
+            })
+            assert first["ok"] and first["result"]["accepted"]
+            cid = first["result"]["conn_id"]
+
+            # This admission hits the faulting fsync: rejected, not lost.
+            refused = await self._rpc(port, {
+                "op": "establish", "id": 2, "src": 1, "dst": 14, "qos": QOS,
+            })
+            assert refused["error"] == "degraded"
+            assert refused["retry_after"] > 0
+            assert service.mode == "degraded"
+
+            health = await self._rpc(port, {"op": "query", "id": 3,
+                                            "what": "health"})
+            assert health["result"]["mode"] == "degraded"
+            ready = await self._rpc(port, {"op": "query", "id": 4,
+                                           "what": "ready"})
+            assert ready["error"] == "degraded"
+
+            # Releasing ops still land (journaled, acked) while degraded.
+            down = await self._rpc(port, {"op": "teardown", "id": 5,
+                                          "conn_id": cid})
+            assert down["ok"]
+
+            # Probation loop re-arms once the injected window passes.
+            for _ in range(200):
+                ready = await self._rpc(port, {"op": "query", "id": 6,
+                                               "what": "ready"})
+                if ready.get("ok"):
+                    break
+                await asyncio.sleep(0.02)
+            assert ready.get("ok"), f"never re-armed: {ready}"
+            assert service.mode == "healthy"
+
+            after = await self._rpc(port, {
+                "op": "establish", "id": 7, "src": 2, "dst": 13, "qos": QOS,
+            })
+            assert after["ok"] and after["result"]["accepted"]
+
+            stats = await self._rpc(port, {"op": "query", "id": 8,
+                                           "what": "stats"})
+            svc = stats["result"]["service"]
+            assert svc["wal_faults"] == 1
+            assert svc["rearms"] == 1
+            assert svc["journal_flushed"] == 1
+            assert svc["journal_lost"] == 0
+
+            service.initiate_drain()
+            await service.drained()
+            return service.engine.digest()
+
+        digest = asyncio.run(scenario())
+        # Every acked mutation — including the journaled teardown —
+        # replays from the WAL into the identical state.
+        result = replay_log(wal)
+        assert result.clean_shutdown
+        assert result.digest == digest
+        assert result.events_applied == 3  # establish, teardown, establish
+
+    def test_journal_limit_rejects_releasing_ops_too(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        # A disk that never recovers inside the test window.
+        plan = DiskFaultPlan.from_spec("fsync-eio:3-1000")
+
+        async def scenario():
+            service = AdmissionService(
+                self._config(wal, journal_limit=1, disk_faults=plan)
+            )
+            await service.start()
+            port = service.port
+            admitted = await self._rpc(port, {
+                "op": "establish", "id": 1, "src": 0, "dst": 15, "qos": QOS,
+            })
+            cid = admitted["result"]["conn_id"]
+            tripped = await self._rpc(port, {
+                "op": "establish", "id": 2, "src": 1, "dst": 14, "qos": QOS,
+            })
+            assert tripped["error"] == "degraded"
+            first_down = await self._rpc(port, {"op": "fail", "id": 3,
+                                                "link": [0, 1]})
+            assert first_down["ok"]  # fills the single journal slot
+            second = await self._rpc(port, {"op": "teardown", "id": 4,
+                                            "conn_id": cid})
+            assert second["error"] == "degraded"
+            assert service.journal_lost == 0
+            service.initiate_drain()
+            await service.drained()
+            # The disk never recovered: the drain records the loss.
+            assert service.journal_lost == 1
+
+        asyncio.run(scenario())

@@ -5,6 +5,7 @@ import pytest
 from repro.errors import SimulationError
 from repro.qos.spec import ConnectionQoS, DependabilityQoS, ElasticQoS
 from repro.service.protocol import Request
+from repro.service.server import deadline_expired
 from repro.service.shedding import BackpressureConfig, admit_decision
 
 
@@ -62,6 +63,66 @@ class TestRegimes:
         req = _establish(0.3)
         first = admit_decision(CFG, 80, req)
         assert all(admit_decision(CFG, 80, req) == first for _ in range(5))
+
+
+class TestBoundaries:
+    """Exact edges of the three regimes (off-by-one hunting)."""
+
+    def test_exactly_at_watermark_enters_band_with_zero_threshold(self):
+        # depth 50 / limit 100 == watermark 0.5: the selective band is
+        # entered (strict <), but the threshold is exactly 0 there, so
+        # even a zero-utility establish still passes (strict < again).
+        decision = admit_decision(CFG, 50, _establish(0.0))
+        assert decision.admit
+
+    def test_one_below_watermark_is_unconditional(self):
+        assert admit_decision(CFG, 49, _establish(0.0)).admit
+
+    def test_utility_equal_to_threshold_is_admitted(self):
+        # depth 75 -> threshold exactly 0.5; the comparison is strict.
+        assert admit_decision(CFG, 75, _establish(0.5)).admit
+
+    def test_last_free_slot_still_obeys_the_band(self):
+        # depth 99 -> threshold 0.98: the last slot is reserved for
+        # near-ceiling utilities, not closed outright.
+        assert admit_decision(CFG, 99, _establish(0.98)).admit
+        assert not admit_decision(CFG, 99, _establish(0.9799)).admit
+
+    def test_full_queue_rejects_releasing_ops_too(self):
+        # Releasing ops beat the *band*, not a full queue: with no slot
+        # free there is nothing to admit them into.
+        for op, extra in (
+            ("teardown", {"conn_id": 1}),
+            ("fail", {"link": (0, 1)}),
+            ("repair", {"link": (0, 1)}),
+        ):
+            decision = admit_decision(CFG, 100, Request(op=op, req_id=1, **extra))
+            assert not decision.admit
+            assert decision.retry_after is not None
+
+    def test_watermark_of_one_disables_selective_shedding(self):
+        cfg = BackpressureConfig(
+            queue_limit=100, shed_watermark=1.0, utility_ceiling=1.0,
+            drain_rate_hint=100.0,
+        )
+        assert admit_decision(cfg, 99, _establish(0.0)).admit
+        assert not admit_decision(cfg, 100, _establish(1.0)).admit
+
+
+class TestDeadlineBoundary:
+    """``now == deadline`` is the last servable instant, not expired."""
+
+    def test_equality_is_not_expired(self):
+        assert not deadline_expired(5.0, 5.0)
+
+    def test_strictly_later_is_expired(self):
+        assert deadline_expired(5.0, 5.0000001)
+
+    def test_earlier_is_not_expired(self):
+        assert not deadline_expired(5.0, 4.9)
+
+    def test_no_deadline_never_expires(self):
+        assert not deadline_expired(None, 1e18)
 
 
 class TestConfigValidation:

@@ -11,6 +11,7 @@ from repro.service.protocol import Request
 from repro.service.wal import (
     ReplayLogReader,
     ReplayLogWriter,
+    encode_record,
     parse_topology_arg,
     request_from_record,
     request_to_record,
@@ -142,8 +143,9 @@ class TestWriterReader:
 
     def test_missing_header_raises(self, tmp_path):
         path = tmp_path / "wal.log"
-        path.write_text(  # repro-lint: disable=ART001 — deliberate bad-log fixture
-            '{"type":"event","seq":0,"op":"teardown","conn_id":1}\n'
+        record = {"type": "event", "seq": 0, "op": "teardown", "conn_id": 1}
+        path.write_bytes(  # repro-lint: disable=ART001 — deliberate bad-log fixture
+            encode_record(record)
         )
         with pytest.raises(SimulationError, match="no header record"):
             ReplayLogReader(path)
@@ -154,8 +156,26 @@ class TestWriterReader:
             "type": "header", "version": 99, "core": "array",
             "topology": topology_to_dict(GRID), "manager": {},
         }
-        path.write_text(  # repro-lint: disable=ART001 — deliberate bad-log fixture
-            json.dumps(header) + "\n"
+        path.write_bytes(  # repro-lint: disable=ART001 — deliberate bad-log fixture
+            encode_record(header)
         )
         with pytest.raises(SimulationError, match="unsupported version"):
             ReplayLogReader(path)
+
+    def test_crc_protects_terminated_final_line(self, tmp_path):
+        # A bit-flip in a *terminated* final record must read as torn,
+        # never as a different valid record — that is what the per-record
+        # CRC buys over plain JSON decodability.
+        path = tmp_path / "wal.log"
+        with ReplayLogWriter(path, GRID) as w:
+            w.log_events(_events(2))
+        durable_before = ReplayLogReader(path).valid_bytes
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0x04  # flip one bit inside the final record's body
+        path.write_bytes(  # repro-lint: disable=ART001 — deliberate corruption
+            bytes(data)
+        )
+        reader = ReplayLogReader(path)
+        assert reader.torn_tail
+        assert reader.last_seq == 0
+        assert reader.valid_bytes < durable_before
