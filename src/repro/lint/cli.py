@@ -3,8 +3,13 @@
 Exit codes: 0 — clean; 1 — findings (or unparseable files); 2 — bad
 invocation.  ``--format json`` emits a machine-readable artifact (one
 object with the rule catalogue version and the findings list) for CI
-annotation; the default text format is one finding per block with the
-fix hint indented beneath it.
+annotation; ``--format sarif`` emits a SARIF 2.1.0 log for code-scanning
+upload; the default text format is one finding per block with the fix
+hint indented beneath it.  ``--project`` additionally runs the
+whole-program ASYNC/DUR/SOA families over the combined tree set;
+``--jobs N`` parallelizes the per-file stage; ``--stats`` appends a
+per-phase/per-rule timing report to stderr so the CI budget assertion
+has numbers to check.
 """
 
 from __future__ import annotations
@@ -14,9 +19,10 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.lint.engine import lint_paths
+from repro.lint.engine import LintReport, run_lint
 from repro.lint.findings import Finding
 from repro.lint.rules import RULES, expand_rule_selection
+from repro.lint.sarif import render_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -24,8 +30,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.lint",
         description=(
             "Determinism-aware static analysis for the repro codebase: RNG "
-            "discipline, determinism hazards, atomic-artifact discipline and "
-            "float-equality checks."
+            "discipline, determinism hazards, atomic-artifact discipline, "
+            "float-equality checks, and (with --project) whole-program "
+            "async-safety, durability-ordering and SoA-coherence rules."
         ),
     )
     parser.add_argument(
@@ -42,9 +49,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "also run the whole-program pass (module resolver, call graph, "
+            "ASYNC/DUR/SOA rule families) over the combined tree set"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel worker processes for the per-file stage (default: 1)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-phase and per-rule timing/count report to stderr",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
@@ -74,9 +101,22 @@ def _render_json(findings: List[Finding], paths: Sequence[str]) -> str:
 def _render_rules() -> str:
     lines = ["repro.lint rule catalogue:", ""]
     for rule in RULES:
-        lines.append(f"{rule.id}  {rule.name}")
+        scope = " [project]" if rule.project else ""
+        lines.append(f"{rule.id}  {rule.name}{scope}")
         lines.append(f"    {rule.summary}")
         lines.append(f"    fix: {rule.hint}")
+    return "\n".join(lines)
+
+
+def render_stats(report: LintReport) -> str:
+    """The ``--stats`` block: phases, then per-rule finding counts."""
+    lines = [f"repro.lint stats: {report.files} files"]
+    for phase, seconds in report.timings.items():
+        lines.append(f"  {phase:<22s} {seconds * 1000.0:9.1f} ms")
+    if report.rule_counts:
+        lines.append("  findings by rule:")
+        for rule_id in sorted(report.rule_counts):
+            lines.append(f"    {rule_id:<10s} {report.rule_counts[rule_id]}")
     return "\n".join(lines)
 
 
@@ -86,19 +126,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         print(_render_rules())
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     select = None
     if args.select:
         try:
             select = expand_rule_selection(tuple(args.select.split(",")))
         except ValueError as exc:
             parser.error(str(exc))
-    findings = lint_paths(args.paths, select=select)
+    report = run_lint(
+        args.paths, select=select, project=args.project, jobs=args.jobs
+    )
+    findings = report.findings
     if args.format == "json":
         print(_render_json(findings, args.paths))
+    elif args.format == "sarif":
+        print(render_sarif(findings))
     elif findings:
         print(_render_text(findings))
     else:
         print("repro.lint: clean")
+    if args.stats:
+        print(render_stats(report), file=sys.stderr)
     return 1 if findings else 0
 
 

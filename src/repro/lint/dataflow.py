@@ -1,0 +1,223 @@
+"""Intraprocedural must-facts dataflow over structured Python ASTs.
+
+The DUR rules need "is this site dominated by a durability action on
+*every* path?" — classic forward must-analysis.  Python has no goto, so
+instead of building a CFG we evaluate statement lists recursively:
+
+* the state is a set of established *facts* (opaque strings);
+* a ``gen`` callback contributes facts at each ``ast.Call``;
+* a ``cond`` callback contributes branch-local facts when a test is
+  known true/false on that branch (e.g. entering the ``else`` of
+  ``if self.wal is not None:`` establishes ``wal-absent``);
+* ``if``/``try``/``match`` join by *intersection* over the branches
+  that fall through (a branch ending in ``return``/``raise``/``break``/
+  ``continue`` does not constrain the join);
+* loop bodies see the facts accumulated *within the current iteration*
+  but contribute nothing to the post-loop state (the body may run zero
+  times); cross-iteration domination is deliberately not modelled —
+  documented under-approximation, never a false negative for "must";
+* nested ``def``/``lambda``/class bodies are opaque: their statements
+  neither consume nor produce facts at the definition site.
+
+Clients ask for the fact set holding *just before* specific AST nodes
+(the "sites"); :func:`analyze_function` returns ``{id(node): facts}``.
+Keying on ``id(node)`` is sound here precisely because the trees live
+exactly as long as the analysis: results are consumed in-process against
+the same objects and never persisted or compared across runs.
+"""
+
+# repro-lint: disable-file=DET002 — site keys are id(ast-node) by design; same-process, same-tree, never persisted
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
+
+__all__ = ["MustFacts", "analyze_function"]
+
+#: Sentinel state for "this point is not reached by normal fall-through".
+_TERMINATED = None
+
+GenFn = Callable[[ast.Call], Set[str]]
+CondFn = Callable[[ast.expr, bool], Set[str]]
+
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _walk_shallow(node: ast.AST):
+    """Walk a subtree, skipping nested function/class/lambda bodies."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, _OPAQUE):
+                continue
+            stack.append(child)
+
+
+class MustFacts:
+    """One analysis configuration: how facts are generated."""
+
+    def __init__(
+        self,
+        gen: Optional[GenFn] = None,
+        cond: Optional[CondFn] = None,
+    ) -> None:
+        self._gen = gen
+        self._cond = cond
+        self._sites: Set[int] = set()
+        self._results: Dict[int, FrozenSet[str]] = {}
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        body: Sequence[ast.stmt],
+        sites: Sequence[ast.AST],
+        entry: Optional[Set[str]] = None,
+    ) -> Dict[int, FrozenSet[str]]:
+        """Facts holding immediately before each requested site node.
+
+        Sites that are never reached in the structured walk (dead code,
+        inside a nested def) are absent from the result; treat absence
+        as "no facts proven".
+        """
+        self._sites = {id(site) for site in sites}
+        self._results = {}
+        self._eval_body(list(body), set(entry or ()))
+        return dict(self._results)
+
+    # ------------------------------------------------------------------
+    def _record(self, node: ast.AST, state: Set[str]) -> None:
+        if id(node) in self._sites and id(node) not in self._results:
+            self._results[id(node)] = frozenset(state)
+
+    def _visit_exprs(self, node: ast.AST, state: Set[str]) -> None:
+        """Record sites and apply gen facts within one simple statement
+        or one compound-statement header expression."""
+        for sub in _walk_shallow(node):
+            self._record(sub, state)
+        # Two passes: every site in the statement sees the *pre* state
+        # first, then calls contribute their facts for later statements.
+        for sub in _walk_shallow(node):
+            if isinstance(sub, ast.Call) and self._gen is not None:
+                state |= self._gen(sub)
+
+    def _branch_facts(self, test: ast.expr, value: bool) -> Set[str]:
+        if self._cond is None:
+            return set()
+        facts = set(self._cond(test, value))
+        # `not X` flips; `X and Y` true means both true; `X or Y` false
+        # means both false.  Enough boolean structure for guard idioms.
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            facts |= self._branch_facts(test.operand, not value)
+        elif isinstance(test, ast.BoolOp):
+            if (isinstance(test.op, ast.And) and value) or (
+                isinstance(test.op, ast.Or) and not value
+            ):
+                for operand in test.values:
+                    facts |= self._branch_facts(operand, value)
+        return facts
+
+    # ------------------------------------------------------------------
+    def _eval_body(
+        self, body: Sequence[ast.stmt], state: Optional[Set[str]]
+    ) -> Optional[Set[str]]:
+        for stmt in body:
+            if state is _TERMINATED:
+                break
+            state = self._eval_stmt(stmt, state)
+        return state
+
+    def _join(self, states: List[Optional[Set[str]]]) -> Optional[Set[str]]:
+        live = [s for s in states if s is not _TERMINATED]
+        if not live:
+            return _TERMINATED
+        result = set(live[0])
+        for other in live[1:]:
+            result &= other
+        return result
+
+    def _eval_stmt(
+        self, stmt: ast.stmt, state: Set[str]
+    ) -> Optional[Set[str]]:
+        self._record(stmt, state)
+        if isinstance(stmt, ast.If):
+            self._visit_exprs(stmt.test, state)
+            then_state = self._eval_body(
+                stmt.body, state | self._branch_facts(stmt.test, True)
+            )
+            else_state = self._eval_body(
+                stmt.orelse, state | self._branch_facts(stmt.test, False)
+            )
+            return self._join([then_state, else_state])
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_exprs(stmt.iter, state)
+            self._visit_exprs(stmt.target, state)
+            self._eval_body(stmt.body, set(state))  # in-iteration view only
+            return self._eval_body(stmt.orelse, set(state))
+        if isinstance(stmt, ast.While):
+            self._visit_exprs(stmt.test, state)
+            body_facts = state | self._branch_facts(stmt.test, True)
+            self._eval_body(stmt.body, body_facts)
+            return self._eval_body(
+                stmt.orelse, state | self._branch_facts(stmt.test, False)
+            )
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._visit_exprs(item.context_expr, state)
+                if item.optional_vars is not None:
+                    self._visit_exprs(item.optional_vars, state)
+            return self._eval_body(stmt.body, state)
+        if isinstance(stmt, ast.Try):
+            body_state = self._eval_body(stmt.body, set(state))
+            ends: List[Optional[Set[str]]] = []
+            if body_state is not _TERMINATED:
+                ends.append(self._eval_body(stmt.orelse, body_state))
+            else:
+                ends.append(_TERMINATED)
+            for handler in stmt.handlers:
+                # A handler can be entered after any prefix of the body,
+                # so only the entry state is trustworthy inside it.
+                ends.append(self._eval_body(handler.body, set(state)))
+            joined = self._join(ends)
+            if stmt.finalbody:
+                # finally runs on every path; its facts stack onto the
+                # join when control continues past the statement.
+                final_state = self._eval_body(
+                    stmt.finalbody, set(state)
+                )
+                if joined is _TERMINATED or final_state is _TERMINATED:
+                    return _TERMINATED
+                return joined | (final_state - state)
+            return joined
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            self._visit_exprs(stmt.subject, state)
+            ends = [self._eval_body(case.body, set(state)) for case in stmt.cases]
+            # No case may match: fall-through with the entry state.
+            ends.append(set(state))
+            return self._join(ends)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                self._visit_exprs(stmt.value, state)
+            if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+                self._visit_exprs(stmt.exc, state)
+            return _TERMINATED
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return _TERMINATED
+        if isinstance(stmt, _OPAQUE):
+            return state
+        self._visit_exprs(stmt, state)
+        return state
+
+
+def analyze_function(
+    func_node: ast.AST,
+    sites: Sequence[ast.AST],
+    gen: Optional[GenFn] = None,
+    cond: Optional[CondFn] = None,
+    entry: Optional[Set[str]] = None,
+) -> Dict[int, FrozenSet[str]]:
+    """Run a must-facts analysis over one function body."""
+    body = getattr(func_node, "body", [])
+    return MustFacts(gen=gen, cond=cond).analyze(body, sites, entry=entry)

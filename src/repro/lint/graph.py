@@ -1,0 +1,160 @@
+"""Conservative call graph over the project index.
+
+Edges are derived from ``ast.Call`` nodes inside each known function.
+A call produces an edge only when the callee can be *proven* to be a
+specific project function:
+
+* direct names resolved through the module's import/def tables
+  (``log_events`` / ``wal.log_events`` / ``repro.service.wal.fn``);
+* ``self.method()`` resolved through the enclosing class and its known
+  bases (nearest-first walk, see :meth:`ProjectIndex.iter_mro`);
+* ``obj.method()`` where ``obj``'s class is inferred from annotations,
+  constructor assignments, or typed instance attributes;
+* ``ClassName(...)`` construction, which edges to the class's
+  ``__init__`` when one is defined in-project;
+* as a last resort, a bare-attribute call whose receiver type is
+  unknown resolves through :meth:`ProjectIndex.unique_by_name` — only
+  when exactly one project function carries that name, so a wrong edge
+  would require two unrelated things to share an unusual name.
+
+Unresolvable calls produce **no edge**: the graph under-approximates
+the dynamic call relation, which is the documented trade-off for rules
+that must stay quiet rather than cry wolf (DESIGN.md §16).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from .project import FunctionInfo, ProjectIndex, _dotted_name
+
+__all__ = ["CallSite", "CallGraph", "async_roots", "build_call_graph", "resolve_call"]
+
+
+@dataclass
+class CallSite:
+    """One resolved call edge, anchored at its source ``ast.Call``."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+    @property
+    def col(self) -> int:
+        return getattr(self.node, "col_offset", 0)
+
+
+@dataclass
+class CallGraph:
+    """Directed call graph with forward and reverse adjacency."""
+
+    index: ProjectIndex
+    out_edges: Dict[str, List[CallSite]] = field(default_factory=dict)
+    in_edges: Dict[str, List[CallSite]] = field(default_factory=dict)
+    #: qualname -> Call nodes that could not be resolved (diagnostics).
+    unresolved: Dict[str, int] = field(default_factory=dict)
+
+    def add_edge(self, site: CallSite) -> None:
+        self.out_edges.setdefault(site.caller, []).append(site)
+        self.in_edges.setdefault(site.callee, []).append(site)
+
+    def callees(self, qual: str) -> List[CallSite]:
+        return self.out_edges.get(qual, [])
+
+    def callers(self, qual: str) -> List[CallSite]:
+        return self.in_edges.get(qual, [])
+
+    def reachable_from(
+        self,
+        roots: Iterable[str],
+        skip: Optional[Callable[[FunctionInfo], bool]] = None,
+    ) -> Dict[str, str]:
+        """BFS closure over out-edges.
+
+        Returns ``{reached qualname: root qualname}`` (first root to
+        reach it, BFS order, deterministic).  ``skip`` marks *barrier*
+        functions: they are reported as reached but their own callees
+        are not followed — used for sanctioned blocking layers whose
+        internals are exempt by contract.
+        """
+        origin: Dict[str, str] = {}
+        queue: List[str] = []
+        for root in roots:
+            if root not in origin:
+                origin[root] = root
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            info = self.index.functions.get(current)
+            if info is not None and skip is not None and skip(info):
+                continue
+            for site in self.callees(current):
+                if site.callee not in origin:
+                    origin[site.callee] = origin[current]
+                    queue.append(site.callee)
+        return origin
+
+
+def resolve_call(
+    index: ProjectIndex,
+    func: FunctionInfo,
+    call: ast.Call,
+    local_types: Dict[str, str],
+) -> Optional[str]:
+    """Qualified name of the project function this call provably hits,
+    or None (no edge) when resolution fails."""
+    target = call.func
+    dotted = _dotted_name(target)
+    if dotted is not None:
+        resolved = index.resolve(func.module, dotted)
+        if resolved is not None:
+            if resolved in index.functions:
+                return resolved
+            if resolved in index.classes:
+                init = index.resolve_method(resolved, "__init__")
+                return init  # None when the class has no in-project __init__
+    if isinstance(target, ast.Attribute):
+        receiver_cls = index.type_of_expr(func, target.value, local_types)
+        if receiver_cls is not None:
+            return index.resolve_method(receiver_cls, target.attr)
+        # Receiver type unknown: unique-name fallback only.
+        return index.unique_by_name(target.attr)
+    return None
+
+
+def build_call_graph(index: ProjectIndex) -> CallGraph:
+    """Resolve every call in every known function into graph edges."""
+    graph = CallGraph(index=index)
+    for qual, func in index.functions.items():
+        local_types = index.infer_local_types(func)
+        for node in ast.walk(func.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func.node:
+                # Nested defs are indexed separately only at module/class
+                # level; calls inside them still execute in this frame's
+                # dynamic extent often enough (closures passed to the
+                # loop) that folding them into the enclosing function is
+                # the conservative choice for reachability rules.
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            callee = resolve_call(index, func, node, local_types)
+            if callee is None:
+                graph.unresolved[qual] = graph.unresolved.get(qual, 0) + 1
+                continue
+            graph.add_edge(CallSite(caller=qual, callee=callee, node=node))
+    return graph
+
+
+def async_roots(index: ProjectIndex, module_prefix: str = "") -> Set[str]:
+    """All ``async def`` functions, optionally filtered by module prefix."""
+    return {
+        qual
+        for qual, func in index.functions.items()
+        if func.is_async and func.module.startswith(module_prefix)
+    }

@@ -16,6 +16,19 @@ Rule families:
 ``FLT``  Float discipline — invariant/audit code must not compare
          floats with ``==`` against non-integral literals.
 
+Project-level families (``--project``; need the whole-program call
+graph and type index from :mod:`repro.lint.project`):
+
+``ASYNC`` Event-loop safety — no blocking call reachable from the
+          service's ``async def``s, no dropped coroutines, no serving
+          shared state written off the batcher path.
+``DUR``   Durability ordering — manager mutations dominated by a WAL/
+          journal append on all call-graph paths; journals reach flush;
+          fd-level durability stays inside the WAL layer.
+``SOA``   Aggregate coherence — LinkTable base-column writers refresh
+          the materialized tier in the same function; the failed/
+          failed_py mirror never splits.
+
 Each rule knows which paths it applies to: wall-clock reads are the
 whole point of the timing infrastructure under ``repro/parallel`` and
 ``benchmarks/``, and bitwise regression *tests* legitimately pin exact
@@ -74,15 +87,28 @@ def _pinned_packages_only(path: str) -> bool:
     return any(pkg in path for pkg in _PINNED_PACKAGES)
 
 
+def _service_src_only(path: str) -> bool:
+    """Service-layer sources (the findings of the service-protocol rules
+    always land there; test doubles are free to fake the protocols)."""
+    return "repro/service/" in path and _src_only(path)
+
+
 @dataclass(frozen=True)
 class Rule:
-    """One lint rule: identity, rationale, and path applicability."""
+    """One lint rule: identity, rationale, and path applicability.
+
+    ``project=True`` marks whole-program rules: they run only under
+    ``--project`` (they need the cross-module index) and their
+    ``applies`` predicate filters where *findings* may land rather than
+    which files are analysed.
+    """
 
     id: str
     name: str
     summary: str
     hint: str
     applies: Callable[[str], bool] = _always
+    project: bool = False
 
     def applies_to(self, path: str) -> bool:
         """Whether this rule is checked at all for ``path`` (posix form)."""
@@ -205,12 +231,128 @@ RULES: Tuple[Rule, ...] = (
         ),
         applies=_src_only,
     ),
+    Rule(
+        id="ASYNC001",
+        name="blocking-call-in-async-path",
+        summary=(
+            "blocking call (`time.sleep`, `os.fsync`, subprocess, "
+            "synchronous file write) reachable from an `async def` in the "
+            "service; one blocked call stalls every connected client"
+        ),
+        hint=(
+            "run it in an executor (`loop.run_in_executor`/`asyncio."
+            "to_thread`) or route it through the WAL layer, whose blocking "
+            "is the write-ahead contract"
+        ),
+        applies=_src_only,
+        project=True,
+    ),
+    Rule(
+        id="ASYNC002",
+        name="unawaited-coroutine",
+        summary=(
+            "coroutine function called as a bare statement; the coroutine "
+            "object is created and dropped, so the body never runs"
+        ),
+        hint="`await` it, or hand it to `asyncio.create_task(...)`",
+        applies=_service_src_only,
+        project=True,
+    ),
+    Rule(
+        id="ASYNC003",
+        name="shared-state-off-batcher-path",
+        summary=(
+            "serving shared state (mode/engine/journal/drain flags) written "
+            "by a method that is not on the batcher/lifecycle/signal path; "
+            "per-connection handlers race the batch loop"
+        ),
+        hint=(
+            "mutate serving state only from the batcher task, a lifecycle "
+            "method, or a signal handler; handlers enqueue requests instead"
+        ),
+        applies=_service_src_only,
+        project=True,
+    ),
+    Rule(
+        id="DUR001",
+        name="mutation-not-durability-dominated",
+        summary=(
+            "manager mutation not dominated on every call-graph path by a "
+            "WAL append (`log_events`), a journal append, or an explicit "
+            "`wal is None` check; a crash between apply and log loses an "
+            "acked event"
+        ),
+        hint=(
+            "follow the write-ahead discipline of ServiceEngine.apply_batch: "
+            "validate, append+fsync, then apply"
+        ),
+        applies=_service_src_only,
+        project=True,
+    ),
+    Rule(
+        id="DUR002",
+        name="journal-never-flushed",
+        summary=(
+            "a degraded-mode journal collects operations but no async-"
+            "reachable method flushes it to the WAL via `log_events`; "
+            "journaled ops would never become durable"
+        ),
+        hint=(
+            "add a probation/drain flush (`wal.log_events(self.<journal>)`) "
+            "reachable from the batcher, as in AdmissionService._rearm"
+        ),
+        applies=_service_src_only,
+        project=True,
+    ),
+    Rule(
+        id="DUR003",
+        name="fd-durability-outside-wal",
+        summary=(
+            "direct `os.fsync`/`os.fdatasync`/`os.(f)truncate` outside "
+            "repro.service.wal; fd-level durability elsewhere bypasses the "
+            "WAL's tear detection, fault injection, and repair accounting"
+        ),
+        hint=(
+            "go through the WAL layer, or suppress with a reason for "
+            "recovery-time surgery the WAL re-verifies afterwards"
+        ),
+        applies=_service_src_only,
+        project=True,
+    ),
+    Rule(
+        id="SOA001",
+        name="stale-aggregate-write",
+        summary=(
+            "LinkTable base column (primary_min/primary_extra/activated/"
+            "backup_reserved/capacity) written without `_refresh_cell`/"
+            "`refresh_cells`/`mark_aggregates_dirty` in the same function; "
+            "the materialized spare/headroom tier goes stale"
+        ),
+        hint=(
+            "scalar writes pair with `_refresh_cell`/`refresh_cells`; bulk "
+            "writes call `mark_aggregates_dirty()` (two-tier protocol)"
+        ),
+        applies=_src_only,
+        project=True,
+    ),
+    Rule(
+        id="SOA002",
+        name="failed-mask-mirror-split",
+        summary=(
+            "LinkTable `failed` written without `failed_py` in the same "
+            "function (or vice versa); the numpy mask and its Python "
+            "mirror diverge and the sequential tail reads stale state"
+        ),
+        hint="write both sides together, as LinkTable.fail/repair do",
+        applies=_src_only,
+        project=True,
+    ),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
 
 #: Rule ids grouped by family prefix, for `--select RNG` style filters.
-FAMILIES: Tuple[str, ...] = ("RNG", "DET", "ART", "FLT")
+FAMILIES: Tuple[str, ...] = ("RNG", "DET", "ART", "FLT", "ASYNC", "DUR", "SOA")
 
 
 def expand_rule_selection(tokens: Tuple[str, ...]) -> Tuple[str, ...]:

@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+SARIF is the interchange format GitHub (and most code-scanning UIs)
+ingest natively; emitting it lets CI upload lint results as annotations
+without a bespoke parser.  Only the small, stable core of the schema is
+produced: one ``run`` with the rule catalogue under
+``tool.driver.rules`` and one ``result`` per finding, each carrying a
+``physicalLocation`` with a 1-based line/column region.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _rule_descriptor(rule_id: str, name: str, summary: str, hint: str) -> Dict[str, Any]:
+    return {
+        "id": rule_id,
+        "name": name,
+        "shortDescription": {"text": summary},
+        "help": {"text": hint},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    message = finding.message
+    if finding.hint:
+        message = f"{message} (fix: {finding.hint})"
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """The SARIF log object for one lint run."""
+    rules: List[Dict[str, Any]] = [
+        _rule_descriptor(rule.id, rule.name, rule.summary, rule.hint)
+        for rule in RULES
+    ]
+    # LNT000 (parse error) is not in the catalogue but may appear in
+    # results; SARIF permits results whose ruleId has no descriptor,
+    # still, ship one so viewers render a title.
+    rules.append(
+        _rule_descriptor(
+            "LNT000",
+            "parse-error",
+            "file does not parse; nothing else was checked",
+            "fix the syntax error",
+        )
+    )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(finding) for finding in findings],
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF log as a JSON string (stable key order, 2-space indent)."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True)

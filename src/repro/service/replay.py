@@ -109,7 +109,10 @@ def recover_engine(
     """
     reader = ReplayLogReader(path)
     if reader.torn_tail:
-        os.truncate(path, reader.valid_bytes)
+        # Pre-attach tear surgery: the writer re-verifies header and tail
+        # when it opens the file, so this is the one sanctioned truncate
+        # outside the WAL layer.
+        os.truncate(path, reader.valid_bytes)  # repro-lint: disable=DUR003 — recovery-time tear removal; ReplayLogWriter re-verifies the tail on open
     result = replay_log(path)
     engine = result.engine
     if batch_max is not None:

@@ -1,0 +1,218 @@
+"""Unit tests for the must-facts dataflow engine."""
+
+import ast
+
+from repro.lint.dataflow import analyze_function
+
+
+def call_gen(name):
+    """Gen callback: calling ``name(...)`` establishes the fact ``name``."""
+
+    def gen(call):
+        func = call.func
+        label = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        return {label} if label == name else set()
+
+    return gen
+
+
+def guard_cond(fact="guarded"):
+    """Cond callback: the true branch of any ``x is None`` test grants
+    ``fact`` (mirrors the DUR wal-is-None idiom)."""
+
+    def cond(test, value):
+        if (
+            value
+            and isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+        ):
+            return {fact}
+        return set()
+
+    return cond
+
+
+def facts_at_sink(source, gen=None, cond=None, entry=None):
+    """Facts holding just before the single call to ``sink(...)``."""
+    func = ast.parse(source).body[0]
+    sinks = [
+        node
+        for node in ast.walk(func)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "sink"
+    ]
+    assert len(sinks) == 1
+    results = analyze_function(func, sinks, gen=gen, cond=cond, entry=entry)
+    return results.get(id(sinks[0]))  # repro-lint: disable=DET002 — result keys are live AST node ids
+
+
+GEN = call_gen("log")
+
+
+class TestStraightLine:
+    def test_fact_flows_forward(self):
+        src = "def f():\n    log()\n    sink()\n"
+        assert facts_at_sink(src, gen=GEN) == {"log"}
+
+    def test_site_sees_pre_state_of_its_own_statement(self):
+        # gen and sink in the same statement: sink must NOT see the fact.
+        src = "def f():\n    sink(log())\n"
+        assert facts_at_sink(src, gen=GEN) == frozenset()
+
+    def test_entry_facts_are_visible(self):
+        src = "def f():\n    sink()\n"
+        assert facts_at_sink(src, gen=GEN, entry={"caller-logged"}) == {
+            "caller-logged"
+        }
+
+
+class TestBranchJoins:
+    def test_both_branches_gen_survives_join(self):
+        src = (
+            "def f(x):\n"
+            "    if x:\n        log()\n"
+            "    else:\n        log()\n"
+            "    sink()\n"
+        )
+        assert facts_at_sink(src, gen=GEN) == {"log"}
+
+    def test_one_sided_gen_dies_at_join(self):
+        src = "def f(x):\n    if x:\n        log()\n    sink()\n"
+        assert facts_at_sink(src, gen=GEN) == frozenset()
+
+    def test_terminated_branch_does_not_constrain_join(self):
+        src = (
+            "def f(x):\n"
+            "    if x:\n        raise ValueError\n"
+            "    log()\n"
+            "    sink()\n"
+        )
+        # (the one-sided branch raised, so only the fall-through matters)
+        assert facts_at_sink(src, gen=GEN) == {"log"}
+
+    def test_early_return_branch_excluded(self):
+        src = (
+            "def f(x):\n"
+            "    if x:\n        log()\n"
+            "    else:\n        return None\n"
+            "    sink()\n"
+        )
+        assert facts_at_sink(src, gen=GEN) == {"log"}
+
+    def test_cond_fact_inside_true_branch(self):
+        src = (
+            "def f(wal):\n"
+            "    if wal is None:\n        sink()\n"
+        )
+        assert facts_at_sink(src, cond=guard_cond()) == {"guarded"}
+
+    def test_cond_fact_does_not_leak_past_join(self):
+        src = (
+            "def f(wal):\n"
+            "    if wal is None:\n        pass\n"
+            "    sink()\n"
+        )
+        assert facts_at_sink(src, cond=guard_cond()) == frozenset()
+
+    def test_not_flips_branch_polarity(self):
+        src = (
+            "def f(wal):\n"
+            "    if not (wal is None):\n        pass\n"
+            "    else:\n        sink()\n"
+        )
+        assert facts_at_sink(src, cond=guard_cond()) == {"guarded"}
+
+    def test_elif_chain_all_arms_must_gen(self):
+        src = (
+            "def f(a, b):\n"
+            "    if a:\n        log()\n"
+            "    elif b:\n        log()\n"
+            "    else:\n        log()\n"
+            "    sink()\n"
+        )
+        assert facts_at_sink(src, gen=GEN) == {"log"}
+
+
+class TestLoops:
+    def test_loop_body_sees_in_iteration_facts(self):
+        src = "def f(xs):\n    for x in xs:\n        log()\n        sink()\n"
+        assert facts_at_sink(src, gen=GEN) == {"log"}
+
+    def test_loop_gen_does_not_escape(self):
+        src = "def f(xs):\n    for x in xs:\n        log()\n    sink()\n"
+        assert facts_at_sink(src, gen=GEN) == frozenset()
+
+    def test_pre_loop_facts_visible_inside_body(self):
+        src = "def f(xs):\n    log()\n    for x in xs:\n        sink()\n"
+        assert facts_at_sink(src, gen=GEN) == {"log"}
+
+    def test_while_cond_facts_enter_body(self):
+        src = "def f(wal):\n    while wal is None:\n        sink()\n"
+        assert facts_at_sink(src, cond=guard_cond()) == {"guarded"}
+
+
+class TestTryFinally:
+    def test_handler_sees_entry_state_only(self):
+        src = (
+            "def f():\n"
+            "    try:\n        log()\n        risky()\n"
+            "    except OSError:\n        sink()\n"
+        )
+        # The body may fail before log() completed; entry state only.
+        assert facts_at_sink(src, gen=GEN) == frozenset()
+
+    def test_both_body_and_handler_gen_survives_join(self):
+        src = (
+            "def f():\n"
+            "    try:\n        log()\n"
+            "    except OSError:\n        log()\n"
+            "    sink()\n"
+        )
+        assert facts_at_sink(src, gen=GEN) == {"log"}
+
+    def test_silent_handler_kills_body_fact_at_join(self):
+        src = (
+            "def f():\n"
+            "    try:\n        log()\n"
+            "    except OSError:\n        pass\n"
+            "    sink()\n"
+        )
+        assert facts_at_sink(src, gen=GEN) == frozenset()
+
+    def test_finally_facts_stack_onto_join(self):
+        src = (
+            "def f():\n"
+            "    try:\n        risky()\n"
+            "    finally:\n        log()\n"
+            "    sink()\n"
+        )
+        assert facts_at_sink(src, gen=GEN) == {"log"}
+
+    def test_with_body_is_transparent(self):
+        src = "def f(cm):\n    with cm:\n        log()\n        sink()\n"
+        assert facts_at_sink(src, gen=GEN) == {"log"}
+
+
+class TestOpacity:
+    def test_nested_def_site_is_unreachable(self):
+        src = (
+            "def f():\n"
+            "    log()\n"
+            "    def inner():\n        sink()\n"
+            "    return inner\n"
+        )
+        assert facts_at_sink(src, gen=GEN) is None
+
+    def test_nested_def_gen_does_not_pollute_outer(self):
+        src = (
+            "def f():\n"
+            "    def inner():\n        log()\n"
+            "    sink()\n"
+        )
+        assert facts_at_sink(src, gen=GEN) == frozenset()
+
+    def test_lambda_body_is_opaque(self):
+        src = "def f():\n    g = lambda: log()\n    sink()\n"
+        assert facts_at_sink(src, gen=GEN) == frozenset()

@@ -1,0 +1,276 @@
+"""Unit tests for the symbol resolver and the conservative call graph."""
+
+import ast
+
+from repro.lint.graph import async_roots, build_call_graph
+from repro.lint.project import build_project_index, module_name_for_path
+
+
+def index_of(sources):
+    return build_project_index(
+        [(path, ast.parse(text)) for path, text in sources.items()]
+    )
+
+
+def edge_pairs(graph):
+    return {
+        (site.caller, site.callee)
+        for sites in graph.out_edges.values()
+        for site in sites
+    }
+
+
+class TestModuleNaming:
+    def test_src_rooted_paths_drop_the_prefix(self):
+        assert module_name_for_path("src/repro/sim/engine.py") == "repro.sim.engine"
+        assert (
+            module_name_for_path("/root/repo/src/repro/service/wal.py")
+            == "repro.service.wal"
+        )
+
+    def test_init_maps_to_package(self):
+        assert module_name_for_path("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_tests_paths_keep_full_dotted_name(self):
+        assert (
+            module_name_for_path("tests/lint/test_engine.py")
+            == "tests.lint.test_engine"
+        )
+
+    def test_windows_separators(self):
+        assert module_name_for_path("src\\repro\\sim\\core.py") == "repro.sim.core"
+
+
+class TestResolver:
+    def test_absolute_from_import(self):
+        index = index_of(
+            {
+                "src/pkg/a.py": "def fn():\n    pass\n",
+                "src/pkg/b.py": "from pkg.a import fn\n",
+            }
+        )
+        assert index.resolve("pkg.b", "fn") == "pkg.a.fn"
+
+    def test_relative_import_from_sibling(self):
+        index = index_of(
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/a.py": "def fn():\n    pass\n",
+                "src/pkg/b.py": "from .a import fn\n",
+            }
+        )
+        assert index.resolve("pkg.b", "fn") == "pkg.a.fn"
+
+    def test_relative_import_inside_package_init(self):
+        index = index_of(
+            {
+                "src/pkg/__init__.py": "from .a import fn\n",
+                "src/pkg/a.py": "def fn():\n    pass\n",
+            }
+        )
+        assert index.resolve("pkg", "fn") == "pkg.a.fn"
+
+    def test_reexport_chain_through_init(self):
+        index = index_of(
+            {
+                "src/pkg/__init__.py": "from .engine import run\n",
+                "src/pkg/engine.py": "def run():\n    pass\n",
+                "src/app.py": "from pkg import run\n",
+            }
+        )
+        assert index.resolve("app", "run") == "pkg.engine.run"
+        assert index.canonicalize("pkg.run") == "pkg.engine.run"
+
+    def test_import_cycle_does_not_hang(self):
+        index = index_of(
+            {
+                "src/pkg/a.py": "from pkg.b import x\n",
+                "src/pkg/b.py": "from pkg.a import x\n",
+            }
+        )
+        # A genuinely circular binding canonicalizes to *something*
+        # without infinite recursion; the exact fixpoint is unspecified.
+        assert isinstance(index.canonicalize("pkg.a.x"), str)
+
+    def test_unknown_prefix_passes_through(self):
+        index = index_of({"src/pkg/a.py": "import os\n"})
+        assert index.canonicalize("os.path.join") == "os.path.join"
+
+    def test_dotted_module_attribute_resolves(self):
+        index = index_of(
+            {
+                "src/pkg/wal.py": "def log_events(ev):\n    pass\n",
+                "src/pkg/svc.py": "from pkg import wal\n",
+            }
+        )
+        assert index.resolve("pkg.svc", "wal.log_events") == "pkg.wal.log_events"
+
+
+class TestMethodResolution:
+    BASE = (
+        "class Base:\n"
+        "    def shared(self):\n        pass\n"
+        "    def overridden(self):\n        pass\n"
+    )
+    CHILD = (
+        "from pkg.base import Base\n\n\n"
+        "class Child(Base):\n"
+        "    def overridden(self):\n        pass\n"
+        "    def caller(self):\n"
+        "        self.shared()\n"
+        "        self.overridden()\n"
+    )
+
+    def test_nearest_definition_wins(self):
+        index = index_of(
+            {"src/pkg/base.py": self.BASE, "src/pkg/child.py": self.CHILD}
+        )
+        assert (
+            index.resolve_method("pkg.child.Child", "overridden")
+            == "pkg.child.Child.overridden"
+        )
+        assert (
+            index.resolve_method("pkg.child.Child", "shared")
+            == "pkg.base.Base.shared"
+        )
+
+    def test_self_calls_edge_through_hierarchy(self):
+        index = index_of(
+            {"src/pkg/base.py": self.BASE, "src/pkg/child.py": self.CHILD}
+        )
+        edges = edge_pairs(build_call_graph(index))
+        assert ("pkg.child.Child.caller", "pkg.base.Base.shared") in edges
+        assert ("pkg.child.Child.caller", "pkg.child.Child.overridden") in edges
+
+    def test_inheritance_cycle_terminates(self):
+        src = (
+            "class A(B):\n    def m(self):\n        pass\n\n\n"
+            "class B(A):\n    def n(self):\n        pass\n"
+        )
+        index = index_of({"src/pkg/a.py": src})
+        assert index.resolve_method("pkg.a.A", "n") == "pkg.a.B.n"
+        assert index.resolve_method("pkg.a.A", "missing") is None
+
+    def test_unknown_external_base_ends_the_chain(self):
+        src = "import enum\n\n\nclass Mode(enum.Enum):\n    A = 1\n"
+        index = index_of({"src/pkg/a.py": src})
+        assert index.resolve_method("pkg.a.Mode", "name") is None
+
+
+class TestCallGraph:
+    def test_direct_call_and_constructor_edge(self):
+        src = (
+            "class Engine:\n"
+            "    def __init__(self):\n        pass\n\n\n"
+            "def main():\n"
+            "    eng = Engine()\n"
+        )
+        index = index_of({"src/pkg/a.py": src})
+        edges = edge_pairs(build_call_graph(index))
+        assert ("pkg.a.main", "pkg.a.Engine.__init__") in edges
+
+    def test_annotated_receiver_resolves(self):
+        src = (
+            "class Table:\n"
+            "    def refresh(self):\n        pass\n\n\n"
+            "def touch(t: Table):\n"
+            "    t.refresh()\n"
+        )
+        index = index_of({"src/pkg/a.py": src})
+        assert ("pkg.a.touch", "pkg.a.Table.refresh") in edge_pairs(
+            build_call_graph(index)
+        )
+
+    def test_attr_typed_receiver_resolves(self):
+        src = (
+            "class Engine:\n"
+            "    def apply(self):\n        pass\n\n\n"
+            "class Svc:\n"
+            "    def __init__(self, engine: Engine):\n"
+            "        self.engine = engine\n"
+            "    def run(self):\n"
+            "        self.engine.apply()\n"
+        )
+        index = index_of({"src/pkg/a.py": src})
+        assert ("pkg.a.Svc.run", "pkg.a.Engine.apply") in edge_pairs(
+            build_call_graph(index)
+        )
+
+    def test_unique_name_fallback_requires_exactly_one(self):
+        one = (
+            "def helper_unique():\n    pass\n\n\n"
+            "def caller(obj):\n    obj.helper_unique()\n"
+        )
+        index = index_of({"src/pkg/a.py": one})
+        assert ("pkg.a.caller", "pkg.a.helper_unique") in edge_pairs(
+            build_call_graph(index)
+        )
+        two = one + "\n\nclass Other:\n    def helper_unique(self):\n        pass\n"
+        index2 = index_of({"src/pkg/a.py": two})
+        graph2 = build_call_graph(index2)
+        assert all(
+            callee != "pkg.a.helper_unique"
+            for _, callee in edge_pairs(graph2)
+        )
+        assert graph2.unresolved.get("pkg.a.caller", 0) >= 1
+
+    def test_unresolved_call_produces_no_edge(self):
+        src = "import os\n\n\ndef main(obj):\n    os.getcwd()\n"
+        index = index_of({"src/pkg/a.py": src})
+        graph = build_call_graph(index)
+        assert edge_pairs(graph) == set()
+        assert graph.unresolved.get("pkg.a.main", 0) == 1
+
+    def test_function_reference_is_not_an_edge(self):
+        src = (
+            "def slow():\n    pass\n\n\n"
+            "def main(executor):\n"
+            "    executor.submit(slow)\n"
+        )
+        index = index_of({"src/pkg/a.py": src})
+        assert all(
+            callee != "pkg.a.slow" for _, callee in edge_pairs(build_call_graph(index))
+        )
+
+    def test_nested_def_calls_fold_into_enclosing_function(self):
+        src = (
+            "def target():\n    pass\n\n\n"
+            "def outer():\n"
+            "    def closure():\n"
+            "        target()\n"
+            "    return closure\n"
+        )
+        index = index_of({"src/pkg/a.py": src})
+        assert ("pkg.a.outer", "pkg.a.target") in edge_pairs(build_call_graph(index))
+
+
+class TestReachability:
+    SRC = (
+        "async def root():\n    mid()\n\n\n"
+        "def mid():\n    leaf()\n\n\n"
+        "def leaf():\n    pass\n\n\n"
+        "def island():\n    pass\n"
+    )
+
+    def test_bfs_closure_and_origin_tracking(self):
+        index = index_of({"src/pkg/a.py": self.SRC})
+        graph = build_call_graph(index)
+        reached = graph.reachable_from(["pkg.a.root"])
+        assert set(reached) == {"pkg.a.root", "pkg.a.mid", "pkg.a.leaf"}
+        assert reached["pkg.a.leaf"] == "pkg.a.root"
+
+    def test_skip_marks_barriers_reached_but_not_descended(self):
+        index = index_of({"src/pkg/a.py": self.SRC})
+        graph = build_call_graph(index)
+        reached = graph.reachable_from(
+            ["pkg.a.root"], skip=lambda f: f.name == "mid"
+        )
+        assert "pkg.a.mid" in reached
+        assert "pkg.a.leaf" not in reached
+
+    def test_async_roots_filters_by_prefix(self):
+        index = index_of(
+            {"src/pkg/a.py": self.SRC, "src/other/b.py": "async def also():\n    pass\n"}
+        )
+        assert async_roots(index, "pkg") == {"pkg.a.root"}
+        assert async_roots(index) == {"pkg.a.root", "other.b.also"}
